@@ -1,0 +1,124 @@
+(* Benchmark harness.
+
+   Part 1 prints the reproduction itself: the same rows and series the
+   paper's evaluation reports (every table and figure), computed over
+   the full 36-benchmark suite.
+
+   Part 2 times the regeneration of each artefact with Bechamel: one
+   Test.make per paper table/figure (cold caches, a reduced workload
+   subset so each sample stays sub-second) plus microbenchmarks of the
+   pipeline stages (analysis, allocation, verification, traffic
+   accounting, timing simulation). *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate the paper's evaluation.                          *)
+
+let report_options = { (Experiments.Options.default ()) with Experiments.Options.warps = 8 }
+
+let print_reproduction () =
+  print_endline "==================================================================";
+  print_endline " Reproduction: every table and figure of the paper's evaluation";
+  print_endline "==================================================================";
+  print_newline ();
+  Experiments.Report.run_all report_options
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel timings.                                           *)
+
+(* A representative cross-suite subset keeps each cold regeneration
+   sample fast. *)
+let bench_subset =
+  [ "VectorAdd"; "MatrixMul"; "Mandelbrot"; "Reduction"; "cp"; "hotspot" ]
+
+let bench_options () =
+  Experiments.Options.with_benchmarks
+    { (Experiments.Options.default ()) with Experiments.Options.warps = 4 }
+    bench_subset
+
+let artefact_tests =
+  List.map
+    (fun (name, artefact) ->
+      Test.make ~name
+        (Staged.stage (fun () ->
+             Experiments.Report.clear_caches ();
+             ignore (Experiments.Report.tables_of (bench_options ()) artefact))))
+    Experiments.Report.artefact_names
+
+let stage_tests =
+  let kernel = lazy (Rfh.benchmark "MatrixMul") in
+  let ctx = lazy (Alloc.Context.create (Lazy.force kernel)) in
+  let config = Alloc.Config.make () in
+  let placement = lazy (Alloc.Allocator.place config (Lazy.force ctx)) in
+  [
+    Test.make ~name:"analysis:context"
+      (Staged.stage (fun () -> ignore (Alloc.Context.create (Lazy.force kernel))));
+    Test.make ~name:"compiler:allocate"
+      (Staged.stage (fun () -> ignore (Alloc.Allocator.run config (Lazy.force ctx))));
+    Test.make ~name:"compiler:verify"
+      (Staged.stage (fun () ->
+           ignore (Alloc.Verify.check config (Lazy.force ctx) (Lazy.force placement))));
+    Test.make ~name:"sim:traffic-sw"
+      (Staged.stage (fun () ->
+           ignore
+             (Sim.Traffic.run ~warps:4 (Lazy.force ctx)
+                (Sim.Traffic.Sw { config; placement = Lazy.force placement }))));
+    Test.make ~name:"sim:traffic-hw"
+      (Staged.stage (fun () ->
+           ignore
+             (Sim.Traffic.run ~warps:4 (Lazy.force ctx)
+                (Sim.Traffic.Hw (Sim.Traffic.hw_defaults ~rfc_entries:3)))));
+    Test.make ~name:"sim:perf-two-level"
+      (Staged.stage (fun () ->
+           ignore
+             (Sim.Perf.run ~warps:8 ~max_dynamic_per_warp:300
+                ~scheduler:(Sim.Perf.Two_level 8) ~policy:Sim.Perf.On_dependence
+                (Lazy.force ctx))));
+  ]
+
+let benchmark tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:6 ~quota:(Time.second 2.0) ~kde:None ~sampling:(`Linear 1)
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"rfh" tests) in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let print_results results =
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let t =
+    Util.Table.create ~title:"Bechamel timings (monotonic clock per run)"
+      ~columns:[ "Benchmark"; "Time per run" ]
+  in
+  List.iter
+    (fun (name, ols) ->
+      let cell =
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) ->
+          if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+          else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+          else Printf.sprintf "%.0f ns" est
+        | Some [] | None -> "n/a"
+      in
+      Util.Table.add_row t [ name; cell ])
+    rows;
+  Util.Table.print t
+
+let () =
+  print_reproduction ();
+  print_endline "==================================================================";
+  print_endline " Bechamel: cold-regeneration cost per artefact + pipeline stages";
+  Printf.printf " (artefact timings use the %d-benchmark subset: %s)\n"
+    (List.length bench_subset)
+    (String.concat ", " bench_subset);
+  print_endline "==================================================================";
+  print_newline ();
+  print_results (benchmark (artefact_tests @ stage_tests))

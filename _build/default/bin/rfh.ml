@@ -1,0 +1,343 @@
+(* rfh — command-line driver regenerating every table and figure of the
+   paper's evaluation, plus kernel/placement inspection commands. *)
+
+open Cmdliner
+
+let opts_of ~warps ~seed ~benchmarks =
+  let base = { (Experiments.Options.default ()) with Experiments.Options.warps; seed } in
+  match benchmarks with
+  | [] -> base
+  | names -> Experiments.Options.with_benchmarks base names
+
+let warps_arg =
+  let doc = "Machine-resident warps to simulate per kernel." in
+  Arg.(value & opt int 32 & info [ "warps" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed for data-dependent branch behaviour." in
+  Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let benchmarks_arg =
+  let doc = "Restrict to the named benchmarks (default: all 36)." in
+  Arg.(value & opt (list string) [] & info [ "benchmarks"; "b" ] ~docv:"NAMES" ~doc)
+
+let csv_arg =
+  let doc = "Emit CSV instead of aligned text tables." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let verbose_arg =
+  let doc = "Log allocator decisions to stderr." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let setup_logging verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let print_tables csv tables =
+  List.iter
+    (fun t ->
+      if csv then (print_endline (Util.Table.csv t); print_newline ())
+      else Util.Table.print t)
+    tables
+
+let artefact_cmd (name, artefact) =
+  let doc =
+    match name with
+    | "fig2" -> "Register-value usage patterns per suite (Figure 2)."
+    | "fig11" -> "Two-level read/write breakdown, HW vs SW (Figure 11)."
+    | "fig12" -> "Three-level read/write breakdown, HW vs SW (Figure 12)."
+    | "fig13" -> "Normalized energy vs entries for every organisation (Figure 13)."
+    | "fig14" -> "Energy breakdown of the most efficient design (Figure 14)."
+    | "fig15" -> "Per-benchmark normalized energy (Figure 15)."
+    | "perf" -> "Two-level warp scheduler IPC study (Sec. 6)."
+    | "encoding" -> "Instruction-encoding overhead (Sec. 6.5)."
+    | "limit" -> "Register-hierarchy limit study (Sec. 7)."
+    | "ablation" -> "Per-optimization allocator ablation (Secs. 4.3/4.4/6.3)."
+    | "divergence" -> "SIMT divergence sensitivity of the energy result (extension)."
+    | "pressure" -> "Register pressure and MRF occupancy per benchmark."
+    | "scheduling" -> "Real rescheduling/unrolling passes re-measured (extension)."
+    | "tables" -> "Echo the configuration tables 2-4."
+    | _ -> "Experiment."
+  in
+  let run warps seed benchmarks csv =
+    let opts = opts_of ~warps ~seed ~benchmarks in
+    print_tables csv (Experiments.Report.tables_of opts artefact)
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ warps_arg $ seed_arg $ benchmarks_arg $ csv_arg)
+
+let all_cmd =
+  let doc = "Regenerate every table and figure." in
+  let run warps seed benchmarks csv =
+    let opts = opts_of ~warps ~seed ~benchmarks in
+    List.iter
+      (fun (_, a) -> print_tables csv (Experiments.Report.tables_of opts a))
+      Experiments.Report.artefact_names
+  in
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const run $ warps_arg $ seed_arg $ benchmarks_arg $ csv_arg)
+
+let kernels_cmd =
+  let doc = "List the benchmarks, or print one kernel's PTX-like code." in
+  let name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Benchmark to print.")
+  in
+  let run = function
+    | None ->
+      let t =
+        Util.Table.create ~title:"Benchmarks (paper Table 1)"
+          ~columns:[ "Name"; "Suite"; "Kernels"; "Static instrs"; "Blocks"; "Description" ]
+      in
+      List.iter
+        (fun (e : Workloads.Registry.entry) ->
+          let ks = Lazy.force e.Workloads.Registry.kernels in
+          let sum f = List.fold_left (fun acc k -> acc + f k) 0 ks in
+          Util.Table.add_row t
+            [
+              e.Workloads.Registry.name;
+              Workloads.Suite.name e.Workloads.Registry.suite;
+              string_of_int (List.length ks);
+              string_of_int (sum Ir.Kernel.instr_count);
+              string_of_int (sum Ir.Kernel.block_count);
+              e.Workloads.Registry.description;
+            ])
+        (Workloads.Registry.all ());
+      Util.Table.print t
+    | Some name ->
+      (match Workloads.Registry.find name with
+       | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
+       | Some e -> print_string (Ir.Kernel.to_string (Lazy.force e.Workloads.Registry.kernel)))
+  in
+  Cmd.v (Cmd.info "kernels" ~doc) Term.(const run $ name_arg)
+
+let lrf_conv =
+  let parse = function
+    | "none" -> Ok Alloc.Config.No_lrf
+    | "unified" -> Ok Alloc.Config.Unified
+    | "split" -> Ok Alloc.Config.Split
+    | s -> Error (`Msg (Printf.sprintf "unknown LRF mode %S (none|unified|split)" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with Alloc.Config.No_lrf -> "none" | Alloc.Config.Unified -> "unified" | Alloc.Config.Split -> "split")
+  in
+  Arg.conv (parse, print)
+
+let allocate_cmd =
+  let doc = "Run the allocator on one benchmark and print the operand placements." in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Benchmark name.")
+  in
+  let entries_arg =
+    Arg.(value & opt int 3 & info [ "entries" ] ~docv:"N" ~doc:"ORF entries per thread (1-8).")
+  in
+  let lrf_arg =
+    Arg.(value & opt lrf_conv Alloc.Config.Split & info [ "lrf" ] ~docv:"MODE" ~doc:"LRF mode.")
+  in
+  let run name entries lrf verbose =
+    setup_logging verbose;
+    match Workloads.Registry.find name with
+    | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
+    | Some e ->
+      let k = Lazy.force e.Workloads.Registry.kernel in
+      let ctx = Alloc.Context.create k in
+      let config = Alloc.Config.make ~orf_entries:entries ~lrf () in
+      let placement, stats = Alloc.Allocator.run config ctx in
+      (match Alloc.Verify.check config ctx placement with
+       | Ok () -> ()
+       | Error errs ->
+         prerr_endline "PLACEMENT FAILED VERIFICATION:";
+         List.iter prerr_endline errs);
+      Printf.printf "%s: %d strands; %d write units, %d read units; %d LRF + %d ORF allocations (%d partial)\n\n"
+        e.Workloads.Registry.name
+        (Strand.Partition.num_strands ctx.Alloc.Context.partition)
+        stats.Alloc.Allocator.write_units stats.Alloc.Allocator.read_units
+        stats.Alloc.Allocator.lrf_allocated stats.Alloc.Allocator.orf_allocated
+        stats.Alloc.Allocator.partial_allocated;
+      Ir.Kernel.iter_instrs k (fun _ i ->
+          let id = i.Ir.Instr.id in
+          let strand = Strand.Partition.strand_of_instr ctx.Alloc.Context.partition id in
+          let boundary =
+            if Strand.Partition.starts_strand ctx.Alloc.Context.partition id then "*" else " "
+          in
+          let dst =
+            match Alloc.Placement.dest placement ~instr:id with
+            | None -> "-"
+            | Some d ->
+              String.concat ""
+                [
+                  (match d.Alloc.Placement.to_lrf with Some bk -> Printf.sprintf "LRF[%d] " bk | None -> "");
+                  (match d.Alloc.Placement.to_orf with Some en -> Printf.sprintf "ORF[%d] " en | None -> "");
+                  (if d.Alloc.Placement.to_mrf then "MRF" else "");
+                ]
+          in
+          let srcs =
+            List.mapi
+              (fun pos _ ->
+                Alloc.Placement.level_name (Alloc.Placement.src placement ~instr:id ~pos))
+              i.Ir.Instr.srcs
+            |> String.concat ","
+          in
+          let fills =
+            Alloc.Placement.fills_of placement ~instr:id
+            |> List.map (fun (p, en) -> Printf.sprintf "fill(slot %d -> ORF[%d])" p en)
+            |> String.concat " "
+          in
+          Printf.printf "s%-3d%s %-40s dst: %-18s srcs: %-24s %s\n" strand boundary
+            (Ir.Instr.to_string i) dst srcs fills)
+  in
+  Cmd.v (Cmd.info "allocate" ~doc)
+    Term.(const run $ name_arg $ entries_arg $ lrf_arg $ verbose_arg)
+
+let selfcheck_cmd =
+  let doc =
+    "Run the allocator and verifier over every benchmark and hierarchy configuration."
+  in
+  let run () =
+    let configs =
+      List.concat_map
+        (fun entries ->
+          List.map
+            (fun lrf -> Alloc.Config.make ~orf_entries:entries ~lrf ())
+            [ Alloc.Config.No_lrf; Alloc.Config.Unified; Alloc.Config.Split ])
+        [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+    in
+    let checked = ref 0 in
+    let failed = ref 0 in
+    List.iter
+      (fun (e : Workloads.Registry.entry) ->
+        List.iter
+          (fun kernel ->
+            let ctx = Alloc.Context.create kernel in
+            List.iter
+              (fun config ->
+                incr checked;
+                let placement = Alloc.Allocator.place config ctx in
+                match Alloc.Verify.check config ctx placement with
+                | Ok () -> ()
+                | Error errs ->
+                  incr failed;
+                  Printf.printf "FAIL %s/%s under %s:\n  %s\n" e.Workloads.Registry.name
+                    kernel.Ir.Kernel.name
+                    (Format.asprintf "%a" Alloc.Config.pp config)
+                    (String.concat "\n  " errs))
+              configs)
+          (Lazy.force e.Workloads.Registry.kernels))
+      (Workloads.Registry.all ());
+    Printf.printf "selfcheck: %d placements verified, %d failures\n" !checked !failed;
+    if !failed > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "selfcheck" ~doc) Term.(const run $ const ())
+
+let trace_cmd =
+  let doc =
+    "Capture a benchmark's execution trace (Sec. 5.1 methodology): dynamic block sequences \
+     per warp plus the control-flow-edge frequency profile."
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Benchmark name.")
+  in
+  let run name warps seed =
+    match Workloads.Registry.find name with
+    | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
+    | Some e ->
+      let k = Lazy.force e.Workloads.Registry.kernel in
+      let trace = Sim.Trace.capture ~warps ~seed k in
+      print_string (Sim.Trace.to_string trace);
+      print_newline ();
+      let t =
+        Util.Table.create ~title:"Control-flow edge frequencies"
+          ~columns:[ "Edge"; "Executions" ]
+      in
+      List.iter
+        (fun ((a, b), n) ->
+          let from_ = if a < 0 then "entry" else Printf.sprintf "BB%d" a in
+          Util.Table.add_row t [ Printf.sprintf "%s -> BB%d" from_ b; string_of_int n ])
+        (Sim.Trace.edge_profile trace);
+      Util.Table.print t
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ name_arg $ warps_arg $ seed_arg)
+
+let compile_cmd =
+  let doc =
+    "Compile a PTX-flavoured assembly file (see Ir.Asm) onto the hierarchy: print strands, \
+     operand placements and the measured energy saving."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly source file.")
+  in
+  let entries_arg =
+    Arg.(value & opt int 3 & info [ "entries" ] ~docv:"N" ~doc:"ORF entries per thread (1-8).")
+  in
+  let lrf_arg =
+    Arg.(value & opt lrf_conv Alloc.Config.Split & info [ "lrf" ] ~docv:"MODE" ~doc:"LRF mode.")
+  in
+  let run file entries lrf warps seed verbose =
+    setup_logging verbose;
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let source = really_input_string ic len in
+    close_in ic;
+    match Ir.Asm.parse ~name:(Filename.remove_extension (Filename.basename file)) source with
+    | Error msg -> prerr_endline ("parse error: " ^ msg); exit 1
+    | Ok kernel ->
+      let ctx = Alloc.Context.create kernel in
+      let config = Alloc.Config.make ~orf_entries:entries ~lrf () in
+      let placement = Alloc.Allocator.place config ctx in
+      (match Alloc.Verify.check config ctx placement with
+       | Ok () -> ()
+       | Error errs ->
+         prerr_endline "PLACEMENT FAILED VERIFICATION:";
+         List.iter prerr_endline errs;
+         exit 1);
+      Ir.Kernel.iter_instrs kernel (fun _ i ->
+          let id = i.Ir.Instr.id in
+          let strand = Strand.Partition.strand_of_instr ctx.Alloc.Context.partition id in
+          let boundary =
+            if Strand.Partition.starts_strand ctx.Alloc.Context.partition id then "*" else " "
+          in
+          let dst =
+            match Alloc.Placement.dest placement ~instr:id with
+            | None -> "-"
+            | Some d ->
+              String.concat ""
+                [
+                  (match d.Alloc.Placement.to_lrf with Some bk -> Printf.sprintf "LRF[%d] " bk | None -> "");
+                  (match d.Alloc.Placement.to_orf with Some en -> Printf.sprintf "ORF[%d] " en | None -> "");
+                  (if d.Alloc.Placement.to_mrf then "MRF" else "");
+                ]
+          in
+          let srcs =
+            List.mapi
+              (fun pos _ ->
+                Alloc.Placement.level_name (Alloc.Placement.src placement ~instr:id ~pos))
+              i.Ir.Instr.srcs
+            |> String.concat ","
+          in
+          Printf.printf "s%-3d%s %-40s dst: %-18s srcs: %s\n" strand boundary
+            (Ir.Instr.to_string i) dst srcs);
+      let traffic =
+        Sim.Traffic.run ~warps ~seed ctx (Sim.Traffic.Sw { config; placement })
+      in
+      let baseline = Sim.Traffic.run ~warps ~seed ctx Sim.Traffic.Baseline in
+      let energy c =
+        (Energy.Counts.energy config.Alloc.Config.params ~orf_entries:entries c)
+          .Energy.Counts.total
+      in
+      let ratio =
+        Util.Stats.ratio (energy traffic.Sim.Traffic.counts) (energy baseline.Sim.Traffic.counts)
+      in
+      Printf.printf "\nnormalized register-file energy: %.3f (%.1f%% saved)\n" ratio
+        (100.0 *. (1.0 -. ratio))
+  in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(const run $ file_arg $ entries_arg $ lrf_arg $ warps_arg $ seed_arg $ verbose_arg)
+
+let () =
+  let doc = "compile-time managed multi-level register file hierarchy (MICRO 2011) reproduction" in
+  let info = Cmd.info "rfh" ~version:"1.0.0" ~doc in
+  let cmds =
+    List.map artefact_cmd Experiments.Report.artefact_names
+    @ [ all_cmd; kernels_cmd; allocate_cmd; compile_cmd; selfcheck_cmd; trace_cmd ]
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/assembly_kernel.ml: Format List Printf Rfh String

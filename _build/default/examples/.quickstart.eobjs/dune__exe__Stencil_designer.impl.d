@@ -1,0 +1,1 @@
+examples/stencil_designer.ml: Format List Rfh

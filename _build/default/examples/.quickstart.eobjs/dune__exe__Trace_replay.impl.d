@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Format List Rfh String

@@ -1,0 +1,1 @@
+examples/worst_case_tuning.ml: List Printf Rfh

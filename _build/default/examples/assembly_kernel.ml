@@ -1,0 +1,59 @@
+(* Writing a kernel as PTX-flavoured assembly text instead of through
+   the OCaml builder: parse, compile onto the hierarchy, inspect the
+   operand placements the compiler chose.
+
+   Run with: dune exec examples/assembly_kernel.exe *)
+
+let source =
+  {|
+.kernel dot3
+// inputs: %ax %ay %az  %bx %by %bz  (vector components in the MRF)
+//         %out %tid
+entry:
+  mul.f32    %t0, %ax, %bx
+  fma.f32    %t1, %ay, %by, %t0
+  fma.f32    %dot, %az, %bz, %t1
+  rsqrt.f32  %inv, %dot
+  mul.f32    %n, %dot, %inv
+  shl.b32    %off, %tid
+  add.s32    %addr, %out, %off
+  st.global  %addr, %n
+  ret
+|}
+
+let () =
+  let kernel = Rfh.Ir.Asm.parse_exn ~name:"dot3" source in
+  Format.printf "parsed:@.%s@." (Rfh.Ir.Asm.to_source kernel);
+  let compiled = Rfh.compile kernel in
+  let placement = compiled.Rfh.placement in
+  print_endline "operand placements:";
+  Rfh.Ir.Kernel.iter_instrs kernel (fun _ i ->
+      let id = i.Rfh.Ir.Instr.id in
+      let dst =
+        match Rfh.Alloc.Placement.dest placement ~instr:id with
+        | None -> "-"
+        | Some d ->
+          String.concat ""
+            [
+              (match d.Rfh.Alloc.Placement.to_lrf with
+               | Some bank -> Printf.sprintf "LRF[%d] " bank
+               | None -> "");
+              (match d.Rfh.Alloc.Placement.to_orf with
+               | Some entry -> Printf.sprintf "ORF[%d] " entry
+               | None -> "");
+              (if d.Rfh.Alloc.Placement.to_mrf then "MRF" else "");
+            ]
+      in
+      let srcs =
+        List.mapi
+          (fun pos _ ->
+            Rfh.Alloc.Placement.level_name (Rfh.Alloc.Placement.src placement ~instr:id ~pos))
+          i.Rfh.Ir.Instr.srcs
+        |> String.concat ", "
+      in
+      Printf.printf "  %-28s -> dst: %-12s srcs: %s\n"
+        (Rfh.Ir.Op.mnemonic i.Rfh.Ir.Instr.op)
+        dst srcs);
+  let m = Rfh.measure ~warps:8 compiled in
+  Format.printf "normalized energy: %.3f (%.1f%% saved)@." m.Rfh.normalized_energy
+    m.Rfh.savings_percent

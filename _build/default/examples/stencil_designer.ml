@@ -1,0 +1,67 @@
+(* Design-space exploration for a 2D stencil kernel: how many ORF
+   entries per thread, and which LRF organisation, minimize register
+   file energy?  This is the workflow of Sec. 6.4, applied to a single
+   application the way an SoC architect would.
+
+   Run with: dune exec examples/stencil_designer.exe *)
+
+module B = Rfh.Ir.Builder
+module Op = Rfh.Ir.Op
+module Cfg = Rfh.Alloc.Config
+
+(* A 9-point weighted stencil: load a 3x3 neighbourhood from shared
+   memory, combine with re-read coefficient parameters, apply an SFU
+   reciprocal normalization, write back. *)
+let stencil_kernel () =
+  let b = B.create "stencil9" in
+  let smem = B.fresh b and out = B.fresh b and tid = B.fresh b in
+  let w0 = B.fresh b and w1 = B.fresh b and w2 = B.fresh b in
+  let head = B.here b in
+  let acc0 = B.op0 b Op.Mov () in
+  let acc =
+    List.fold_left
+      (fun acc w ->
+        (* three neighbours per coefficient row *)
+        List.fold_left
+          (fun acc _ ->
+            let addr = B.op2 b Op.Iadd smem tid in
+            let v = B.op1 b Op.Ld_shared addr in
+            B.op3 b Op.Ffma v w acc)
+          acc [ 0; 1; 2 ])
+      acc0 [ w0; w1; w2 ]
+  in
+  let norm = B.op1 b Op.Rcp acc in
+  let v = B.op2 b Op.Fmul acc norm in
+  let out_addr = B.op2 b Op.Iadd out tid in
+  B.store b Op.St_global ~addr:out_addr ~value:v;
+  let p = B.op1 b Op.Setp v in
+  B.branch b ~pred:p ~target:head (Rfh.Ir.Terminator.Loop 16);
+  let (_ : B.label) = B.here b in
+  B.ret b;
+  B.finalize b
+
+let () =
+  let kernel = stencil_kernel () in
+  let modes = [ ("no LRF", Cfg.No_lrf); ("unified LRF", Cfg.Unified); ("split LRF", Cfg.Split) ] in
+  let table =
+    Rfh.Util.Table.create ~title:"stencil9: normalized RF energy by hierarchy shape"
+      ~columns:("Entries" :: List.map fst modes)
+  in
+  let best = ref (infinity, 0, "") in
+  for entries = 1 to 8 do
+    let row =
+      List.map
+        (fun (name, lrf) ->
+          let config = Cfg.make ~orf_entries:entries ~lrf () in
+          let m = Rfh.measure ~warps:8 (Rfh.compile ~config kernel) in
+          if m.Rfh.normalized_energy < (let e, _, _ = !best in e) then
+            best := (m.Rfh.normalized_energy, entries, name);
+          m.Rfh.normalized_energy)
+        modes
+    in
+    Rfh.Util.Table.add_float_row table (string_of_int entries) row
+  done;
+  Rfh.Util.Table.print table;
+  let e, entries, name = !best in
+  Format.printf "best design: %d ORF entries with %s -> %.3f (%.1f%% saved)@." entries name e
+    (100.0 *. (1.0 -. e))

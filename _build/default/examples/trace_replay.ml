@@ -1,0 +1,44 @@
+(* Trace-driven methodology (paper Sec. 5.1): capture a benchmark's
+   execution once, save the trace, reload it, and drive the energy
+   accounting from the replay — no branch evaluation the second time.
+
+   Run with: dune exec examples/trace_replay.exe *)
+
+let () =
+  let name = "Mandelbrot" in
+  let kernel = Rfh.benchmark name in
+
+  (* 1. Capture: run 8 warps, record their dynamic block sequences. *)
+  let trace = Rfh.Sim.Trace.capture ~warps:8 ~seed:0x5eed kernel in
+  let serialized = Rfh.Sim.Trace.to_string trace in
+  Format.printf "captured %s: %d warps, %d bytes serialized@." name
+    (Rfh.Sim.Trace.warps trace) (String.length serialized);
+
+  (* 2. The edge-frequency profile — what the paper's traces record. *)
+  let profile = Rfh.Sim.Trace.edge_profile trace in
+  Format.printf "control-flow edges: %d distinct, %d executions total@."
+    (List.length profile)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 profile);
+
+  (* 3. Reload and replay: count baseline MRF traffic from the trace
+        alone, then compare with live execution. *)
+  let reloaded =
+    match Rfh.Sim.Trace.of_string serialized with
+    | Ok t -> t
+    | Error msg -> failwith msg
+  in
+  let replay_reads = ref 0 in
+  for w = 0 to Rfh.Sim.Trace.warps reloaded - 1 do
+    Rfh.Sim.Trace.replay reloaded kernel ~warp:w (fun i ->
+        replay_reads := !replay_reads + List.length i.Rfh.Ir.Instr.srcs)
+  done;
+  let ctx = Rfh.Alloc.Context.create kernel in
+  let live = Rfh.Sim.Traffic.run ~warps:8 ~seed:0x5eed ctx Rfh.Sim.Traffic.Baseline in
+  Format.printf "operand reads — replayed: %d, live: %d (%s)@." !replay_reads
+    (Rfh.Energy.Counts.total_reads live.Rfh.Sim.Traffic.counts)
+    (if !replay_reads = Rfh.Energy.Counts.total_reads live.Rfh.Sim.Traffic.counts then
+       "identical" else "MISMATCH");
+
+  (* 4. Synthesize a plausible walk from the profile alone. *)
+  let walk = Rfh.Sim.Trace.synthesize trace kernel ~seed:42 in
+  Format.printf "synthesized walk from the profile: %d block visits@." (List.length walk)

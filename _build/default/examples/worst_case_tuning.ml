@@ -1,0 +1,47 @@
+(* Fixing the paper's worst cases.
+
+   Fig. 15 singles out Reduction and ScalarProd: tight global-load
+   loops whose warps are constantly swapped out, flushing the LRF/ORF.
+   The paper's prescription (Sec. 6.4): "unroll the inner loop and
+   issue all of the long latency instructions at the beginning of the
+   loop".  This example applies exactly that — Transform.Unroll then
+   Transform.Reschedule with load hoisting — and re-measures.
+
+   Run with: dune exec examples/worst_case_tuning.exe *)
+
+let measure kernel =
+  let compiled = Rfh.compile kernel in
+  let m = Rfh.measure ~warps:8 compiled in
+  (m.Rfh.normalized_energy, m.Rfh.traffic.Rfh.Sim.Traffic.desched_events)
+
+let () =
+  let table =
+    Rfh.Util.Table.create
+      ~title:"Worst-case benchmarks under the paper's unroll+hoist prescription"
+      ~columns:
+        [ "Benchmark"; "Energy before"; "Deschedules"; "Energy after"; "Deschedules after" ]
+  in
+  List.iter
+    (fun name ->
+      let k = Rfh.benchmark name in
+      let tuned =
+        Rfh.Transform.Reschedule.kernel ~hoist_loads:true
+          (Rfh.Transform.Unroll.kernel ~factor:4 k)
+      in
+      let before, desched_before = measure k in
+      let after, desched_after = measure tuned in
+      Rfh.Util.Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.3f" before;
+          string_of_int desched_before;
+          Printf.sprintf "%.3f" after;
+          string_of_int desched_after;
+        ])
+    [ "Reduction"; "ScalarProd"; "VectorAdd"; "cp" ];
+  Rfh.Util.Table.print table;
+  print_endline
+    "Unrolling multiplies the loads per strand; hoisting clusters them so their\n\
+     consumers share one deschedule point instead of one per load. Fewer\n\
+     active-set swaps leave the LRF/ORF resident longer, exactly as Sec. 6.4\n\
+     predicts for these kernels."

@@ -1,0 +1,1 @@
+lib/alloc/allocator.ml: Analysis Array Config Context Energy Hashtbl Int Ir List Logs Occupancy Option Placement Savings Strand Util

@@ -1,0 +1,1 @@
+lib/alloc/config.ml: Energy Format Ir Option Printf

@@ -1,0 +1,1 @@
+lib/alloc/config.mli: Energy Format

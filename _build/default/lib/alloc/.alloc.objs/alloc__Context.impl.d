@@ -1,0 +1,1 @@
+lib/alloc/context.ml: Analysis Ir Strand

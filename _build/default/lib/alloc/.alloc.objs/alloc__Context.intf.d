@@ -1,0 +1,1 @@
+lib/alloc/context.mli: Analysis Ir Strand

@@ -1,0 +1,1 @@
+lib/alloc/placement.ml: Array Ir List Option Printf

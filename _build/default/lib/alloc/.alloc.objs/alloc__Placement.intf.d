@@ -1,0 +1,1 @@
+lib/alloc/placement.mli: Ir

@@ -1,0 +1,1 @@
+lib/alloc/savings.ml: Config Energy List

@@ -1,0 +1,1 @@
+lib/alloc/savings.mli: Config Energy

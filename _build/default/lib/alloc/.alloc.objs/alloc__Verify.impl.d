@@ -1,0 +1,1 @@
+lib/alloc/verify.ml: Analysis Array Config Context Ir List Placement Printf Strand

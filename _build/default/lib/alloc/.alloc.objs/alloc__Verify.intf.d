@@ -1,0 +1,1 @@
+lib/alloc/verify.mli: Config Context Placement

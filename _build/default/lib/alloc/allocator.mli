@@ -1,0 +1,37 @@
+(** The greedy energy-driven allocator (paper Sec. 4).
+
+    Pipeline, per strand:
+
+    + Build {e write units} from def-use instances: the value produced
+      by a definition (or by a group of definitions merged at a join,
+      Fig. 10(c)) together with the subset of its reads that are safe
+      to serve from an upper level — same strand and must-defined on
+      every path.  Unsafe reads stay in the MRF and force an MRF copy.
+      Long-latency producers are excluded: their results go straight to
+      the MRF (their consumers begin a new strand).
+    + Build {e read units} (Sec. 4.4) from registers read in the strand
+      whose reaching definitions all lie outside it (including kernel
+      inputs): the first read stays in the MRF and fills an ORF entry;
+      later reads that the first read dominates are served by the ORF.
+    + Phase 1 (Sec. 4.6): allocate LRF-eligible write units to the LRF
+      greedily by savings per occupied issue slot.  Eligibility:
+      private producer, private covered consumers, 32-bit, and — in
+      split mode — a single operand slot across all covered reads.
+    + Phase 2: allocate the rest to the ORF by the same priority,
+      iteratively shortening ranges that do not fit when partial-range
+      allocation (Sec. 4.3) is enabled.
+
+    The result is a {!Placement.t} mapping every operand to a level. *)
+
+type stats = {
+  write_units : int;      (** candidates considered *)
+  read_units : int;
+  lrf_allocated : int;
+  orf_allocated : int;    (** full ranges (write + read units) *)
+  partial_allocated : int;  (** ranges shortened before fitting *)
+}
+
+val run : Config.t -> Context.t -> Placement.t * stats
+
+val place : Config.t -> Context.t -> Placement.t
+(** [run] without the statistics. *)

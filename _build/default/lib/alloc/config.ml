@@ -1,0 +1,26 @@
+type lrf_mode = No_lrf | Unified | Split
+
+type t = {
+  orf_entries : int;
+  lrf : lrf_mode;
+  partial_ranges : bool;
+  read_operands : bool;
+  params : Energy.Params.t;
+  orf_cost_entries : int option;
+  mirror_mrf : bool;
+}
+
+let make ?(orf_entries = 3) ?(lrf = Split) ?(partial_ranges = true) ?(read_operands = true)
+    ?(params = Energy.Params.default) ?orf_cost_entries ?(mirror_mrf = false) () =
+  if orf_entries < 1 || orf_entries > Energy.Params.max_orf_entries then
+    invalid_arg (Printf.sprintf "Alloc.Config.make: orf_entries = %d" orf_entries);
+  { orf_entries; lrf; partial_ranges; read_operands; params; orf_cost_entries; mirror_mrf }
+
+let cost_entries t = Option.value ~default:t.orf_entries t.orf_cost_entries
+
+let lrf_banks t = match t.lrf with No_lrf -> 0 | Unified -> 1 | Split -> Ir.Instr.num_slots
+
+let pp fmt t =
+  let lrf = match t.lrf with No_lrf -> "none" | Unified -> "unified" | Split -> "split" in
+  Format.fprintf fmt "orf=%d lrf=%s partial=%b read-op=%b" t.orf_entries lrf t.partial_ranges
+    t.read_operands

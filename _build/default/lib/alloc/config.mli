@@ -1,0 +1,47 @@
+(** Allocator configuration: hierarchy shape and enabled optimizations. *)
+
+type lrf_mode =
+  | No_lrf   (** two-level hierarchy: ORF + MRF *)
+  | Unified  (** one LRF entry per thread (Sec. 3.2) *)
+  | Split    (** one LRF bank per operand slot A/B/C (Sec. 3.2) *)
+
+type t = {
+  orf_entries : int;    (** ORF entries per thread, 1..8 (Table 3) *)
+  lrf : lrf_mode;
+  partial_ranges : bool;   (** Sec. 4.3 optimization *)
+  read_operands : bool;    (** Sec. 4.4 optimization *)
+  params : Energy.Params.t;
+  orf_cost_entries : int option;
+      (** When set, energy-savings decisions price ORF accesses as if
+          the ORF had this many entries — used by the Sec. 7
+          instruction-scheduling limit study ("an 8-entry ORF at
+          3-entry cost"). *)
+  mirror_mrf : bool;
+      (** Force an MRF copy of every upper-level value.  Required by
+          the Sec. 7 variable-ORF scheme: "there is always a MRF entry
+          reserved for each ORF value", so a warp granted fewer entries
+          than requested can fall back to the MRF. *)
+}
+
+val make :
+  ?orf_entries:int ->
+  ?lrf:lrf_mode ->
+  ?partial_ranges:bool ->
+  ?read_operands:bool ->
+  ?params:Energy.Params.t ->
+  ?orf_cost_entries:int ->
+  ?mirror_mrf:bool ->
+  unit ->
+  t
+(** Defaults: 3 ORF entries, split LRF, both optimizations on, paper
+    parameters — the paper's most energy-efficient configuration
+    (Sec. 6.4).
+    @raise Invalid_argument if [orf_entries] is outside [1, 8]. *)
+
+val cost_entries : t -> int
+(** The Table-3 row used to price ORF accesses. *)
+
+val lrf_banks : t -> int
+(** 0, 1 or 3. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type t = {
+  kernel : Ir.Kernel.t;
+  cfg : Analysis.Cfg.t;
+  dominance : Analysis.Dominance.t;
+  liveness : Analysis.Liveness.t;
+  reaching : Analysis.Reaching.t;
+  duchain : Analysis.Duchain.t;
+  partition : Strand.Partition.t;
+  must_defined : Strand.Must_defined.t;
+}
+
+let create ?boundary_kinds kernel =
+  let cfg = Analysis.Cfg.of_kernel kernel in
+  let dominance = Analysis.Dominance.compute cfg in
+  let liveness = Analysis.Liveness.compute kernel cfg in
+  let reaching = Analysis.Reaching.compute kernel cfg in
+  let duchain = Analysis.Duchain.compute kernel reaching in
+  let partition = Strand.Partition.compute ?kinds:boundary_kinds kernel cfg reaching in
+  let must_defined = Strand.Must_defined.compute kernel cfg partition in
+  { kernel; cfg; dominance; liveness; reaching; duchain; partition; must_defined }

@@ -1,0 +1,17 @@
+(** All compiler analyses of one kernel, computed once and shared by
+    the allocator, the verifier and the simulator. *)
+
+type t = {
+  kernel : Ir.Kernel.t;
+  cfg : Analysis.Cfg.t;
+  dominance : Analysis.Dominance.t;
+  liveness : Analysis.Liveness.t;
+  reaching : Analysis.Reaching.t;
+  duchain : Analysis.Duchain.t;
+  partition : Strand.Partition.t;
+  must_defined : Strand.Must_defined.t;
+}
+
+val create : ?boundary_kinds:Strand.Partition.boundary_kinds -> Ir.Kernel.t -> t
+(** [boundary_kinds] selects the strand-boundary model (default: the
+    paper's full definition); the Sec. 7 limit studies relax it. *)

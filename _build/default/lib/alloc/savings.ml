@@ -1,0 +1,38 @@
+let upper_read_energy (cfg : Config.t) target dp =
+  match target with
+  | `Orf -> Energy.Model.read_energy cfg.Config.params ~orf_entries:(Config.cost_entries cfg) Energy.Model.Orf dp
+  | `Lrf -> Energy.Model.read_energy cfg.Config.params ~orf_entries:1 Energy.Model.Lrf dp
+
+let upper_write_energy (cfg : Config.t) target dp =
+  match target with
+  | `Orf -> Energy.Model.write_energy cfg.Config.params ~orf_entries:(Config.cost_entries cfg) Energy.Model.Orf dp
+  | `Lrf -> Energy.Model.write_energy cfg.Config.params ~orf_entries:1 Energy.Model.Lrf dp
+
+let mrf_read_energy (cfg : Config.t) dp =
+  Energy.Model.read_energy cfg.Config.params ~orf_entries:1 Energy.Model.Mrf dp
+
+let mrf_write_energy (cfg : Config.t) dp =
+  Energy.Model.write_energy cfg.Config.params ~orf_entries:1 Energy.Model.Mrf dp
+
+let write_unit cfg ~target ~producer_dp ~reads ~mrf_write_required =
+  let read_savings =
+    List.fold_left
+      (fun acc dp -> acc +. (mrf_read_energy cfg dp -. upper_read_energy cfg target dp))
+      0.0 reads
+  in
+  let savings = read_savings -. upper_write_energy cfg target producer_dp in
+  if mrf_write_required then savings else savings +. mrf_write_energy cfg producer_dp
+
+let read_unit cfg ~reads =
+  match reads with
+  | [] | [ _ ] -> neg_infinity
+  | first_dp :: rest ->
+    let read_savings =
+      List.fold_left
+        (fun acc dp -> acc +. (mrf_read_energy cfg dp -. upper_read_energy cfg `Orf dp))
+        0.0 rest
+    in
+    (* The fill write is charged at the first consumer's datapath. *)
+    read_savings -. upper_write_energy cfg `Orf first_dp
+
+let priority ~savings ~first ~last = savings /. float_of_int (max 1 (last - first))

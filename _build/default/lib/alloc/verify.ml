@@ -1,0 +1,157 @@
+(* Abstract cell contents: Bottom = unknown/stale. *)
+type cell = Bottom | Holds of Ir.Reg.t
+
+type state = {
+  orf : cell array;
+  lrf : cell array;
+  mrf_ok : bool array;  (* per register: MRF copy is current *)
+}
+
+let equal_state a b = a.orf = b.orf && a.lrf = b.lrf && a.mrf_ok = b.mrf_ok
+
+let copy_state s = { orf = Array.copy s.orf; lrf = Array.copy s.lrf; mrf_ok = Array.copy s.mrf_ok }
+
+let meet_into ~dst src =
+  let meet_cells d s = Array.iteri (fun i c -> if d.(i) <> c then d.(i) <- Bottom) s in
+  meet_cells dst.orf src.orf;
+  meet_cells dst.lrf src.lrf;
+  Array.iteri (fun i ok -> if not ok then dst.mrf_ok.(i) <- false) src.mrf_ok
+
+let check (config : Config.t) (ctx : Context.t) (placement : Placement.t) =
+  let k = ctx.Context.kernel in
+  let errors = ref [] in
+  let error fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (match Placement.check_shape k placement with
+   | Ok () -> ()
+   | Error msg -> error "%s" msg);
+  let nb = Ir.Kernel.block_count k in
+  let nr = k.Ir.Kernel.num_regs in
+  let orf_entries = config.Config.orf_entries in
+  let lrf_banks = Config.lrf_banks config in
+  let fresh_state () =
+    {
+      orf = Array.make (max orf_entries 1) Bottom;
+      lrf = Array.make (max lrf_banks 1) Bottom;
+      mrf_ok = Array.make nr true;  (* kernel inputs live in the MRF *)
+    }
+  in
+  let entry_states : state option array = Array.make nb None in
+  entry_states.(0) <- Some (fresh_state ());
+  let invalidate_holding cells r =
+    Array.iteri (fun i c -> if c = Holds r then cells.(i) <- Bottom) cells
+  in
+  let clear cells = Array.fill cells 0 (Array.length cells) Bottom in
+  (* Transfer one instruction; [report] enables error emission (only on
+     the final pass so the fixpoint iterations stay silent). *)
+  let transfer ~report st (i : Ir.Instr.t) =
+    let id = i.Ir.Instr.id in
+    if Strand.Partition.starts_strand ctx.Context.partition id then begin
+      clear st.orf;
+      clear st.lrf
+    end;
+    let fills = Placement.fills_of placement ~instr:id in
+    List.iteri
+      (fun pos r ->
+        match Placement.src placement ~instr:id ~pos with
+        | Placement.From_mrf ->
+          if report && not st.mrf_ok.(r) then
+            error "instr %d slot %d: MRF read of %s but the MRF copy is stale" id pos
+              (Ir.Reg.to_string r)
+        | Placement.From_orf e ->
+          if e < 0 || e >= orf_entries then begin
+            if report then error "instr %d slot %d: ORF entry %d out of range" id pos e
+          end
+          else if st.orf.(e) <> Holds r && report then
+            error "instr %d slot %d: ORF[%d] does not hold %s on every path" id pos e
+              (Ir.Reg.to_string r)
+        | Placement.From_lrf b ->
+          if Ir.Op.is_shared_datapath i.Ir.Instr.op && report then
+            error "instr %d slot %d: shared-datapath LRF read" id pos;
+          if b < 0 || b >= lrf_banks then begin
+            if report then error "instr %d slot %d: LRF bank %d out of range" id pos b
+          end
+          else begin
+            if config.Config.lrf = Config.Split && b <> pos && report then
+              error "instr %d slot %d: split LRF read from bank %d" id pos b;
+            if st.lrf.(b) <> Holds r && report then
+              error "instr %d slot %d: LRF[%d] does not hold %s on every path" id pos b
+                (Ir.Reg.to_string r)
+          end)
+      i.Ir.Instr.srcs;
+    (* Fills execute with the instruction's MRF reads. *)
+    List.iter
+      (fun (pos, e) ->
+        match List.nth_opt i.Ir.Instr.srcs pos with
+        | None -> if report then error "instr %d: fill on missing slot %d" id pos
+        | Some r ->
+          (match Placement.src placement ~instr:id ~pos with
+           | Placement.From_mrf -> ()
+           | Placement.From_orf _ | Placement.From_lrf _ ->
+             if report then error "instr %d slot %d: fill source is not an MRF read" id pos);
+          if report && not st.mrf_ok.(r) then
+            error "instr %d slot %d: fill of %s from a stale MRF copy" id pos (Ir.Reg.to_string r);
+          if e >= 0 && e < orf_entries then st.orf.(e) <- Holds r
+          else if report then error "instr %d: fill into ORF entry %d out of range" id e)
+      fills;
+    (* Destination. *)
+    match i.Ir.Instr.dst, Placement.dest placement ~instr:id with
+    | None, _ -> ()
+    | Some _, None -> if report then error "instr %d: missing destination placement" id
+    | Some d, Some dest ->
+      invalidate_holding st.orf d;
+      invalidate_holding st.lrf d;
+      st.mrf_ok.(d) <- dest.Placement.to_mrf;
+      if Ir.Instr.is_long_latency i
+         && (dest.Placement.to_lrf <> None || dest.Placement.to_orf <> None || not dest.Placement.to_mrf)
+         && report
+      then error "instr %d: long-latency result must be written to the MRF only" id;
+      (match dest.Placement.to_orf with
+       | Some e when e >= 0 && e < orf_entries -> st.orf.(e) <- Holds d
+       | Some e -> if report then error "instr %d: destination ORF entry %d out of range" id e
+       | None -> ());
+      (match dest.Placement.to_lrf with
+       | Some b when b >= 0 && b < lrf_banks ->
+         if Ir.Op.is_shared_datapath i.Ir.Instr.op && report then
+           error "instr %d: shared-datapath LRF write" id;
+         st.lrf.(b) <- Holds d
+       | Some b -> if report then error "instr %d: destination LRF bank %d out of range" id b
+       | None -> ())
+  in
+  let transfer_block ~report l st =
+    Array.iter (fun i -> transfer ~report st i) k.Ir.Kernel.blocks.(l).Ir.Block.instrs;
+    st
+  in
+  (* Fixpoint over block-entry states. *)
+  let changed = ref true in
+  let guard = ref 0 in
+  while !changed && !guard < 10 * (nb + 1) do
+    changed := false;
+    incr guard;
+    for l = 0 to nb - 1 do
+      match entry_states.(l) with
+      | None -> ()
+      | Some entry ->
+        let out = transfer_block ~report:false l (copy_state entry) in
+        List.iter
+          (fun s ->
+            match entry_states.(s) with
+            | None ->
+              entry_states.(s) <- Some (copy_state out);
+              changed := true
+            | Some prev ->
+              let merged = copy_state prev in
+              meet_into ~dst:merged out;
+              if not (equal_state merged prev) then begin
+                entry_states.(s) <- Some merged;
+                changed := true
+              end)
+          ctx.Context.cfg.Analysis.Cfg.succs.(l)
+    done
+  done;
+  (* Final reporting pass. *)
+  for l = 0 to nb - 1 do
+    match entry_states.(l) with
+    | None -> ()  (* unreachable *)
+    | Some entry -> ignore (transfer_block ~report:true l (copy_state entry))
+  done;
+  match !errors with [] -> Ok () | errs -> Error (List.rev errs)

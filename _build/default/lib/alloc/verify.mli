@@ -1,0 +1,20 @@
+(** Placement soundness checker.
+
+    Replays a {!Placement.t} abstractly over the CFG and verifies the
+    compiler's contract:
+
+    - an ORF/LRF source always reads an entry that holds the current
+      value of that register on {e every} incoming path;
+    - an MRF source always reads an up-to-date MRF copy (or a kernel
+      input never written by the kernel);
+    - ORF/LRF contents never survive a strand boundary;
+    - the LRF is produced and consumed only by the private datapath,
+      and in split mode only through the bank matching the operand
+      slot;
+    - long-latency results go to the MRF only;
+    - fills read the filled register from the MRF in the same slot.
+
+    Used both as a unit-test oracle and as a qcheck property over
+    randomly generated kernels. *)
+
+val check : Config.t -> Context.t -> Placement.t -> (unit, string list) result

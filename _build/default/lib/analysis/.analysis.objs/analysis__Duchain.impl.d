@@ -1,0 +1,1 @@
+lib/analysis/duchain.ml: Hashtbl Ir List Option Reaching

@@ -1,0 +1,1 @@
+lib/analysis/duchain.mli: Ir Reaching

@@ -1,0 +1,1 @@
+lib/analysis/postdom.ml: Array Cfg Ir List

@@ -1,0 +1,1 @@
+lib/analysis/pressure.ml: Cfg Hashtbl Ir List Liveness Option

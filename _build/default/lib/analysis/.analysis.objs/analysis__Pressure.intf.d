@@ -1,0 +1,1 @@
+lib/analysis/pressure.mli: Cfg Ir Liveness

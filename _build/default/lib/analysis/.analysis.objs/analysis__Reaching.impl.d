@@ -1,0 +1,1 @@
+lib/analysis/reaching.ml: Array Cfg Ir List Option Util

@@ -1,0 +1,63 @@
+type t = {
+  num_blocks : int;
+  succs : int list array;
+  preds : int list array;
+}
+
+let of_kernel (k : Ir.Kernel.t) =
+  let num_blocks = Ir.Kernel.block_count k in
+  let succs = Array.make num_blocks [] in
+  let preds = Array.make num_blocks [] in
+  Array.iter
+    (fun (b : Ir.Block.t) ->
+      let ss = Ir.Terminator.successors b.Ir.Block.term ~at:b.Ir.Block.label ~num_blocks in
+      succs.(b.Ir.Block.label) <- ss;
+      List.iter (fun s -> preds.(s) <- b.Ir.Block.label :: preds.(s)) ss)
+    k.Ir.Kernel.blocks;
+  Array.iteri (fun i ps -> preds.(i) <- List.rev ps) preds;
+  { num_blocks; succs; preds }
+
+let reachable t =
+  let seen = Array.make t.num_blocks false in
+  let rec visit b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter visit t.succs.(b)
+    end
+  in
+  if t.num_blocks > 0 then visit 0;
+  seen
+
+let postorder t =
+  let seen = Array.make t.num_blocks false in
+  let order = ref [] in
+  let rec visit b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter visit t.succs.(b);
+      order := b :: !order
+    end
+  in
+  if t.num_blocks > 0 then visit 0;
+  (* [order] currently holds reverse postorder (last finished first). *)
+  List.rev !order
+
+let reverse_postorder t = Array.of_list (List.rev (postorder t))
+
+let rpo_index t =
+  let rpo = reverse_postorder t in
+  let index = Array.make t.num_blocks (-1) in
+  Array.iteri (fun i b -> index.(b) <- i) rpo;
+  index
+
+let backward_edges t =
+  let acc = ref [] in
+  for src = t.num_blocks - 1 downto 0 do
+    List.iter (fun dst -> if dst <= src then acc := (src, dst) :: !acc) t.succs.(src)
+  done;
+  !acc
+
+let backward_targets t =
+  let targets = Array.make t.num_blocks false in
+  List.iter (fun (_, dst) -> targets.(dst) <- true) (backward_edges t);
+  targets

@@ -1,0 +1,28 @@
+(** Control-flow graph over a kernel's basic blocks. *)
+
+type t = {
+  num_blocks : int;
+  succs : int list array;
+  preds : int list array;
+}
+
+val of_kernel : Ir.Kernel.t -> t
+
+val reachable : t -> bool array
+(** Reachability from the entry (block 0). *)
+
+val reverse_postorder : t -> int array
+(** Reverse postorder of the blocks reachable from the entry. *)
+
+val rpo_index : t -> int array
+(** [rpo_index.(b)] is the position of block [b] in reverse postorder;
+    [-1] for unreachable blocks. *)
+
+val backward_edges : t -> (int * int) list
+(** Layout-order backward edges [(src, dst)] with [dst <= src] — the
+    paper's "backwards branch" notion (Sec. 4.1), which is defined on
+    code layout, not on dominance. *)
+
+val backward_targets : t -> bool array
+(** [backward_targets.(b)] iff some backward edge targets [b]; such
+    blocks must begin a new strand. *)

@@ -1,0 +1,103 @@
+type read = { read_instr : int; slot : int }
+
+type instance = {
+  def : int;
+  reg : Ir.Reg.t;
+  reads : read list;
+  group : int;
+}
+
+type t = {
+  instance_list : instance list;
+  by_def : (int, instance) Hashtbl.t;
+  by_group : (int, instance list) Hashtbl.t;
+  inputs : (Ir.Reg.t * read list) list;
+  multi_read_defs : (int, unit) Hashtbl.t;  (* defs with a shared read *)
+}
+
+(* Union-find over definition ids. *)
+module Uf = struct
+  type t = (int, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let rec find t x =
+    match Hashtbl.find_opt t x with
+    | None ->
+      Hashtbl.add t x x;
+      x
+    | Some p when p = x -> x
+    | Some p ->
+      let root = find t p in
+      Hashtbl.replace t x root;
+      root
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then Hashtbl.replace t rb ra
+end
+
+let compute (k : Ir.Kernel.t) (reaching : Reaching.t) =
+  let reads_of_def : (int, read list) Hashtbl.t = Hashtbl.create 64 in
+  let input_reads : (Ir.Reg.t, read list) Hashtbl.t = Hashtbl.create 16 in
+  let uf = Uf.create () in
+  let multi = Hashtbl.create 16 in
+  Ir.Kernel.iter_instrs k (fun _ i ->
+      List.iteri
+        (fun slot r ->
+          let read = { read_instr = i.Ir.Instr.id; slot } in
+          match Reaching.reaching_before reaching ~instr_id:i.Ir.Instr.id r with
+          | [] ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt input_reads r) in
+            Hashtbl.replace input_reads r (read :: prev)
+          | [ d ] ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt reads_of_def d) in
+            Hashtbl.replace reads_of_def d (read :: prev)
+          | d :: rest ->
+            List.iter
+              (fun d' ->
+                Uf.union uf d d';
+                Hashtbl.replace multi d' ())
+              (d :: rest);
+            Hashtbl.replace multi d ();
+            List.iter
+              (fun d' ->
+                let prev = Option.value ~default:[] (Hashtbl.find_opt reads_of_def d') in
+                Hashtbl.replace reads_of_def d' (read :: prev))
+              (d :: rest))
+        i.Ir.Instr.srcs);
+  let by_def = Hashtbl.create 64 in
+  let by_group = Hashtbl.create 64 in
+  let instance_list = ref [] in
+  Ir.Kernel.iter_instrs k (fun _ i ->
+      Option.iter
+        (fun reg ->
+          let def = i.Ir.Instr.id in
+          let reads =
+            Option.value ~default:[] (Hashtbl.find_opt reads_of_def def) |> List.rev
+          in
+          let group = Uf.find uf def in
+          let inst = { def; reg; reads; group } in
+          Hashtbl.add by_def def inst;
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_group group) in
+          Hashtbl.replace by_group group (inst :: prev);
+          instance_list := inst :: !instance_list)
+        i.Ir.Instr.dst);
+  Hashtbl.iter (fun g insts -> Hashtbl.replace by_group g (List.rev insts)) by_group;
+  let inputs =
+    Hashtbl.fold (fun r reads acc -> (r, List.rev reads) :: acc) input_reads []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    instance_list = List.rev !instance_list;
+    by_def;
+    by_group;
+    inputs;
+    multi_read_defs = multi;
+  }
+
+let instances t = t.instance_list
+let instance_of_def t d = Hashtbl.find_opt t.by_def d
+let group_members t g = Option.value ~default:[] (Hashtbl.find_opt t.by_group g)
+let input_reads t = t.inputs
+let reads_of_instance_multi t inst = Hashtbl.mem t.multi_read_defs inst.def

@@ -1,0 +1,43 @@
+(** Def-use chains over register instances.
+
+    An {e instance} is one definition site together with every read it
+    reaches — the paper's "register instance" that the allocator places
+    in the hierarchy (Fig. 7).  Reads reached by several definitions
+    (values merged at hammock join points, Fig. 10(c)) link those
+    definitions into a shared {e group}: either every definition of the
+    group targets the same ORF entry, or the merged reads fall back to
+    the MRF. *)
+
+type read = {
+  read_instr : int;  (** reading instruction id *)
+  slot : int;        (** operand slot index: 0 = A, 1 = B, 2 = C *)
+}
+
+type instance = {
+  def : int;            (** defining instruction id *)
+  reg : Ir.Reg.t;
+  reads : read list;    (** layout order; may be empty (dead value) *)
+  group : int;          (** instances sharing any read share a group id *)
+}
+
+type t
+
+val compute : Ir.Kernel.t -> Reaching.t -> t
+
+val instances : t -> instance list
+(** All instances in layout order of their definitions. *)
+
+val instance_of_def : t -> int -> instance option
+(** Look up by defining instruction id. *)
+
+val group_members : t -> int -> instance list
+(** All instances in the given group. *)
+
+val input_reads : t -> (Ir.Reg.t * read list) list
+(** Reads with no reaching in-kernel definition, grouped by register:
+    kernel inputs pre-loaded in the MRF.  These are candidates for
+    read-operand allocation (paper Sec. 4.4). *)
+
+val reads_of_instance_multi : t -> instance -> bool
+(** [true] iff some read of this instance is also reached by another
+    definition (i.e. the group is non-trivial for that read). *)

@@ -1,0 +1,21 @@
+(** Backward liveness over architectural registers.
+
+    The RFC baseline uses this as the "static liveness information
+    encoded in the program binary" that elides writebacks of dead
+    values (paper Sec. 2.2); the allocator uses it for live-out tests
+    at strand boundaries. *)
+
+type t
+
+val compute : Ir.Kernel.t -> Cfg.t -> t
+
+val live_in : t -> int -> Ir.Reg.Set.t
+(** Live registers at block entry. *)
+
+val live_out : t -> int -> Ir.Reg.Set.t
+(** Live registers at block exit. *)
+
+val live_after_instr : t -> instr_id:int -> Ir.Reg.t -> bool
+(** Is the register live immediately after the given instruction
+    (i.e. might some path still read the value it holds)?  O(1):
+    per-instruction sets are precomputed. *)

@@ -1,0 +1,19 @@
+(** Post-dominator tree, computed as dominance over the reversed CFG
+    with a virtual exit joining all [Ret] blocks.
+
+    Used by the SIMT divergence executor: a divergent branch's
+    reconvergence point is the branch block's immediate post-dominator
+    (the standard stack-based reconvergence of GPU hardware, implied by
+    the paper's baseline SM of Sec. 2). *)
+
+type t
+
+val compute : Ir.Kernel.t -> Cfg.t -> t
+
+val ipdom : t -> int -> int option
+(** Immediate post-dominator block; [None] when the block exits the
+    kernel directly or cannot reach an exit. *)
+
+val postdominates : t -> int -> int -> bool
+(** [postdominates t a b]: every path from [b] to the kernel exit
+    passes through [a].  Reflexive. *)

@@ -1,0 +1,30 @@
+type t = {
+  registers_used : int;
+  max_live : int;
+  max_live_instr : int;
+}
+
+let compute (k : Ir.Kernel.t) (cfg : Cfg.t) (liveness : Liveness.t) =
+  ignore cfg;
+  let used = Hashtbl.create 32 in
+  Ir.Kernel.iter_instrs k (fun _ i ->
+      List.iter (fun r -> Hashtbl.replace used r ()) i.Ir.Instr.srcs;
+      Option.iter (fun r -> Hashtbl.replace used r ()) i.Ir.Instr.dst);
+  let max_live = ref 0 in
+  let max_at = ref 0 in
+  Ir.Kernel.iter_instrs k (fun _ i ->
+      (* Count registers live just after each instruction. *)
+      let n = ref 0 in
+      for r = 0 to k.Ir.Kernel.num_regs - 1 do
+        if Liveness.live_after_instr liveness ~instr_id:i.Ir.Instr.id r then incr n
+      done;
+      if !n > !max_live then begin
+        max_live := !n;
+        max_at := i.Ir.Instr.id
+      end);
+  { registers_used = Hashtbl.length used; max_live = !max_live; max_live_instr = !max_at }
+
+let resident_warps ?(mrf_bytes = 128 * 1024) ?(threads_per_warp = 32) ?(bytes_per_reg = 4)
+    registers =
+  if registers <= 0 then max_int
+  else mrf_bytes / (registers * bytes_per_reg * threads_per_warp)

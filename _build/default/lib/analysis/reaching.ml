@@ -1,0 +1,98 @@
+type t = {
+  kernel : Ir.Kernel.t;
+  def_sites : int list array;              (* per register, layout order *)
+  block_in : Util.Bitset.t array;          (* def-site sets at block entry *)
+  block_out : Util.Bitset.t array;
+  def_index : int array;                   (* instr id -> dense def index, or -1 *)
+  def_by_index : int array;                (* dense def index -> instr id *)
+}
+
+let compute (k : Ir.Kernel.t) (cfg : Cfg.t) =
+  let nb = Ir.Kernel.block_count k in
+  let nr = k.Ir.Kernel.num_regs in
+  (* Dense numbering of definition sites. *)
+  let def_index = Array.make (Ir.Kernel.instr_count k) (-1) in
+  let defs = ref [] in
+  let ndefs = ref 0 in
+  Ir.Kernel.iter_instrs k (fun _ i ->
+      if Option.is_some i.Ir.Instr.dst then begin
+        def_index.(i.Ir.Instr.id) <- !ndefs;
+        defs := i.Ir.Instr.id :: !defs;
+        incr ndefs
+      end);
+  let def_by_index = Array.of_list (List.rev !defs) in
+  let nd = !ndefs in
+  let def_sites = Array.make nr [] in
+  Ir.Kernel.iter_instrs k (fun _ i ->
+      Option.iter (fun r -> def_sites.(r) <- i.Ir.Instr.id :: def_sites.(r)) i.Ir.Instr.dst);
+  Array.iteri (fun r l -> def_sites.(r) <- List.rev l) def_sites;
+  (* gen/kill per block. *)
+  let gen = Array.init nb (fun _ -> Util.Bitset.create nd) in
+  let kill = Array.init nb (fun _ -> Util.Bitset.create nd) in
+  Array.iter
+    (fun (b : Ir.Block.t) ->
+      let l = b.Ir.Block.label in
+      Array.iter
+        (fun (i : Ir.Instr.t) ->
+          Option.iter
+            (fun r ->
+              (* This def kills all other defs of r and generates itself. *)
+              List.iter
+                (fun d ->
+                  let di = def_index.(d) in
+                  if d <> i.Ir.Instr.id then begin
+                    Util.Bitset.set kill.(l) di;
+                    Util.Bitset.clear gen.(l) di
+                  end)
+                def_sites.(r);
+              Util.Bitset.set gen.(l) def_index.(i.Ir.Instr.id);
+              Util.Bitset.clear kill.(l) def_index.(i.Ir.Instr.id))
+            i.Ir.Instr.dst)
+        b.Ir.Block.instrs)
+    k.Ir.Kernel.blocks;
+  let block_in = Array.init nb (fun _ -> Util.Bitset.create nd) in
+  let block_out = Array.init nb (fun _ -> Util.Bitset.create nd) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to nb - 1 do
+      let inb = Util.Bitset.create nd in
+      List.iter (fun p -> ignore (Util.Bitset.union_into ~dst:inb block_out.(p))) cfg.Cfg.preds.(b);
+      if not (Util.Bitset.equal inb block_in.(b)) then begin
+        changed := true;
+        block_in.(b) <- inb
+      end;
+      let out = Util.Bitset.copy block_in.(b) in
+      ignore (Util.Bitset.diff_into ~dst:out kill.(b));
+      ignore (Util.Bitset.union_into ~dst:out gen.(b));
+      if not (Util.Bitset.equal out block_out.(b)) then begin
+        changed := true;
+        block_out.(b) <- out
+      end
+    done
+  done;
+  { kernel = k; def_sites; block_in; block_out; def_index; def_by_index }
+
+let defs_of_reg t r = t.def_sites.(r)
+
+let reaching_before t ~instr_id r =
+  let k = t.kernel in
+  let block = Ir.Kernel.block_of k instr_id in
+  (* Walk the block from its top, tracking the last in-block def of r. *)
+  let b = k.Ir.Kernel.blocks.(block) in
+  let last_def = ref None in
+  (try
+     Array.iter
+       (fun (i : Ir.Instr.t) ->
+         if i.Ir.Instr.id >= instr_id then raise Exit;
+         if i.Ir.Instr.dst = Some r then last_def := Some i.Ir.Instr.id)
+       b.Ir.Block.instrs
+   with Exit -> ());
+  match !last_def with
+  | Some d -> [ d ]
+  | None ->
+    List.filter (fun d -> Util.Bitset.mem t.block_in.(block) t.def_index.(d)) t.def_sites.(r)
+
+let reaches_block_end t ~block ~def =
+  let di = t.def_index.(def) in
+  di >= 0 && Util.Bitset.mem t.block_out.(block) di

@@ -1,0 +1,23 @@
+(** Reaching definitions.
+
+    A definition site is the id of an instruction that writes a
+    register.  The kernel's code is pseudo-SSA PTX (paper Sec. 4.2):
+    most registers have one definition, but hammocks and loop-carried
+    updates redefine, so reads can be reached by several definitions —
+    the allocator's forward-branch cases (Fig. 10). *)
+
+type t
+
+val compute : Ir.Kernel.t -> Cfg.t -> t
+
+val defs_of_reg : t -> Ir.Reg.t -> int list
+(** All definition sites of a register, in layout order. *)
+
+val reaching_before : t -> instr_id:int -> Ir.Reg.t -> int list
+(** Definition sites of the register that reach the program point just
+    before the instruction.  The empty list means the register is a
+    kernel input (pre-loaded in the MRF) on at least every path —
+    callers treat "no in-kernel def reaches" as an input read. *)
+
+val reaches_block_end : t -> block:int -> def:int -> bool
+(** Does the definition reach the exit of the given block? *)

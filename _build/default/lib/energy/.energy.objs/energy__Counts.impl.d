@@ -1,0 +1,1 @@
+lib/energy/counts.ml: Array Format List Model

@@ -1,0 +1,1 @@
+lib/energy/counts.mli: Format Model Params

@@ -1,0 +1,28 @@
+type model = {
+  rf_fraction_of_sm : float;
+  sm_fraction_of_chip : float;
+  fetch_decode_fraction : float;
+  baseline_instruction_bits : int;
+}
+
+(* 54% RF saving = 8.3% of SM dynamic power => RF is 8.3/54 = 15.4% of
+   the SM, the middle of the paper's "15-20%" range; 8.3% SM = 5.8%
+   chip => SMs are 5.8/8.3 = 70% of chip dynamic power. *)
+let paper =
+  {
+    rf_fraction_of_sm = 0.083 /. 0.54;
+    sm_fraction_of_chip = 0.058 /. 0.083;
+    fetch_decode_fraction = 0.10;
+    baseline_instruction_bits = 32;
+  }
+
+let sm_saving m ~rf_saving = rf_saving *. m.rf_fraction_of_sm
+
+let chip_saving m ~rf_saving = sm_saving m ~rf_saving *. m.sm_fraction_of_chip
+
+let encoding_overhead m ~extra_bits =
+  m.fetch_decode_fraction
+  *. (float_of_int extra_bits /. float_of_int m.baseline_instruction_bits)
+
+let net_chip_saving m ~rf_saving ~extra_bits =
+  chip_saving m ~rf_saving -. encoding_overhead m ~extra_bits

@@ -1,0 +1,31 @@
+(** Chip-level dynamic-power arithmetic (paper Secs. 6.4 and 6.5).
+
+    The paper maps register-file energy savings to SM- and chip-level
+    numbers with the high-level GPU power model of its prior work: the
+    register file system is 15–20% of SM dynamic power, and a 54% RF
+    saving corresponds to 8.3% of SM dynamic power and 5.8% of
+    chip-wide dynamic power; instruction fetch/decode is ~10% of
+    chip-wide dynamic power and scales linearly with instruction
+    bits. *)
+
+type model = {
+  rf_fraction_of_sm : float;     (** RF system share of SM dynamic power *)
+  sm_fraction_of_chip : float;   (** SM share of chip dynamic power *)
+  fetch_decode_fraction : float; (** fetch+decode share of chip power *)
+  baseline_instruction_bits : int;
+}
+
+val paper : model
+(** Calibrated so the paper's published correspondences hold:
+    54% RF saving = 8.3% SM = 5.8% chip; fetch/decode 10% of chip. *)
+
+val sm_saving : model -> rf_saving:float -> float
+(** SM-level dynamic-power saving for a given RF-energy saving. *)
+
+val chip_saving : model -> rf_saving:float -> float
+
+val encoding_overhead : model -> extra_bits:int -> float
+(** Chip-level cost of widening every instruction by [extra_bits]
+    (linear fetch/decode growth). *)
+
+val net_chip_saving : model -> rf_saving:float -> extra_bits:int -> float

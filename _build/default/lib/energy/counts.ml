@@ -1,0 +1,74 @@
+let levels = [| Model.Mrf; Model.Orf; Model.Rfc; Model.Lrf |]
+let num_levels = Array.length levels
+
+let level_index = function Model.Mrf -> 0 | Model.Orf -> 1 | Model.Rfc -> 2 | Model.Lrf -> 3
+let dp_index = function Model.Private -> 0 | Model.Shared -> 1
+
+type t = {
+  reads : int array;   (* level * datapath *)
+  writes : int array;
+  mutable probes : int;
+}
+
+let cell level dp = (level_index level * 2) + dp_index dp
+
+let create () = { reads = Array.make (num_levels * 2) 0; writes = Array.make (num_levels * 2) 0; probes = 0 }
+
+let copy t = { reads = Array.copy t.reads; writes = Array.copy t.writes; probes = t.probes }
+
+let merge_into ~dst src =
+  Array.iteri (fun i v -> dst.reads.(i) <- dst.reads.(i) + v) src.reads;
+  Array.iteri (fun i v -> dst.writes.(i) <- dst.writes.(i) + v) src.writes;
+  dst.probes <- dst.probes + src.probes
+
+let add_read t level dp ?(n = 1) () = t.reads.(cell level dp) <- t.reads.(cell level dp) + n
+let add_write t level dp ?(n = 1) () = t.writes.(cell level dp) <- t.writes.(cell level dp) + n
+let add_rfc_probe t ?(n = 1) () = t.probes <- t.probes + n
+
+let reads t level = t.reads.(cell level Model.Private) + t.reads.(cell level Model.Shared)
+let writes t level = t.writes.(cell level Model.Private) + t.writes.(cell level Model.Shared)
+let reads_dp t level dp = t.reads.(cell level dp)
+let writes_dp t level dp = t.writes.(cell level dp)
+let rfc_probes t = t.probes
+
+let total_reads t = Array.fold_left ( + ) 0 t.reads
+let total_writes t = Array.fold_left ( + ) 0 t.writes
+
+type level_energy = { level : Model.level; access : float; wire : float }
+
+type breakdown = { levels : level_energy list; total : float }
+
+let energy params ~orf_entries t =
+  let level_breakdown level =
+    let acc = ref 0.0 and wire = ref 0.0 in
+    List.iter
+      (fun dp ->
+        let r = float_of_int t.reads.(cell level dp) in
+        let w = float_of_int t.writes.(cell level dp) in
+        acc := !acc +. (r *. Model.access_only_read params ~orf_entries level)
+               +. (w *. Model.access_only_write params ~orf_entries level);
+        wire := !wire +. (r *. Model.wire_only_read params level dp)
+                +. (w *. Model.wire_only_write params level dp))
+      (match level with
+       | Model.Lrf ->
+         if t.reads.(cell Model.Lrf Model.Shared) <> 0
+            || t.writes.(cell Model.Lrf Model.Shared) <> 0
+         then invalid_arg "Energy.Counts: LRF accessed from the shared datapath";
+         [ Model.Private ]
+       | _ -> [ Model.Private; Model.Shared ]);
+    if level = Model.Rfc then
+      acc := !acc +. (float_of_int t.probes *. Model.rfc_probe_energy params);
+    { level; access = !acc; wire = !wire }
+  in
+  let per_level = Array.to_list (Array.map level_breakdown levels) in
+  let total = List.fold_left (fun s le -> s +. le.access +. le.wire) 0.0 per_level in
+  { levels = per_level; total }
+
+let pp fmt t =
+  Array.iter
+    (fun level ->
+      let r = reads t level and w = writes t level in
+      if r <> 0 || w <> 0 then
+        Format.fprintf fmt "%s: %dR/%dW  " (Model.level_name level) r w)
+    levels;
+  if t.probes <> 0 then Format.fprintf fmt "RFC-probes: %d" t.probes

@@ -1,0 +1,45 @@
+(** Register-file access counters and their conversion to energy.
+
+    One count unit is one warp-instruction operand access: 8 clusters
+    each performing a 128-bit bank access.  The factor 8 is constant
+    across all configurations and cancels in normalized results, so
+    counts are converted with per-128-bit energies directly. *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+val merge_into : dst:t -> t -> unit
+
+val add_read : t -> Model.level -> Model.datapath -> ?n:int -> unit -> unit
+val add_write : t -> Model.level -> Model.datapath -> ?n:int -> unit -> unit
+
+val add_rfc_probe : t -> ?n:int -> unit -> unit
+(** RFC tag lookups that miss (tag energy, no data access). *)
+
+val reads : t -> Model.level -> int
+(** Total reads of a level across both datapaths. *)
+
+val writes : t -> Model.level -> int
+
+val reads_dp : t -> Model.level -> Model.datapath -> int
+val writes_dp : t -> Model.level -> Model.datapath -> int
+val rfc_probes : t -> int
+val total_reads : t -> int
+val total_writes : t -> int
+
+type level_energy = {
+  level : Model.level;
+  access : float;  (** bank access energy, pJ *)
+  wire : float;    (** operand distribution wire energy, pJ *)
+}
+
+type breakdown = {
+  levels : level_energy list;  (** MRF, ORF, RFC, LRF in that order *)
+  total : float;
+}
+
+val energy : Params.t -> orf_entries:int -> t -> breakdown
+(** [orf_entries] selects the Table-3 row used for ORF/RFC accesses. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+type datapath = Private | Shared
+
+type level = Mrf | Orf | Rfc | Lrf
+
+let level_name = function Mrf -> "MRF" | Orf -> "ORF" | Rfc -> "RFC" | Lrf -> "LRF"
+
+let pp_level fmt l = Format.pp_print_string fmt (level_name l)
+
+let distance (p : Params.t) level datapath =
+  match level, datapath with
+  | Mrf, Private -> p.Params.dist_mrf_private
+  | Mrf, Shared -> p.Params.dist_mrf_shared
+  | (Orf | Rfc), Private -> p.Params.dist_orf_private
+  | (Orf | Rfc), Shared -> p.Params.dist_orf_shared
+  | Lrf, Private -> p.Params.dist_lrf_private
+  | Lrf, Shared -> invalid_arg "Energy.Model: the LRF is not wired to the shared datapath"
+
+let access_only_read (p : Params.t) ~orf_entries = function
+  | Mrf -> p.Params.mrf_read
+  | Orf -> Params.orf_read_energy p ~entries:orf_entries
+  | Rfc -> Params.orf_read_energy p ~entries:orf_entries +. p.Params.rfc_tag_read
+  | Lrf -> p.Params.lrf_read
+
+let access_only_write (p : Params.t) ~orf_entries = function
+  | Mrf -> p.Params.mrf_write
+  | Orf -> Params.orf_write_energy p ~entries:orf_entries
+  | Rfc -> Params.orf_write_energy p ~entries:orf_entries +. p.Params.rfc_tag_write
+  | Lrf -> p.Params.lrf_write
+
+let wire_only_read p level datapath = Params.wire_energy_128 p ~mm:(distance p level datapath)
+let wire_only_write p level datapath = Params.wire_energy_128 p ~mm:(distance p level datapath)
+
+let read_energy p ~orf_entries level datapath =
+  access_only_read p ~orf_entries level +. wire_only_read p level datapath
+
+let write_energy p ~orf_entries level datapath =
+  access_only_write p ~orf_entries level +. wire_only_write p level datapath
+
+let rfc_probe_energy (p : Params.t) = p.Params.rfc_tag_read

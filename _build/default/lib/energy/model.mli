@@ -1,0 +1,35 @@
+(** Per-access energy, combining bank access energy with operand wire
+    energy (Sec. 5.2).
+
+    Reads pay the wire from the structure to the consuming datapath;
+    writes pay the wire from the producing datapath to the structure.
+    The LRF is wired only to the private ALUs (Sec. 3.2), so a
+    shared-datapath LRF access is a programming error here. *)
+
+type datapath = Private | Shared
+
+type level =
+  | Mrf
+  | Orf  (** software-managed; energy depends on the configured size *)
+  | Rfc  (** hardware cache: ORF-sized banks plus tag overhead *)
+  | Lrf
+
+val read_energy : Params.t -> orf_entries:int -> level -> datapath -> float
+(** @raise Invalid_argument for [Lrf, Shared]. *)
+
+val write_energy : Params.t -> orf_entries:int -> level -> datapath -> float
+(** @raise Invalid_argument for [Lrf, Shared]. *)
+
+val rfc_probe_energy : Params.t -> float
+(** Tag-check energy of an RFC lookup that misses (no data read). *)
+
+val access_only_read : Params.t -> orf_entries:int -> level -> float
+(** Bank access energy without wire (for Fig. 14's access/wire split). *)
+
+val access_only_write : Params.t -> orf_entries:int -> level -> float
+
+val wire_only_read : Params.t -> level -> datapath -> float
+val wire_only_write : Params.t -> level -> datapath -> float
+
+val pp_level : Format.formatter -> level -> unit
+val level_name : level -> string

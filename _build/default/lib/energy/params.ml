@@ -1,0 +1,50 @@
+type t = {
+  mrf_read : float;
+  mrf_write : float;
+  orf_read : float array;
+  orf_write : float array;
+  lrf_read : float;
+  lrf_write : float;
+  wire_pj_per_mm_32b : float;
+  lanes_per_access : int;
+  dist_mrf_private : float;
+  dist_orf_private : float;
+  dist_lrf_private : float;
+  dist_mrf_shared : float;
+  dist_orf_shared : float;
+  rfc_tag_read : float;
+  rfc_tag_write : float;
+}
+
+let max_orf_entries = 8
+
+let default =
+  {
+    mrf_read = 8.0;
+    mrf_write = 11.0;
+    (* Table 3: per-128-bit ORF access energy for 1..8 entries/thread. *)
+    orf_read = [| 0.7; 1.2; 1.2; 1.9; 2.0; 2.0; 2.4; 3.4 |];
+    orf_write = [| 2.0; 3.8; 4.4; 6.1; 6.0; 6.7; 7.7; 10.9 |];
+    lrf_read = 0.7;
+    lrf_write = 2.0;
+    wire_pj_per_mm_32b = 1.9;
+    lanes_per_access = 4;
+    (* Table 4 distances in mm. *)
+    dist_mrf_private = 1.0;
+    dist_orf_private = 0.2;
+    dist_lrf_private = 0.05;
+    dist_mrf_shared = 1.0;
+    dist_orf_shared = 0.4;
+    rfc_tag_read = 0.2;
+    rfc_tag_write = 0.2;
+  }
+
+let tagless = { default with rfc_tag_read = 0.0; rfc_tag_write = 0.0 }
+
+let clamp_entries entries =
+  if entries < 1 then 1 else if entries > max_orf_entries then max_orf_entries else entries
+
+let orf_read_energy t ~entries = t.orf_read.(clamp_entries entries - 1)
+let orf_write_energy t ~entries = t.orf_write.(clamp_entries entries - 1)
+
+let wire_energy_128 t ~mm = float_of_int t.lanes_per_access *. t.wire_pj_per_mm_32b *. mm

@@ -1,0 +1,47 @@
+(** Energy-model parameters: the paper's Tables 3 and 4.
+
+    All access energies are per 128-bit access (one 4-thread bank
+    operation); wire energy is per 32-bit value and millimetre, so a
+    128-bit access moving to the 4 lanes of a cluster pays
+    [lanes_per_access] times the per-32-bit wire energy.
+
+    The RFC tag energies are not in the paper's tables (its RFC numbers
+    come from the same synthesis flow); we charge a small per-access
+    tag overhead on the hardware cache to reflect the tag storage and
+    comparison the software scheme elides (Sec. 6.4 credits the SW
+    scheme for exactly this).  Setting them to 0 recovers a
+    tag-free RFC. *)
+
+type t = {
+  mrf_read : float;   (** 8 pJ / 128-bit read (Table 4) *)
+  mrf_write : float;  (** 11 pJ / 128-bit write (Table 4) *)
+  orf_read : float array;   (** Table 3, indexed by entries-per-thread - 1 (1..8) *)
+  orf_write : float array;  (** Table 3 *)
+  lrf_read : float;   (** 0.7 pJ (Table 4) *)
+  lrf_write : float;  (** 2.0 pJ (Table 4) *)
+  wire_pj_per_mm_32b : float;   (** 1.9 pJ/mm for 32 bits (Table 4) *)
+  lanes_per_access : int;       (** 4 lanes share a 128-bit bank entry *)
+  dist_mrf_private : float;     (** mm, Table 4 *)
+  dist_orf_private : float;
+  dist_lrf_private : float;
+  dist_mrf_shared : float;
+  dist_orf_shared : float;
+  rfc_tag_read : float;   (** pJ per RFC lookup (hit or miss) *)
+  rfc_tag_write : float;  (** pJ per RFC fill *)
+}
+
+val default : t
+(** The paper's published values; RFC tag overhead 0.2/0.2 pJ. *)
+
+val tagless : t
+(** [default] with zero RFC tag overhead (for ablation). *)
+
+val orf_read_energy : t -> entries:int -> float
+(** Clamps entries to [1, 8] (Table 3's range). *)
+
+val orf_write_energy : t -> entries:int -> float
+
+val wire_energy_128 : t -> mm:float -> float
+(** Wire energy for distributing one 128-bit access over [mm]. *)
+
+val max_orf_entries : int

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Alloc Energy List Options Printf Sim Sweep Util

@@ -1,0 +1,1 @@
+lib/experiments/access_breakdown.ml: Energy List Sweep Util

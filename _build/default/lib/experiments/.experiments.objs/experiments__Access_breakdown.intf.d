@@ -1,0 +1,1 @@
+lib/experiments/access_breakdown.mli: Options Util

@@ -1,0 +1,1 @@
+lib/experiments/config_tables.ml: Energy Ir Printf Util

@@ -1,0 +1,1 @@
+lib/experiments/divergence.ml: Alloc Energy List Options Printf Sim Sweep Util Workloads

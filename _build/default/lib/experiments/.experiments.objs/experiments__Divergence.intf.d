@@ -1,0 +1,1 @@
+lib/experiments/divergence.mli: Options Util

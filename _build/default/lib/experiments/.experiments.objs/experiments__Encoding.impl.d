@@ -1,0 +1,1 @@
+lib/experiments/encoding.ml: Alloc Energy Ir List Options Printf Strand Sweep Util Workloads

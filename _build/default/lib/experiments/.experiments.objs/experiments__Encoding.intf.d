@@ -1,0 +1,1 @@
+lib/experiments/encoding.mli: Options Util

@@ -1,0 +1,1 @@
+lib/experiments/energy_breakdown.ml: Energy List Options Sweep Util Workloads

@@ -1,0 +1,1 @@
+lib/experiments/energy_breakdown.mli: Options Util

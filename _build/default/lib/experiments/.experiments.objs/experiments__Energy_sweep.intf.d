@@ -1,0 +1,1 @@
+lib/experiments/energy_sweep.mli: Options Sweep Util

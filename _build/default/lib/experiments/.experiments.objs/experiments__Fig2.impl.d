@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Lazy List Options Sim Util Workloads

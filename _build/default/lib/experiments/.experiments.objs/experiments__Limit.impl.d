@@ -1,0 +1,1 @@
+lib/experiments/limit.ml: Alloc Array Energy Lazy List Options Printf Sim Strand Sweep Util Workloads

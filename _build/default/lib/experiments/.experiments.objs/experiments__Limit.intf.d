@@ -1,0 +1,1 @@
+lib/experiments/limit.mli: Options Util

@@ -1,0 +1,1 @@
+lib/experiments/options.ml: Energy List Printf Workloads

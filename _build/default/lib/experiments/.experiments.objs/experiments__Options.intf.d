@@ -1,0 +1,1 @@
+lib/experiments/options.mli: Energy Workloads

@@ -1,0 +1,1 @@
+lib/experiments/per_benchmark.ml: List Options Printf Sweep Util Workloads

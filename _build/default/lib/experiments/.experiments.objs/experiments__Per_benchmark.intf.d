@@ -1,0 +1,1 @@
+lib/experiments/per_benchmark.mli: Options Util

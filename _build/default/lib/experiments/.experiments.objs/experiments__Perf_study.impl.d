@@ -1,0 +1,1 @@
+lib/experiments/perf_study.ml: Hashtbl List Options Sim Sweep Util Workloads

@@ -1,0 +1,1 @@
+lib/experiments/perf_study.mli: Options Sim Util

@@ -1,0 +1,1 @@
+lib/experiments/pressure_study.ml: Alloc Analysis List Options Sweep Util Workloads

@@ -1,0 +1,1 @@
+lib/experiments/pressure_study.mli: Options Util

@@ -1,0 +1,1 @@
+lib/experiments/scheduling.ml: Alloc Energy Fun Ir Lazy List Options Printf Sim String Transform Util Workloads

@@ -1,0 +1,1 @@
+lib/experiments/scheduling.mli: Options Util

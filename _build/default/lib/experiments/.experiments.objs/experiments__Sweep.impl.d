@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Alloc Array Energy Hashtbl Lazy List Marshal Options Sim Util Workloads

@@ -1,0 +1,1 @@
+lib/experiments/sweep.mli: Alloc Energy Options Sim Workloads

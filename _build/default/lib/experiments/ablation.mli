@@ -1,0 +1,17 @@
+(** Allocator ablation: the contribution of each Sec. 4 optimization.
+
+    The paper attributes a 3–4 point efficiency improvement to
+    partial-range (4.3) plus read-operand (4.4) allocation over the
+    baseline greedy algorithm (Sec. 6.4).  This driver measures each
+    optimization in isolation and combined, for both the two-level and
+    the best three-level configuration, plus the split-vs-unified LRF
+    choice (Sec. 6.3) and the RFC tag-energy assumption. *)
+
+type variant = {
+  label : string;
+  normalized_energy : float;
+  delta_vs_full : float;  (** percentage points lost vs. the full design *)
+}
+
+val compute : ?entries:int -> Options.t -> variant list
+val table : ?entries:int -> Options.t -> Util.Table.t

@@ -1,0 +1,53 @@
+let entries_range = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let level_pct rows level =
+  match List.assoc_opt level rows with Some v -> 100.0 *. v | None -> 0.0
+
+(* One table: rows = entry counts, columns = per-level percentages for
+   the HW and SW schemes being compared. *)
+let breakdown_table opts ~title ~hw ~sw ~with_lrf direction =
+  let columns =
+    [ "Entries" ]
+    @ (if with_lrf then [ "HW LRF%" ] else [])
+    @ [ "HW RFC%"; "HW MRF%" ]
+    @ (if with_lrf then [ "SW LRF%" ] else [])
+    @ [ "SW ORF%"; "SW MRF%"; "HW total%"; "SW total%" ]
+  in
+  let t = Util.Table.create ~title ~columns in
+  List.iter
+    (fun entries ->
+      let hw_rows = Sweep.mean_access_ratio opts hw ~entries direction in
+      let sw_rows = Sweep.mean_access_ratio opts sw ~entries direction in
+      let hw_cells =
+        (if with_lrf then [ level_pct hw_rows Energy.Model.Lrf ] else [])
+        @ [ level_pct hw_rows Energy.Model.Rfc; level_pct hw_rows Energy.Model.Mrf ]
+      in
+      let sw_cells =
+        (if with_lrf then [ level_pct sw_rows Energy.Model.Lrf ] else [])
+        @ [ level_pct sw_rows Energy.Model.Orf; level_pct sw_rows Energy.Model.Mrf ]
+      in
+      let total rows = List.fold_left (fun acc (_, v) -> acc +. (100.0 *. v)) 0.0 rows in
+      Util.Table.add_float_row t (string_of_int entries) ~decimals:1
+        (hw_cells @ sw_cells @ [ total hw_rows; total sw_rows ]))
+    entries_range;
+  t
+
+let fig11_tables opts =
+  [
+    breakdown_table opts
+      ~title:"Figure 11(a): two-level hierarchy reads (% of baseline reads)"
+      ~hw:Sweep.Hw_two ~sw:Sweep.Sw_two ~with_lrf:false `Reads;
+    breakdown_table opts
+      ~title:"Figure 11(b): two-level hierarchy writes (% of baseline writes)"
+      ~hw:Sweep.Hw_two ~sw:Sweep.Sw_two ~with_lrf:false `Writes;
+  ]
+
+let fig12_tables opts =
+  [
+    breakdown_table opts
+      ~title:"Figure 12(a): three-level hierarchy reads (% of baseline reads)"
+      ~hw:Sweep.Hw_three ~sw:Sweep.Sw_three_split ~with_lrf:true `Reads;
+    breakdown_table opts
+      ~title:"Figure 12(b): three-level hierarchy writes (% of baseline writes)"
+      ~hw:Sweep.Hw_three ~sw:Sweep.Sw_three_split ~with_lrf:true `Writes;
+  ]

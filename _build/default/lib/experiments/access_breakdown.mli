@@ -1,0 +1,12 @@
+(** Figures 11 and 12: reads and writes to each level of the hierarchy,
+    normalized to the single-level baseline, for 1-8 upper-level
+    entries per thread.
+
+    Figure 11 compares the two-level organisations (HW RFC vs SW ORF);
+    Figure 12 the three-level ones (HW LRF+RFC vs SW split LRF+ORF).
+    HW read bars above 100% are the writeback reads the hardware cache
+    performs on eviction and flush — the overhead the software scheme
+    eliminates. *)
+
+val fig11_tables : Options.t -> Util.Table.t list
+val fig12_tables : Options.t -> Util.Table.t list

@@ -1,0 +1,47 @@
+let table2 () =
+  let t =
+    Util.Table.create ~title:"Table 2: simulation parameters" ~columns:[ "Parameter"; "Value" ]
+  in
+  let row p v = Util.Table.add_row t [ p; v ] in
+  row "Execution model" "in-order";
+  row "Execution width" "32-wide SIMT (1 warp instruction/cycle)";
+  row "Machine-resident warps" "32";
+  row "ALU latency" (Printf.sprintf "%d cycles" (Ir.Op.latency Ir.Op.Fadd));
+  row "Special function latency" (Printf.sprintf "%d cycles" (Ir.Op.latency Ir.Op.Sqrt));
+  row "Shared memory latency" (Printf.sprintf "%d cycles" (Ir.Op.latency Ir.Op.Ld_shared));
+  row "Texture latency" (Printf.sprintf "%d cycles" (Ir.Op.latency Ir.Op.Tex_fetch));
+  row "DRAM latency" (Printf.sprintf "%d cycles" (Ir.Op.latency Ir.Op.Ld_global));
+  row "Shared-datapath issue rate" (Printf.sprintf "1 per %d cycles" (Ir.Op.issue_cycles Ir.Op.Sqrt));
+  t
+
+let table3 (p : Energy.Params.t) =
+  let t =
+    Util.Table.create ~title:"Table 3: ORF access energy per 128 bits (pJ)"
+      ~columns:[ "Entries"; "Read"; "Write" ]
+  in
+  for entries = 1 to Energy.Params.max_orf_entries do
+    Util.Table.add_row t
+      [
+        string_of_int entries;
+        Printf.sprintf "%.1f" (Energy.Params.orf_read_energy p ~entries);
+        Printf.sprintf "%.1f" (Energy.Params.orf_write_energy p ~entries);
+      ]
+  done;
+  t
+
+let table4 (p : Energy.Params.t) =
+  let t =
+    Util.Table.create ~title:"Table 4: energy-model parameters" ~columns:[ "Parameter"; "Value" ]
+  in
+  let row n v = Util.Table.add_row t [ n; v ] in
+  row "MRF read / write energy" (Printf.sprintf "%.0f / %.0f pJ" p.Energy.Params.mrf_read p.Energy.Params.mrf_write);
+  row "LRF read / write energy" (Printf.sprintf "%.1f / %.0f pJ" p.Energy.Params.lrf_read p.Energy.Params.lrf_write);
+  row "MRF distance to private" (Printf.sprintf "%.2f mm" p.Energy.Params.dist_mrf_private);
+  row "ORF distance to private" (Printf.sprintf "%.2f mm" p.Energy.Params.dist_orf_private);
+  row "LRF distance to private" (Printf.sprintf "%.2f mm" p.Energy.Params.dist_lrf_private);
+  row "MRF distance to shared" (Printf.sprintf "%.2f mm" p.Energy.Params.dist_mrf_shared);
+  row "ORF distance to shared" (Printf.sprintf "%.2f mm" p.Energy.Params.dist_orf_shared);
+  row "Wire energy (32 bits)" (Printf.sprintf "%.1f pJ/mm" p.Energy.Params.wire_pj_per_mm_32b);
+  row "RFC tag read / write overhead"
+    (Printf.sprintf "%.1f / %.1f pJ" p.Energy.Params.rfc_tag_read p.Energy.Params.rfc_tag_write);
+  t

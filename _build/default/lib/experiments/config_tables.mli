@@ -1,0 +1,7 @@
+(** Echoes of the paper's configuration tables: Table 2 (simulation
+    parameters as wired into the simulator), Table 3 (ORF energy by
+    size) and Table 4 (wire and MRF/LRF model parameters). *)
+
+val table2 : unit -> Util.Table.t
+val table3 : Energy.Params.t -> Util.Table.t
+val table4 : Energy.Params.t -> Util.Table.t

@@ -1,0 +1,21 @@
+(** Divergence sensitivity (extension beyond the paper).
+
+    The paper counts register-file traffic per warp instruction, which
+    is exact for convergent execution.  Under thread divergence an
+    operand access only activates the 4-lane clusters holding live
+    threads, so both the baseline and the hierarchy see fewer bank
+    accesses.  This experiment replays each benchmark through the SIMT
+    executor with per-thread branch outcomes and asks whether the
+    paper's headline ratio survives: it does, because divergence scales
+    the numerator and denominator almost uniformly. *)
+
+type row = {
+  name : string;
+  simd_efficiency : float;
+  divergent_branches : int;
+  uniform_ratio : float;    (** SW/baseline energy, warp-uniform accounting *)
+  divergent_ratio : float;  (** same, cluster-weighted divergent accounting *)
+}
+
+val compute : ?entries:int -> Options.t -> row list
+val table : ?entries:int -> Options.t -> Util.Table.t

@@ -1,0 +1,23 @@
+(** Sec. 6.5: instruction-encoding energy overhead.
+
+    The software scheme adds (a) operand-level bits and (b) one
+    end-of-strand bit per instruction.  Following the paper's
+    high-level model: instruction fetch+decode is ~10% of chip dynamic
+    power and grows linearly with instruction bits; the register file
+    is ~10.7% of chip dynamic power (54% RF savings = 5.8% chip-wide in
+    the paper).  The best case hides the level bits in the unused
+    register namespace (1 extra bit); the worst case spends 4 namespace
+    bits + 1 strand bit (a 15% fetch/decode increase). *)
+
+type result = {
+  rf_saving : float;           (** measured RF energy saving, 0..1 *)
+  chip_saving : float;         (** chip-level saving before overhead *)
+  best_case_overhead : float;  (** chip-level, 1 extra bit *)
+  worst_case_overhead : float; (** chip-level, 5 extra bits *)
+  net_best : float;
+  net_worst : float;
+  strand_bits_per_instr : float;  (** measured strands / static instrs *)
+}
+
+val compute : ?entries:int -> Options.t -> result
+val table : ?entries:int -> Options.t -> Util.Table.t

@@ -1,0 +1,46 @@
+let components ?(entries = 3) (opts : Options.t) =
+  (* Mean per-benchmark (component / baseline-total). *)
+  let per_bench (e : Workloads.Registry.entry) =
+    let base = (Sweep.run opts e Sweep.Baseline ~entries:1).Sweep.energy.Energy.Counts.total in
+    let bd = (Sweep.run opts e Sweep.Sw_three_split ~entries).Sweep.energy in
+    List.map
+      (fun (le : Energy.Counts.level_energy) ->
+        (le.Energy.Counts.level, Util.Stats.ratio le.Energy.Counts.access base,
+         Util.Stats.ratio le.Energy.Counts.wire base))
+      bd.Energy.Counts.levels
+  in
+  let rows = List.map per_bench opts.Options.benchmarks in
+  match rows with
+  | [] -> []
+  | first :: _ ->
+    List.mapi
+      (fun i (level, _, _) ->
+        let acc = Util.Stats.mean (List.map (fun r -> let _, a, _ = List.nth r i in a) rows) in
+        let wire = Util.Stats.mean (List.map (fun r -> let _, _, w = List.nth r i in w) rows) in
+        (level, acc, wire))
+      first
+
+let table ?entries opts =
+  let t =
+    Util.Table.create
+      ~title:
+        "Figure 14: energy breakdown of the most efficient design (SW split LRF), normalized to baseline"
+      ~columns:[ "Level"; "Access"; "Wire"; "Total" ]
+  in
+  List.iter
+    (fun (level, access, wire) ->
+      if access +. wire > 0.0 then
+        Util.Table.add_float_row t (Energy.Model.level_name level) ~decimals:4
+          [ access; wire; access +. wire ])
+    (components ?entries opts);
+  t
+
+let mrf_share ?entries opts =
+  let comps = components ?entries opts in
+  let total = List.fold_left (fun acc (_, a, w) -> acc +. a +. w) 0.0 comps in
+  let mrf =
+    List.fold_left
+      (fun acc (level, a, w) -> if level = Energy.Model.Mrf then acc +. a +. w else acc)
+      0.0 comps
+  in
+  Util.Stats.ratio mrf total

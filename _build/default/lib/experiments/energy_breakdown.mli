@@ -1,0 +1,9 @@
+(** Figure 14: where the remaining energy goes in the most efficient
+    configuration (3-entry ORF, split LRF): per-level access vs wire
+    energy, normalized to the single-level baseline. *)
+
+val table : ?entries:int -> Options.t -> Util.Table.t
+
+val mrf_share : ?entries:int -> Options.t -> float
+(** Fraction of the remaining energy spent on the MRF — the paper
+    observes roughly two thirds. *)

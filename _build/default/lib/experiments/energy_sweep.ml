@@ -1,0 +1,23 @@
+let entries_range = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let schemes = [ Sweep.Hw_two; Sweep.Hw_three; Sweep.Sw_two; Sweep.Sw_three_unified; Sweep.Sw_three_split ]
+
+let table opts =
+  let t =
+    Util.Table.create
+      ~title:"Figure 13: normalized access+wire energy vs entries per thread (1.0 = single-level RF)"
+      ~columns:("Entries" :: List.map Sweep.scheme_name schemes)
+  in
+  List.iter
+    (fun entries ->
+      let row = List.map (fun s -> Sweep.mean_energy_ratio opts s ~entries) schemes in
+      Util.Table.add_float_row t (string_of_int entries) ~decimals:3 row)
+    entries_range;
+  t
+
+let best opts scheme =
+  List.fold_left
+    (fun (be, bv) entries ->
+      let v = Sweep.mean_energy_ratio opts scheme ~entries in
+      if v < bv then (entries, v) else (be, bv))
+    (0, infinity) entries_range

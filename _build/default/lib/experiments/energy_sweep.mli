@@ -1,0 +1,9 @@
+(** Figure 13: normalized register-file access + wire energy of each
+    organisation as a function of upper-level entries per thread. *)
+
+val table : Options.t -> Util.Table.t
+
+val best : Options.t -> Sweep.scheme -> int * float
+(** Best entry count and its normalized energy for a scheme — the
+    paper's headline points (SW split LRF at 3 entries: 0.46x; HW at
+    3: 0.66x; HW LRF at 6: 0.59x). *)

@@ -1,0 +1,74 @@
+let suite_stats (opts : Options.t) suite =
+  let entries =
+    List.filter (fun (e : Workloads.Registry.entry) -> e.Workloads.Registry.suite = suite)
+      opts.Options.benchmarks
+  in
+  Sim.Value_trace.merge
+    (List.concat_map
+       (fun (e : Workloads.Registry.entry) ->
+         List.map
+           (Sim.Value_trace.collect ~warps:(min 4 opts.Options.warps) ~seed:opts.Options.seed)
+           (Lazy.force e.Workloads.Registry.kernels))
+       entries)
+
+let suites_of (opts : Options.t) =
+  List.filter
+    (fun s ->
+      List.exists (fun (e : Workloads.Registry.entry) -> e.Workloads.Registry.suite = s)
+        opts.Options.benchmarks)
+    Workloads.Suite.all
+
+let percent_row stats bucket_of buckets =
+  let h = bucket_of stats in
+  List.map (fun pred -> 100.0 *. Util.Stats.hfraction h pred) buckets
+
+let tables opts =
+  let suites = suites_of opts in
+  let reads_table =
+    let t =
+      Util.Table.create ~title:"Figure 2(a): percent of all values, by times read"
+        ~columns:[ "Suite"; "Read 0"; "Read 1"; "Read 2"; "Read >2" ]
+    in
+    List.iter
+      (fun s ->
+        let stats = suite_stats opts s in
+        let row =
+          percent_row stats
+            (fun st -> st.Sim.Value_trace.read_counts)
+            [ (fun n -> n = 0); (fun n -> n = 1); (fun n -> n = 2); (fun n -> n > 2) ]
+        in
+        Util.Table.add_float_row t (Workloads.Suite.name s) ~decimals:1 row)
+      suites;
+    t
+  in
+  let lifetime_table =
+    let t =
+      Util.Table.create
+        ~title:"Figure 2(b): lifetime (instructions) of values read exactly once (percent)"
+        ~columns:[ "Suite"; "Lifetime 1"; "Lifetime 2"; "Lifetime 3"; "Lifetime >3" ]
+    in
+    List.iter
+      (fun s ->
+        let stats = suite_stats opts s in
+        let row =
+          percent_row stats
+            (fun st -> st.Sim.Value_trace.lifetimes_read_once)
+            [ (fun n -> n = 1); (fun n -> n = 2); (fun n -> n = 3); (fun n -> n > 3) ]
+        in
+        Util.Table.add_float_row t (Workloads.Suite.name s) ~decimals:1 row)
+      suites;
+    t
+  in
+  [ reads_table; lifetime_table ]
+
+let read_once_fraction (opts : Options.t) =
+  let stats =
+    Sim.Value_trace.merge
+      (List.concat_map
+         (fun (e : Workloads.Registry.entry) ->
+           List.map
+             (Sim.Value_trace.collect ~warps:(min 4 opts.Options.warps) ~seed:opts.Options.seed)
+             (Lazy.force e.Workloads.Registry.kernels))
+         opts.Options.benchmarks)
+  in
+  Util.Stats.hfraction stats.Sim.Value_trace.read_counts (fun n -> n = 1)

@@ -1,0 +1,11 @@
+(** Figure 2: register-value usage patterns per suite.
+
+    (a) how many times each dynamic value written to the register file
+    is read (0 / 1 / 2 / more); (b) the lifetime, in instructions, of
+    values read exactly once. *)
+
+val tables : Options.t -> Util.Table.t list
+
+val read_once_fraction : Options.t -> float
+(** Fraction of all values (across the workload set) read exactly
+    once — the paper reports up to ~70%. *)

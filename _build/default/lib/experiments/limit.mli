@@ -1,0 +1,43 @@
+(** Sec. 7: the register-hierarchy limit study.
+
+    All results are normalized energies (1.0 = single-level baseline):
+
+    - [ideal_all_lrf]: every operand served by the LRF (paper: 0.13x) —
+      an unreachable bound since the LRF is tiny and flushed at
+      strand boundaries;
+    - [ideal_all_orf]: every operand served by a 5-entry ORF
+      (paper: 0.39x);
+    - [variable_orf_oracle]: per-strand oracle choice of ORF size
+      against the fixed 3-entry design (paper: ~6% better);
+    - [variable_orf_realistic]: the same idea under a realistic
+      round-robin scheduler with a shared physical pool and MRF
+      mirroring ({!Sim.Variable_orf}) — the paper predicts "a realistic
+      scheduler would perform worse than our oracle scheduler";
+    - [hw_backward_flush_delta]: hardware RFC flushed at backward
+      branches vs values persisting across them (paper: ~5%);
+    - [sw_past_backward]: software allocation allowed to keep values in
+      the ORF across backward branches;
+    - [sw_never_flush]: deschedules do not invalidate the ORF/LRF and
+      every resident warp keeps entries (paper: ~8% better, ignoring
+      the larger structures this would need);
+    - [scheduling_ideal]: an 8-entry ORF priced at 3-entry cost — the
+      upper bound for intra-block rescheduling (paper: ~9% better) —
+      plus the realistic 5-entries-at-3-entry-cost variant
+      (paper: ~6%). *)
+
+type result = {
+  fixed_best : float;            (** SW split LRF, 3 entries *)
+  ideal_all_lrf : float;
+  ideal_all_orf : float;
+  variable_orf_oracle : float;
+  variable_orf_realistic : float;
+  hw_flush_backward : float;     (** HW RFC, flush at backward branches *)
+  hw_keep_backward : float;      (** HW RFC, values persist (default) *)
+  sw_past_backward : float;
+  sw_never_flush : float;
+  scheduling_ideal_8at3 : float;
+  scheduling_real_5at5 : float;
+}
+
+val compute : Options.t -> result
+val table : Options.t -> Util.Table.t

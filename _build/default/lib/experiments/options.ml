@@ -1,0 +1,22 @@
+type t = {
+  warps : int;
+  seed : int;
+  params : Energy.Params.t;
+  benchmarks : Workloads.Registry.entry list;
+}
+
+let default () =
+  { warps = 32; seed = 0x5eed; params = Energy.Params.default; benchmarks = Workloads.Registry.all () }
+
+let quick () = { (default ()) with warps = 8 }
+
+let with_benchmarks t names =
+  let entries =
+    List.map
+      (fun n ->
+        match Workloads.Registry.find n with
+        | Some e -> e
+        | None -> invalid_arg (Printf.sprintf "unknown benchmark %S" n))
+      names
+  in
+  { t with benchmarks = entries }

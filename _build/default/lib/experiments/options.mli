@@ -1,0 +1,19 @@
+(** Shared experiment options. *)
+
+type t = {
+  warps : int;       (** machine-resident warps simulated per kernel *)
+  seed : int;        (** branch-behaviour seed *)
+  params : Energy.Params.t;
+  benchmarks : Workloads.Registry.entry list;  (** workload selection *)
+}
+
+val default : unit -> t
+(** 32 warps, the paper's energy parameters, all 36 benchmarks. *)
+
+val quick : unit -> t
+(** 8 warps — same normalized results for warp-uniform kernels, used by
+    the benchmark harness. *)
+
+val with_benchmarks : t -> string list -> t
+(** Restrict to the named benchmarks.
+    @raise Invalid_argument on an unknown name. *)

@@ -1,0 +1,19 @@
+let ratios ?(entries = 3) (opts : Options.t) =
+  opts.Options.benchmarks
+  |> List.map (fun (e : Workloads.Registry.entry) ->
+         (e.Workloads.Registry.name, Sweep.energy_ratio opts e Sweep.Sw_three_split ~entries))
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let table ?entries opts =
+  let t =
+    Util.Table.create
+      ~title:
+        "Figure 15: per-benchmark normalized access+wire energy, most efficient configuration"
+      ~columns:[ "Benchmark"; "Normalized energy"; "Savings %" ]
+  in
+  List.iter
+    (fun (name, r) ->
+      Util.Table.add_row t
+        [ name; Printf.sprintf "%.3f" r; Printf.sprintf "%.1f" (100.0 *. (1.0 -. r)) ])
+    (ratios ?entries opts);
+  t

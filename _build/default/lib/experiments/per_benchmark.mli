@@ -1,0 +1,8 @@
+(** Figure 15: per-benchmark normalized energy of the most efficient
+    configuration (3-entry ORF, split LRF, both allocator
+    optimizations), sorted by savings. *)
+
+val table : ?entries:int -> Options.t -> Util.Table.t
+
+val ratios : ?entries:int -> Options.t -> (string * float) list
+(** (benchmark, normalized energy), sorted best (lowest) first. *)

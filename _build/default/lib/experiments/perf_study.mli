@@ -1,0 +1,13 @@
+(** The scheduling claim of Sec. 6: a two-level warp scheduler with 8
+    active warps (of 32) loses no IPC against the single-level
+    scheduler, under both descheduling policies (the hardware RFC's
+    deschedule-on-dependence and the software scheme's
+    deschedule-at-strand-boundaries). *)
+
+val table : Options.t -> Util.Table.t
+
+val relative_ipc : Options.t -> policy:Sim.Perf.policy -> active:int -> float
+(** Mean over benchmarks of IPC(two-level with [active]) /
+    IPC(single-level). *)
+
+val clear_cache : unit -> unit

@@ -1,0 +1,8 @@
+(** Register-pressure report: the MRF-capacity motivation of Sec. 1–2.
+
+    Per benchmark: distinct registers, peak simultaneously-live
+    registers, and the machine-resident warp count a 128 KB MRF
+    supports at that register budget (32 registers/thread = the full
+    32 warps of Table 2). *)
+
+val table : Options.t -> Util.Table.t

@@ -1,0 +1,19 @@
+(** Run experiments and render their tables. *)
+
+type artefact =
+  | Fig2 | Fig11 | Fig12 | Fig13 | Fig14 | Fig15
+  | Perf | Encoding | Limit | Ablation | Divergence | Pressure | Scheduling | Tables
+
+val artefact_names : (string * artefact) list
+(** CLI-facing names: ["fig2"], ..., ["perf"], ["encoding"], ["limit"],
+    ["tables"]. *)
+
+val tables_of : Options.t -> artefact -> Util.Table.t list
+
+val run : Options.t -> artefact list -> unit
+(** Print each artefact's tables to stdout. *)
+
+val run_all : Options.t -> unit
+
+val clear_caches : unit -> unit
+(** Reset every experiment memo table (cold-regeneration timing). *)

@@ -1,0 +1,86 @@
+type row = {
+  name : string;
+  original : float;
+  rescheduled : float;
+  unrolled : float;
+  unrolled_rescheduled : float;
+  best : float;
+}
+
+let sw_energy (opts : Options.t) ~entries kernel =
+  let ctx = Alloc.Context.create kernel in
+  let config =
+    Alloc.Config.make ~orf_entries:entries ~lrf:Alloc.Config.Split ~params:opts.Options.params ()
+  in
+  let placement = Alloc.Allocator.place config ctx in
+  (match Alloc.Verify.check config ctx placement with
+   | Ok () -> ()
+   | Error errs ->
+     failwith
+       (Printf.sprintf "scheduling study: %s failed verification: %s" kernel.Ir.Kernel.name
+          (String.concat "; " errs)));
+  let traffic =
+    Sim.Traffic.run ~warps:opts.Options.warps ~seed:opts.Options.seed ctx
+      (Sim.Traffic.Sw { config; placement })
+  in
+  (Energy.Counts.energy opts.Options.params ~orf_entries:entries traffic.Sim.Traffic.counts)
+    .Energy.Counts.total
+
+let baseline_energy (opts : Options.t) kernel =
+  let ctx = Alloc.Context.create kernel in
+  let traffic =
+    Sim.Traffic.run ~warps:opts.Options.warps ~seed:opts.Options.seed ctx Sim.Traffic.Baseline
+  in
+  (Energy.Counts.energy opts.Options.params ~orf_entries:1 traffic.Sim.Traffic.counts)
+    .Energy.Counts.total
+
+let compute ?(entries = 3) ?(factor = 4) (opts : Options.t) =
+  List.map
+    (fun (e : Workloads.Registry.entry) ->
+      let ks = Lazy.force e.Workloads.Registry.kernels in
+      (* Every variant is normalized to ITS OWN single-level baseline:
+         unrolling changes the dynamic instruction count, so absolute
+         energies are not comparable, ratios are. *)
+      let ratio transform =
+        let sum f = List.fold_left (fun acc k -> acc +. f (transform k)) 0.0 ks in
+        Util.Stats.ratio (sum (sw_energy opts ~entries)) (sum (baseline_energy opts))
+      in
+      let original = ratio Fun.id in
+      let rescheduled = ratio Transform.Reschedule.kernel in
+      let unrolled = ratio (Transform.Unroll.kernel ~factor) in
+      let unrolled_rescheduled =
+        ratio (fun k -> Transform.Reschedule.kernel (Transform.Unroll.kernel ~factor k))
+      in
+      {
+        name = e.Workloads.Registry.name;
+        original;
+        rescheduled;
+        unrolled;
+        unrolled_rescheduled;
+        best = List.fold_left min original [ rescheduled; unrolled; unrolled_rescheduled ];
+      })
+    opts.Options.benchmarks
+
+let table ?entries ?factor opts =
+  let rows = compute ?entries ?factor opts in
+  let t =
+    Util.Table.create
+      ~title:
+        "Code motion (extension): normalized SW energy after real rescheduling / unrolling passes"
+      ~columns:[ "Benchmark"; "Original"; "Rescheduled"; "Unrolled x4"; "Unroll+resched"; "JIT best" ]
+  in
+  List.iter
+    (fun r ->
+      Util.Table.add_float_row t r.name
+        [ r.original; r.rescheduled; r.unrolled; r.unrolled_rescheduled; r.best ])
+    rows;
+  let mean f = Util.Stats.mean (List.map f rows) in
+  Util.Table.add_float_row t "MEAN"
+    [
+      mean (fun r -> r.original);
+      mean (fun r -> r.rescheduled);
+      mean (fun r -> r.unrolled);
+      mean (fun r -> r.unrolled_rescheduled);
+      mean (fun r -> r.best);
+    ];
+  t

@@ -1,0 +1,24 @@
+(** Real code-motion results (extension): the paper's Sec. 7 estimates
+    what instruction scheduling could buy by idealizing the ORF; this
+    driver runs the actual passes ({!Transform.Reschedule},
+    {!Transform.Unroll}) and re-measures.
+
+    Columns, all normalized SW split-LRF energy (3 entries):
+    original / rescheduled (chain packing + load hoisting) /
+    unrolled x4 / unrolled then rescheduled — the last being the
+    paper's full prescription for its worst-case benchmarks. *)
+
+type row = {
+  name : string;
+  original : float;
+  rescheduled : float;
+  unrolled : float;
+  unrolled_rescheduled : float;
+  best : float;
+      (** the JIT's choice: the energy model is static, so the compiler
+          evaluates each variant and keeps a pass only when it wins
+          (chip-specific JIT code generation, paper Sec. 3.1) *)
+}
+
+val compute : ?entries:int -> ?factor:int -> Options.t -> row list
+val table : ?entries:int -> ?factor:int -> Options.t -> Util.Table.t

@@ -1,0 +1,138 @@
+type scheme =
+  | Baseline
+  | Sw_two
+  | Sw_three_unified
+  | Sw_three_split
+  | Hw_two
+  | Hw_three
+
+let scheme_name = function
+  | Baseline -> "baseline"
+  | Sw_two -> "SW"
+  | Sw_three_unified -> "SW LRF"
+  | Sw_three_split -> "SW LRF Split"
+  | Hw_two -> "HW"
+  | Hw_three -> "HW LRF"
+
+let all_schemes = [ Baseline; Sw_two; Sw_three_unified; Sw_three_split; Hw_two; Hw_three ]
+
+type run = {
+  traffic : Sim.Traffic.result;
+  energy : Energy.Counts.breakdown;
+}
+
+let context_cache : (string, Alloc.Context.t list) Hashtbl.t = Hashtbl.create 64
+
+let contexts (e : Workloads.Registry.entry) =
+  match Hashtbl.find_opt context_cache e.Workloads.Registry.name with
+  | Some ctxs -> ctxs
+  | None ->
+    let ctxs = List.map Alloc.Context.create (Lazy.force e.Workloads.Registry.kernels) in
+    Hashtbl.add context_cache e.Workloads.Registry.name ctxs;
+    ctxs
+
+let context e = List.hd (contexts e)
+
+(* Aggregate the per-kernel traffic results of one application. *)
+let merge_traffic (results : Sim.Traffic.result list) =
+  match results with
+  | [] -> invalid_arg "Sweep: no kernels"
+  | [ r ] -> r
+  | _ ->
+    let counts = Energy.Counts.create () in
+    List.iter (fun (r : Sim.Traffic.result) -> Energy.Counts.merge_into ~dst:counts r.Sim.Traffic.counts)
+      results;
+    {
+      Sim.Traffic.counts;
+      per_strand =
+        Array.concat (List.map (fun (r : Sim.Traffic.result) -> r.Sim.Traffic.per_strand) results);
+      dynamic_instrs =
+        List.fold_left (fun acc (r : Sim.Traffic.result) -> acc + r.Sim.Traffic.dynamic_instrs) 0 results;
+      desched_events =
+        List.fold_left (fun acc (r : Sim.Traffic.result) -> acc + r.Sim.Traffic.desched_events) 0 results;
+      capped_warps =
+        List.fold_left (fun acc (r : Sim.Traffic.result) -> acc + r.Sim.Traffic.capped_warps) 0 results;
+    }
+
+let run_cache : (string * scheme * int * int * int * string, run) Hashtbl.t = Hashtbl.create 256
+
+(* Full-fidelity fingerprint of the energy parameters: Hashtbl.hash
+   truncates deep structures and would alias distinct wire models. *)
+let params_fingerprint (p : Energy.Params.t) = Marshal.to_string p []
+
+let sim_scheme (opts : Options.t) ctx scheme ~entries =
+  match scheme with
+  | Baseline -> Sim.Traffic.Baseline
+  | Sw_two | Sw_three_unified | Sw_three_split ->
+    let lrf =
+      match scheme with
+      | Sw_two -> Alloc.Config.No_lrf
+      | Sw_three_unified -> Alloc.Config.Unified
+      | _ -> Alloc.Config.Split
+    in
+    let config = Alloc.Config.make ~orf_entries:entries ~lrf ~params:opts.Options.params () in
+    let placement = Alloc.Allocator.place config ctx in
+    Sim.Traffic.Sw { config; placement }
+  | Hw_two -> Sim.Traffic.Hw (Sim.Traffic.hw_defaults ~rfc_entries:entries)
+  | Hw_three ->
+    Sim.Traffic.Hw { (Sim.Traffic.hw_defaults ~rfc_entries:entries) with Sim.Traffic.with_lrf = true }
+
+let run (opts : Options.t) (e : Workloads.Registry.entry) scheme ~entries =
+  let key =
+    ( e.Workloads.Registry.name, scheme, entries, opts.Options.warps, opts.Options.seed,
+      params_fingerprint opts.Options.params )
+  in
+  match Hashtbl.find_opt run_cache key with
+  | Some r -> r
+  | None ->
+    let traffic =
+      merge_traffic
+        (List.map
+           (fun ctx ->
+             Sim.Traffic.run ~warps:opts.Options.warps ~seed:opts.Options.seed ctx
+               (sim_scheme opts ctx scheme ~entries))
+           (contexts e))
+    in
+    let energy = Energy.Counts.energy opts.Options.params ~orf_entries:entries traffic.Sim.Traffic.counts in
+    let r = { traffic; energy } in
+    Hashtbl.add run_cache key r;
+    r
+
+let energy_ratio opts e scheme ~entries =
+  let base = (run opts e Baseline ~entries:1).energy.Energy.Counts.total in
+  let this = (run opts e scheme ~entries).energy.Energy.Counts.total in
+  Util.Stats.ratio this base
+
+let mean_energy_ratio (opts : Options.t) scheme ~entries =
+  Util.Stats.mean
+    (List.map (fun e -> energy_ratio opts e scheme ~entries) opts.Options.benchmarks)
+
+let mean_access_ratio (opts : Options.t) scheme ~entries direction =
+  let levels = [ Energy.Model.Lrf; Energy.Model.Rfc; Energy.Model.Orf; Energy.Model.Mrf ] in
+  let per_bench (e : Workloads.Registry.entry) =
+    let base = (run opts e Baseline ~entries:1).traffic.Sim.Traffic.counts in
+    let this = (run opts e scheme ~entries).traffic.Sim.Traffic.counts in
+    let total_base =
+      float_of_int
+        (match direction with
+         | `Reads -> Energy.Counts.total_reads base
+         | `Writes -> Energy.Counts.total_writes base)
+    in
+    List.map
+      (fun level ->
+        let n =
+          match direction with
+          | `Reads -> Energy.Counts.reads this level
+          | `Writes -> Energy.Counts.writes this level
+        in
+        Util.Stats.ratio (float_of_int n) total_base)
+      levels
+  in
+  let rows = List.map per_bench opts.Options.benchmarks in
+  List.mapi
+    (fun i level -> (level, Util.Stats.mean (List.map (fun row -> List.nth row i) rows)))
+    levels
+
+let clear_caches () =
+  Hashtbl.reset context_cache;
+  Hashtbl.reset run_cache

@@ -1,0 +1,55 @@
+(** Shared machinery for the evaluation figures: per-benchmark traffic
+    under every register-file organisation, with memoization across
+    figures (the same (benchmark, scheme, size) run backs several
+    tables). *)
+
+type scheme =
+  | Baseline       (** single-level register file *)
+  | Sw_two         (** compiler ORF + MRF *)
+  | Sw_three_unified
+  | Sw_three_split (** the paper's best configuration *)
+  | Hw_two         (** hardware RFC + MRF (prior work) *)
+  | Hw_three       (** hardware LRF + RFC + MRF *)
+
+val scheme_name : scheme -> string
+val all_schemes : scheme list
+
+type run = {
+  traffic : Sim.Traffic.result;
+  (** aggregated over the application's kernels: merged counts and
+      summed event counters; [per_strand] concatenates the kernels'
+      per-strand arrays in kernel order *)
+  energy : Energy.Counts.breakdown;  (** priced at the run's ORF size *)
+}
+
+val run :
+  Options.t -> Workloads.Registry.entry -> scheme -> entries:int -> run
+(** Memoized on (benchmark, scheme, entries, warps, seed). *)
+
+val context : Workloads.Registry.entry -> Alloc.Context.t
+(** Memoized compiler context for the benchmark's dominant kernel. *)
+
+val contexts : Workloads.Registry.entry -> Alloc.Context.t list
+(** Contexts for every kernel of the application, dominant first;
+    the energy runs aggregate traffic across all of them. *)
+
+val clear_caches : unit -> unit
+(** Drop all memoized runs and contexts (used by the benchmark harness
+    to time cold regeneration). *)
+
+val energy_ratio : Options.t -> Workloads.Registry.entry -> scheme -> entries:int -> float
+(** Total access+wire energy normalized to the single-level baseline
+    on the same benchmark. *)
+
+val mean_energy_ratio : Options.t -> scheme -> entries:int -> float
+(** Arithmetic mean of per-benchmark normalized energy over the
+    option's workload set. *)
+
+val mean_access_ratio :
+  Options.t ->
+  scheme ->
+  entries:int ->
+  [ `Reads | `Writes ] ->
+  (Energy.Model.level * float) list
+(** Per-level accesses normalized to the baseline's total (the stacked
+    bars of Figs. 11 and 12), averaged over benchmarks. *)

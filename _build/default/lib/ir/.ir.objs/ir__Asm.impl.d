@@ -1,0 +1,1 @@
+lib/ir/asm.ml: Array Block Buffer Builder Filename Hashtbl Instr Kernel List Op Printf Reg String Terminator Width

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Block Hashtbl Instr Kernel List Op Printf Reg Terminator Width

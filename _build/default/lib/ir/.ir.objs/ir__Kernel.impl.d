@@ -1,0 +1,1 @@
+lib/ir/kernel.ml: Array Block Format Instr List Op Option Printf Terminator

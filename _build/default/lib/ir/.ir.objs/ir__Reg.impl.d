@@ -1,0 +1,1 @@
+lib/ir/reg.ml: Format Int Map Printf Set

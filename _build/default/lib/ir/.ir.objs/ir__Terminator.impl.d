@@ -1,0 +1,1 @@
+lib/ir/terminator.ml: Format

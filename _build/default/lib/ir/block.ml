@@ -1,0 +1,16 @@
+type t = {
+  label : int;
+  instrs : Instr.t array;
+  term : Terminator.t;
+}
+
+let first_id t = if Array.length t.instrs = 0 then None else Some t.instrs.(0).Instr.id
+
+let last_id t =
+  let n = Array.length t.instrs in
+  if n = 0 then None else Some t.instrs.(n - 1).Instr.id
+
+let pp fmt t =
+  Format.fprintf fmt "BB%d:@\n" t.label;
+  Array.iter (fun i -> Format.fprintf fmt "  %a@\n" Instr.pp i) t.instrs;
+  Format.fprintf fmt "  %a@\n" Terminator.pp t.term

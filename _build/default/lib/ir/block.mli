@@ -1,0 +1,15 @@
+(** Basic blocks: a label (= index in the kernel's block array), a
+    straight-line instruction sequence and a terminator. *)
+
+type t = {
+  label : int;
+  instrs : Instr.t array;
+  term : Terminator.t;
+}
+
+val first_id : t -> int option
+(** Id of the first instruction, if any. *)
+
+val last_id : t -> int option
+
+val pp : Format.formatter -> t -> unit

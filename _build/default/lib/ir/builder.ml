@@ -1,0 +1,132 @@
+type label = int
+
+(* A block under construction: terminators still reference label handles. *)
+type proto_term =
+  | P_fallthrough
+  | P_jump of label
+  | P_branch of { target : label; behavior : Terminator.behavior }
+  | P_ret
+
+type proto_block = {
+  handle : label;
+  mutable rev_instrs : (Op.t * Reg.t option * Reg.t list * Width.t) list;
+  mutable term : proto_term option;
+}
+
+type t = {
+  name : string;
+  mutable next_reg : int;
+  mutable next_label : int;
+  mutable placed : proto_block list;  (* reverse placement order *)
+  mutable current : proto_block option;
+}
+
+let create name =
+  let entry = { handle = 0; rev_instrs = []; term = None } in
+  { name; next_reg = 0; next_label = 1; placed = [ entry ]; current = Some entry }
+
+let fresh t =
+  let r = t.next_reg in
+  t.next_reg <- r + 1;
+  r
+
+let new_label t =
+  let l = t.next_label in
+  t.next_label <- l + 1;
+  l
+
+let entry_label (_ : t) = 0
+
+let start_block t handle =
+  if List.exists (fun b -> b.handle = handle) t.placed then
+    invalid_arg (Printf.sprintf "Builder.start_block: label %d already placed" handle);
+  (match t.current with
+   | Some b when b.term = None -> b.term <- Some P_fallthrough
+   | Some _ | None -> ());
+  let b = { handle; rev_instrs = []; term = None } in
+  t.placed <- b :: t.placed;
+  t.current <- Some b
+
+let here t =
+  let l = new_label t in
+  start_block t l;
+  l
+
+let current_open t =
+  match t.current with
+  | Some b when b.term = None -> b
+  | Some _ -> invalid_arg "Builder: emitting after a terminator; start a new block first"
+  | None -> invalid_arg "Builder: no open block"
+
+let emit t op dst srcs width =
+  let b = current_open t in
+  b.rev_instrs <- (op, dst, srcs, width) :: b.rev_instrs
+
+let with_dst t op ?(width = Width.W32) srcs =
+  let d = fresh t in
+  emit t op (Some d) srcs width;
+  d
+
+let op0 t op ?width () = with_dst t op ?width []
+let op1 t op ?width a = with_dst t op ?width [ a ]
+let op2 t op ?width a b = with_dst t op ?width [ a; b ]
+let op3 t op ?width a b c = with_dst t op ?width [ a; b; c ]
+
+let op0_into t op ?(width = Width.W32) ~dst () = emit t op (Some dst) [] width
+let op1_into t op ?(width = Width.W32) ~dst a = emit t op (Some dst) [ a ] width
+let op2_into t op ?(width = Width.W32) ~dst a b = emit t op (Some dst) [ a; b ] width
+let op3_into t op ?(width = Width.W32) ~dst a b c = emit t op (Some dst) [ a; b; c ] width
+
+let store t op ~addr ~value =
+  (match op with
+   | Op.St_global | Op.St_shared -> ()
+   | _ -> invalid_arg "Builder.store: not a store opcode");
+  emit t op None [ addr; value ] Width.W32
+
+let close_with t pterm =
+  let b = current_open t in
+  b.term <- Some pterm
+
+let jump t target = close_with t (P_jump target)
+
+let branch t ~pred ~target behavior =
+  emit t Op.Bra None [ pred ] Width.W32;
+  close_with t (P_branch { target; behavior })
+
+let ret t = close_with t P_ret
+
+let finalize t =
+  (match t.current with
+   | Some b when b.term = None -> b.term <- Some P_ret
+   | Some _ | None -> ());
+  let blocks_in_order = List.rev t.placed in
+  let index_of_handle = Hashtbl.create 16 in
+  List.iteri (fun i b -> Hashtbl.add index_of_handle b.handle i) blocks_in_order;
+  let resolve handle =
+    match Hashtbl.find_opt index_of_handle handle with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Builder.finalize: label %d never placed" handle)
+  in
+  let next_id = ref 0 in
+  let build_block i (pb : proto_block) : Block.t =
+    let instrs =
+      List.rev pb.rev_instrs
+      |> List.map (fun (op, dst, srcs, width) ->
+             let id = !next_id in
+             incr next_id;
+             Instr.make ~id ~op ~dst ~srcs ~width)
+      |> Array.of_list
+    in
+    let term =
+      match pb.term with
+      | None -> assert false
+      | Some P_fallthrough -> Terminator.Fallthrough
+      | Some (P_jump l) -> Terminator.Jump (resolve l)
+      | Some (P_branch { target; behavior }) ->
+        Terminator.Branch { target = resolve target; behavior }
+      | Some P_ret -> Terminator.Ret
+    in
+    { Block.label = i; instrs; term }
+  in
+  let blocks = Array.of_list (List.mapi build_block blocks_in_order) in
+  Kernel.make ~name:t.name ~blocks ~num_regs:t.next_reg

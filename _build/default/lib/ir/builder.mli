@@ -1,0 +1,79 @@
+(** Imperative kernel builder.
+
+    Typical use:
+    {[
+      let b = Builder.create "saxpy" in
+      let x = Builder.op1 b Op.Ld_global addr in        (* entry block is open *)
+      let head = Builder.new_label b in
+      Builder.start_block b head;
+      ...
+      Builder.branch b ~pred ~target:head (Terminator.Loop 16);
+      ...
+      Builder.ret b;
+      Builder.finalize b
+    ]}
+
+    Blocks are laid out in the order they are started; labels may be
+    created ahead of placement for forward branches.  Instruction ids
+    are assigned in layout order by {!finalize}. *)
+
+type t
+
+type label
+(** Abstract block label, resolved at {!finalize} time. *)
+
+val create : string -> t
+(** New builder with the entry block already open. *)
+
+val fresh : t -> Reg.t
+(** Fresh 32-bit virtual register. *)
+
+val new_label : t -> label
+(** Allocate a label to be placed later (forward-branch targets). *)
+
+val entry_label : t -> label
+(** The label of the entry block the builder opened at {!create}
+    (lets a textual front-end name the entry block). *)
+
+val start_block : t -> label -> unit
+(** Close the current block (implicit fallthrough if it has no
+    terminator yet) and start emitting into a new block placed here.
+    @raise Invalid_argument if the label was already placed. *)
+
+val here : t -> label
+(** [new_label] + [start_block] in one step. *)
+
+(** {2 Instruction emission}
+
+    The [opN] emitters create and return a fresh destination register;
+    the [_into] variants write an existing register (needed for hammock
+    both-sides definitions and loop-carried updates). *)
+
+val op0 : t -> Op.t -> ?width:Width.t -> unit -> Reg.t
+val op1 : t -> Op.t -> ?width:Width.t -> Reg.t -> Reg.t
+val op2 : t -> Op.t -> ?width:Width.t -> Reg.t -> Reg.t -> Reg.t
+val op3 : t -> Op.t -> ?width:Width.t -> Reg.t -> Reg.t -> Reg.t -> Reg.t
+
+val op0_into : t -> Op.t -> ?width:Width.t -> dst:Reg.t -> unit -> unit
+val op1_into : t -> Op.t -> ?width:Width.t -> dst:Reg.t -> Reg.t -> unit
+val op2_into : t -> Op.t -> ?width:Width.t -> dst:Reg.t -> Reg.t -> Reg.t -> unit
+val op3_into : t -> Op.t -> ?width:Width.t -> dst:Reg.t -> Reg.t -> Reg.t -> Reg.t -> unit
+
+val store : t -> Op.t -> addr:Reg.t -> value:Reg.t -> unit
+(** Emit a store ([St_global]/[St_shared]): reads, no destination. *)
+
+(** {2 Terminators} — each closes the current block. *)
+
+val jump : t -> label -> unit
+
+val branch : t -> pred:Reg.t -> target:label -> Terminator.behavior -> unit
+(** Emits the predicate-reading [Bra] instruction then the conditional
+    terminator. *)
+
+val ret : t -> unit
+
+val finalize : t -> Kernel.t
+(** Closes the current block with [Ret] if it has no terminator,
+    resolves labels and validates.
+    @raise Invalid_argument if a label was never placed or the kernel
+    is malformed. *)

@@ -1,0 +1,41 @@
+type t = {
+  id : int;
+  op : Op.t;
+  dst : Reg.t option;
+  srcs : Reg.t list;
+  width : Width.t;
+}
+
+let num_slots = 3
+
+let slot_name = function
+  | 0 -> "A"
+  | 1 -> "B"
+  | 2 -> "C"
+  | n -> invalid_arg (Printf.sprintf "Instr.slot_name: %d" n)
+
+let make ~id ~op ~dst ~srcs ~width =
+  if List.length srcs > num_slots then
+    invalid_arg "Instr.make: more than 3 source operands";
+  (match dst, Op.has_result op with
+   | Some _, false ->
+     invalid_arg (Printf.sprintf "Instr.make: %s carries a destination" (Op.mnemonic op))
+   | None, true ->
+     invalid_arg (Printf.sprintf "Instr.make: %s lacks a destination" (Op.mnemonic op))
+   | Some _, true | None, false -> ());
+  { id; op; dst; srcs; width }
+
+let reads t = t.srcs
+let defines t = t.dst
+let is_long_latency t = Op.is_long_latency t.op
+
+let pp fmt t =
+  let pp_dst fmt = function
+    | Some d -> Format.fprintf fmt "%a, " Reg.pp d
+    | None -> ()
+  in
+  Format.fprintf fmt "[%3d] %-10s %a%a" t.id (Op.mnemonic t.op) pp_dst t.dst
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ") Reg.pp)
+    t.srcs
+
+let to_string t = Format.asprintf "%a" pp t

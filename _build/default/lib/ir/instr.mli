@@ -1,0 +1,36 @@
+(** Instructions.
+
+    [id] is the instruction's position in kernel layout order (assigned
+    by {!Builder.finalize}); it doubles as the "static instruction issue
+    slot" used by the allocator's occupancy intervals (paper Fig. 7).
+
+    Source registers are listed in operand-slot order A, B, C — the
+    slot matters for the split-LRF design, which has one bank per slot
+    (Sec. 3.2). *)
+
+type t = {
+  id : int;             (** dense layout position within the kernel *)
+  op : Op.t;
+  dst : Reg.t option;   (** at most one result register (value base) *)
+  srcs : Reg.t list;    (** operand slots A, B, C in order; length <= 3 *)
+  width : Width.t;      (** width of the result value *)
+}
+
+val make : id:int -> op:Op.t -> dst:Reg.t option -> srcs:Reg.t list -> width:Width.t -> t
+(** @raise Invalid_argument if more than 3 sources, or a store/branch
+    carries a destination, or a result-producing opcode lacks one. *)
+
+val reads : t -> Reg.t list
+(** Alias for [srcs]. *)
+
+val defines : t -> Reg.t option
+
+val num_slots : int
+(** Number of operand slots (3: A, B, C). *)
+
+val slot_name : int -> string
+(** ["A"], ["B"], ["C"]. *)
+
+val is_long_latency : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

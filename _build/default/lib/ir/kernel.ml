@@ -1,0 +1,90 @@
+type t = {
+  name : string;
+  blocks : Block.t array;
+  num_regs : int;
+  instrs : Instr.t array;
+  block_of_instr : int array;
+}
+
+let validate ~name ~blocks ~num_regs =
+  let err fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "kernel %s: %s" name s)) fmt in
+  let num_blocks = Array.length blocks in
+  if num_blocks = 0 then err "no blocks"
+  else begin
+    let next_id = ref 0 in
+    let problem = ref None in
+    let fail fmt = Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt in
+    Array.iteri
+      (fun bi (b : Block.t) ->
+        if b.Block.label <> bi then fail "block %d has label %d" bi b.Block.label;
+        Array.iter
+          (fun (i : Instr.t) ->
+            if i.Instr.id <> !next_id then
+              fail "instruction id %d out of order (expected %d)" i.Instr.id !next_id;
+            incr next_id;
+            let check_reg r =
+              if r < 0 || r >= num_regs then fail "instr %d: register %d out of range" i.Instr.id r
+            in
+            List.iter check_reg i.Instr.srcs;
+            Option.iter check_reg i.Instr.dst)
+          b.Block.instrs;
+        let check_target l =
+          if l < 0 || l >= num_blocks then fail "block %d: branch target BB%d out of range" bi l
+        in
+        (match b.Block.term with
+         | Terminator.Fallthrough ->
+           if bi = num_blocks - 1 then fail "last block falls through"
+         | Terminator.Jump l -> check_target l
+         | Terminator.Branch { target; behavior } ->
+           check_target target;
+           if bi = num_blocks - 1 then fail "last block's branch falls through";
+           (match behavior with
+            | Terminator.Loop n ->
+              if n < 1 then fail "block %d: loop trip count %d < 1" bi n;
+              if target > bi then fail "block %d: Loop behaviour on a forward branch" bi
+            | Terminator.Taken_with_prob p ->
+              if p < 0.0 || p > 1.0 then fail "block %d: branch probability %f" bi p
+            | Terminator.Always_taken | Terminator.Never_taken -> ());
+           let n = Array.length b.Block.instrs in
+           let ends_with_bra =
+             n > 0 && (b.Block.instrs.(n - 1)).Instr.op = Op.Bra
+           in
+           if not ends_with_bra then fail "block %d: conditional branch without a Bra instruction" bi
+         | Terminator.Ret -> ()))
+      blocks;
+    match !problem with None -> Ok () | Some msg -> err "%s" msg
+  end
+
+let make ~name ~blocks ~num_regs =
+  (match validate ~name ~blocks ~num_regs with
+   | Ok () -> ()
+   | Error msg -> invalid_arg msg);
+  let instrs =
+    Array.concat (Array.to_list (Array.map (fun (b : Block.t) -> b.Block.instrs) blocks))
+  in
+  let block_of_instr = Array.make (Array.length instrs) 0 in
+  Array.iter
+    (fun (b : Block.t) ->
+      Array.iter (fun (i : Instr.t) -> block_of_instr.(i.Instr.id) <- b.Block.label) b.Block.instrs)
+    blocks;
+  { name; blocks; num_regs; instrs; block_of_instr }
+
+let instr_count t = Array.length t.instrs
+let block_count t = Array.length t.blocks
+let instr t id = t.instrs.(id)
+let block_of t id = t.block_of_instr.(id)
+
+let iter_instrs t f =
+  Array.iter (fun b -> Array.iter (fun i -> f b i) b.Block.instrs) t.blocks
+
+let fold_instrs t ~init ~f =
+  Array.fold_left
+    (fun acc b -> Array.fold_left (fun acc i -> f acc b i) acc b.Block.instrs)
+    init t.blocks
+
+let pp fmt t =
+  Format.fprintf fmt ".kernel %s  (%d regs, %d instrs)@\n" t.name t.num_regs
+    (Array.length t.instrs);
+  Array.iter (fun b -> Block.pp fmt b) t.blocks
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,41 @@
+(** Kernels: a named array of basic blocks in layout order.
+
+    Instruction ids are dense and increase in layout order across the
+    whole kernel, so [instrs.(id)] and interval arithmetic over ids are
+    both valid.  Block 0 is the entry. *)
+
+type t = private {
+  name : string;
+  blocks : Block.t array;
+  num_regs : int;          (** registers are [0 .. num_regs - 1] *)
+  instrs : Instr.t array;  (** flattened, indexed by instruction id *)
+  block_of_instr : int array;  (** block label of each instruction id *)
+}
+
+val make : name:string -> blocks:Block.t array -> num_regs:int -> t
+(** Flattens, checks well-formedness and builds the id maps.
+    @raise Invalid_argument on malformed kernels (see {!validate}). *)
+
+val validate : name:string -> blocks:Block.t array -> num_regs:int -> (unit, string) result
+(** Checks: non-empty; instruction ids dense in layout order; register
+    operands within range; branch/jump targets within range; the last
+    block does not fall through; a [Branch] terminator with a [Loop]
+    behaviour is a backward branch; every [Branch]-terminated block ends
+    with a [Bra] instruction. *)
+
+val instr_count : t -> int
+val block_count : t -> int
+
+val instr : t -> int -> Instr.t
+(** By id. *)
+
+val block_of : t -> int -> int
+(** Block label containing the given instruction id. *)
+
+val iter_instrs : t -> (Block.t -> Instr.t -> unit) -> unit
+(** Layout order. *)
+
+val fold_instrs : t -> init:'a -> f:('a -> Block.t -> Instr.t -> 'a) -> 'a
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

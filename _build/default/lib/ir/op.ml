@@ -1,0 +1,57 @@
+type unit_class = Alu | Sfu | Mem | Tex
+
+type t =
+  | Iadd | Isub | Imul | Imad | Iand | Ior | Ixor | Ishl | Ishr
+  | Imin | Imax | Setp | Sel | Cvt | Mov | Bra
+  | Fadd | Fsub | Fmul | Ffma | Fmin | Fmax
+  | Rcp | Sqrt | Rsqrt | Sin | Cos | Lg2 | Ex2
+  | Ld_global | St_global | Ld_shared | St_shared | Atom_global
+  | Tex_fetch
+
+let unit_class = function
+  | Iadd | Isub | Imul | Imad | Iand | Ior | Ixor | Ishl | Ishr
+  | Imin | Imax | Setp | Sel | Cvt | Mov | Bra
+  | Fadd | Fsub | Fmul | Ffma | Fmin | Fmax -> Alu
+  | Rcp | Sqrt | Rsqrt | Sin | Cos | Lg2 | Ex2 -> Sfu
+  | Ld_global | St_global | Ld_shared | St_shared | Atom_global -> Mem
+  | Tex_fetch -> Tex
+
+let is_long_latency = function
+  | Ld_global | Atom_global | Tex_fetch -> true
+  | Iadd | Isub | Imul | Imad | Iand | Ior | Ixor | Ishl | Ishr
+  | Imin | Imax | Setp | Sel | Cvt | Mov | Bra
+  | Fadd | Fsub | Fmul | Ffma | Fmin | Fmax
+  | Rcp | Sqrt | Rsqrt | Sin | Cos | Lg2 | Ex2
+  | St_global | Ld_shared | St_shared -> false
+
+let has_result = function
+  | St_global | St_shared | Bra -> false
+  | _ -> true
+
+(* Table 2: ALU 8, SFU 20, shared memory 20, DRAM 400, texture 400. *)
+let latency op =
+  match unit_class op with
+  | Alu -> 8
+  | Sfu -> 20
+  | Mem -> (match op with Ld_global | St_global | Atom_global -> 400 | _ -> 20)
+  | Tex -> 400
+
+let issue_cycles op = match unit_class op with Alu -> 1 | Sfu | Mem | Tex -> 4
+
+let mnemonic = function
+  | Iadd -> "add.s32" | Isub -> "sub.s32" | Imul -> "mul.s32" | Imad -> "mad.s32"
+  | Iand -> "and.b32" | Ior -> "or.b32" | Ixor -> "xor.b32"
+  | Ishl -> "shl.b32" | Ishr -> "shr.b32"
+  | Imin -> "min.s32" | Imax -> "max.s32"
+  | Setp -> "setp" | Sel -> "selp" | Cvt -> "cvt" | Mov -> "mov" | Bra -> "bra"
+  | Fadd -> "add.f32" | Fsub -> "sub.f32" | Fmul -> "mul.f32" | Ffma -> "fma.f32"
+  | Fmin -> "min.f32" | Fmax -> "max.f32"
+  | Rcp -> "rcp.f32" | Sqrt -> "sqrt.f32" | Rsqrt -> "rsqrt.f32"
+  | Sin -> "sin.f32" | Cos -> "cos.f32" | Lg2 -> "lg2.f32" | Ex2 -> "ex2.f32"
+  | Ld_global -> "ld.global" | St_global -> "st.global"
+  | Ld_shared -> "ld.shared" | St_shared -> "st.shared"
+  | Atom_global -> "atom.global" | Tex_fetch -> "tex"
+
+let pp fmt t = Format.pp_print_string fmt (mnemonic t)
+
+let is_shared_datapath op = match unit_class op with Alu -> false | Sfu | Mem | Tex -> true

@@ -1,0 +1,51 @@
+(** Opcodes of the PTX subset.
+
+    Each opcode executes on one of the SM's function-unit classes
+    (paper Fig. 1(c)): the per-lane private ALUs, or the shared
+    datapath (SFU for transcendentals, MEM port, TEX unit).  The unit
+    class determines operand wire distances in the energy model and
+    whether results may live in the LRF (private datapath only,
+    Sec. 3.2). *)
+
+type unit_class =
+  | Alu  (** private per-lane ALU: full warp-wide throughput *)
+  | Sfu  (** special function unit (shared datapath) *)
+  | Mem  (** load/store port, incl. shared memory (shared datapath) *)
+  | Tex  (** texture unit (shared datapath) *)
+
+type t =
+  (* integer ALU *)
+  | Iadd | Isub | Imul | Imad | Iand | Ior | Ixor | Ishl | Ishr
+  | Imin | Imax | Setp | Sel | Cvt | Mov | Bra
+  (* floating-point ALU *)
+  | Fadd | Fsub | Fmul | Ffma | Fmin | Fmax
+  (* SFU transcendentals *)
+  | Rcp | Sqrt | Rsqrt | Sin | Cos | Lg2 | Ex2
+  (* memory *)
+  | Ld_global | St_global | Ld_shared | St_shared | Atom_global
+  (* texture *)
+  | Tex_fetch
+
+val unit_class : t -> unit_class
+
+val is_long_latency : t -> bool
+(** Long-latency operations (global/texture memory, Table 2's 400-cycle
+    classes).  Their consumers terminate strands (Sec. 4.1) and their
+    results are written directly to the MRF, never to the ORF/LRF. *)
+
+val has_result : t -> bool
+(** [false] for stores and branches. *)
+
+val latency : t -> int
+(** Pipeline latency in cycles, Table 2. *)
+
+val issue_cycles : t -> int
+(** Cycles the unit is busy issuing one warp instruction.  The private
+    ALUs run at full warp-wide throughput (1); the shared datapath runs
+    at reduced throughput (4), matching Table 2's 32 bytes/cycle shared
+    bandwidth for 128-byte warp accesses. *)
+
+val mnemonic : t -> string
+val pp : Format.formatter -> t -> unit
+val is_shared_datapath : t -> bool
+(** [true] iff the unit class is SFU, MEM or TEX. *)

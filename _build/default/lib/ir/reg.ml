@@ -1,0 +1,9 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let to_string r = Printf.sprintf "%%r%d" r
+let pp fmt r = Format.pp_print_string fmt (to_string r)
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

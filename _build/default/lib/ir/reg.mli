@@ -1,0 +1,18 @@
+(** Architectural (virtual) registers.
+
+    The code reaching the allocator is pseudo-SSA PTX: registers are
+    usually defined once but may be redefined on both sides of hammocks
+    and around loops (paper Sec. 4.2, Fig. 10).  Register identity is a
+    dense integer so analyses can use arrays. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+(** Rendered PTX-style, e.g. ["%r12"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,37 @@
+type behavior =
+  | Always_taken
+  | Never_taken
+  | Loop of int
+  | Taken_with_prob of float
+
+type t =
+  | Fallthrough
+  | Jump of int
+  | Branch of { target : int; behavior : behavior }
+  | Ret
+
+let successors t ~at ~num_blocks =
+  let next = if at + 1 < num_blocks then [ at + 1 ] else [] in
+  match t with
+  | Fallthrough -> next
+  | Jump l -> [ l ]
+  | Branch { target; _ } -> target :: next
+  | Ret -> []
+
+let is_backward t ~at =
+  match t with
+  | Fallthrough | Ret -> false
+  | Jump l -> l <= at
+  | Branch { target; _ } -> target <= at
+
+let pp_behavior fmt = function
+  | Always_taken -> Format.pp_print_string fmt "always"
+  | Never_taken -> Format.pp_print_string fmt "never"
+  | Loop n -> Format.fprintf fmt "loop(%d)" n
+  | Taken_with_prob p -> Format.fprintf fmt "p=%.2f" p
+
+let pp fmt = function
+  | Fallthrough -> Format.pp_print_string fmt "fallthrough"
+  | Jump l -> Format.fprintf fmt "jmp BB%d" l
+  | Branch { target; behavior } -> Format.fprintf fmt "br BB%d [%a]" target pp_behavior behavior
+  | Ret -> Format.pp_print_string fmt "ret"

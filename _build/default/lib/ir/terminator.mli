@@ -1,0 +1,40 @@
+(** Block terminators and deterministic branch behaviours.
+
+    The paper reconstructs warp interleavings from execution-frequency
+    traces of the real applications (Sec. 5.1).  Our substitute attaches
+    a deterministic behaviour to every conditional branch so the
+    simulator replays the same control-flow stream for a given seed:
+    loops run a fixed trip count, data-dependent branches draw from a
+    per-(warp, site, visit) hash.
+
+    A conditional branch's predicate read is modelled as an explicit
+    [Bra] instruction at the end of the block (so it participates in
+    liveness, allocation and register-file traffic like any other
+    operand); the terminator itself only describes the CFG shape. *)
+
+type behavior =
+  | Always_taken
+  | Never_taken
+  | Loop of int
+      (** [Loop n] on a backward branch: taken [n - 1] consecutive
+          times, then falls through (and the trip counter resets, so
+          re-entering the loop repeats the pattern).  [n >= 1]. *)
+  | Taken_with_prob of float
+      (** Taken with this probability, decided by a deterministic hash
+          of (warp seed, site, visit count). *)
+
+type t =
+  | Fallthrough           (** continue to the next block in layout *)
+  | Jump of int           (** unconditional jump to block label *)
+  | Branch of { target : int; behavior : behavior }
+      (** conditional: taken -> [target], else fall through *)
+  | Ret                   (** kernel exit *)
+
+val successors : t -> at:int -> num_blocks:int -> int list
+(** Successor block labels of a block labelled [at]. *)
+
+val is_backward : t -> at:int -> bool
+(** [true] iff some successor label is [<= at] (a backward branch in
+    layout order — the strand-ending condition of Sec. 4.1). *)
+
+val pp : Format.formatter -> t -> unit

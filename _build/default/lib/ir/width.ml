@@ -1,0 +1,9 @@
+type t = W32 | W64 | W128
+
+let words = function W32 -> 1 | W64 -> 2 | W128 -> 4
+
+let to_string = function W32 -> "b32" | W64 -> "b64" | W128 -> "b128"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let equal a b = a = b

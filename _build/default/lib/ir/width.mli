@@ -1,0 +1,14 @@
+(** Operand widths of the PTX subset.
+
+    PTX supports 64- and 128-bit values stored across multiple 32-bit
+    architectural registers (paper Sec. 3.2); wide values occupy
+    [words] consecutive ORF entries when allocated. *)
+
+type t = W32 | W64 | W128
+
+val words : t -> int
+(** Number of 32-bit registers a value of this width occupies. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

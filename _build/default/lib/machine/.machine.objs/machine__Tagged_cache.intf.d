@@ -1,0 +1,1 @@
+lib/machine/tagged_cache.mli: Ir

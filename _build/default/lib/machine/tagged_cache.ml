@@ -1,0 +1,35 @@
+type t = {
+  num_entries : int;
+  mutable fifo : Ir.Reg.t list;  (* oldest first *)
+}
+
+let create ~entries =
+  if entries < 1 then invalid_arg "Tagged_cache.create: entries < 1";
+  { num_entries = entries; fifo = [] }
+
+let entries t = t.num_entries
+
+let contains t r = List.mem r t.fifo
+
+let insert t r =
+  if contains t r then None
+  else if List.length t.fifo < t.num_entries then begin
+    t.fifo <- t.fifo @ [ r ];
+    None
+  end
+  else begin
+    match t.fifo with
+    | [] -> assert false  (* num_entries >= 1 *)
+    | oldest :: rest ->
+      t.fifo <- rest @ [ r ];
+      Some oldest
+  end
+
+let remove t r = t.fifo <- List.filter (fun x -> not (Ir.Reg.equal x r)) t.fifo
+
+let flush t =
+  let contents = t.fifo in
+  t.fifo <- [];
+  contents
+
+let occupancy t = List.length t.fifo

@@ -1,0 +1,34 @@
+(** Tagged register cache with FIFO replacement — the hardware RFC of
+    the authors' prior work (paper Sec. 2.2), modelled at warp
+    granularity (entries-per-thread = warp-wide entries here).
+
+    A single-entry instance doubles as the hardware last result file of
+    the three-level hardware baseline (Sec. 6.2).
+
+    The cache stores register names only; writeback decisions (static
+    liveness elision) belong to the caller. *)
+
+type t
+
+val create : entries:int -> t
+(** @raise Invalid_argument if [entries < 1]. *)
+
+val entries : t -> int
+
+val contains : t -> Ir.Reg.t -> bool
+
+val insert : t -> Ir.Reg.t -> Ir.Reg.t option
+(** Write-allocate the register.  If already present, the entry is
+    overwritten in place (no eviction, FIFO position unchanged).
+    Otherwise the register is enqueued, evicting and returning the
+    oldest occupant when full. *)
+
+val remove : t -> Ir.Reg.t -> unit
+(** Drop the entry if present (used when a newer write supersedes a
+    value cached at an upper level). *)
+
+val flush : t -> Ir.Reg.t list
+(** Return all valid entries in FIFO order and clear the cache (warp
+    deschedule, Sec. 2.2). *)
+
+val occupancy : t -> int

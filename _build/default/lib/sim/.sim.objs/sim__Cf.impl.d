@@ -1,0 +1,1 @@
+lib/sim/cf.ml: Array Ir Util

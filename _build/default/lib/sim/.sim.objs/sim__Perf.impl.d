@@ -1,0 +1,1 @@
+lib/sim/perf.ml: Alloc Array Cf Fun Hashtbl Ir List Option Strand

@@ -1,0 +1,1 @@
+lib/sim/simt.ml: Alloc Analysis Array Energy Ir List Option Util

@@ -1,0 +1,1 @@
+lib/sim/simt.mli: Alloc Energy Ir

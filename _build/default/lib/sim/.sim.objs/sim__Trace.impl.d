@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Buffer Cf Hashtbl Ir List Option Printf String Util

@@ -1,0 +1,1 @@
+lib/sim/traffic.ml: Alloc Analysis Array Cf Energy Hashtbl Ir List Machine Option Strand

@@ -1,0 +1,1 @@
+lib/sim/value_trace.ml: Array Cf Ir List Option Util

@@ -1,0 +1,1 @@
+lib/sim/value_trace.mli: Ir Util

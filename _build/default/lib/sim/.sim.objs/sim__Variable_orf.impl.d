@@ -1,0 +1,1 @@
+lib/sim/variable_orf.ml: Alloc Array Cf Energy Hashtbl Ir List Option Queue Strand

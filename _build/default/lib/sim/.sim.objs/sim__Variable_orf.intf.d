@@ -1,0 +1,1 @@
+lib/sim/variable_orf.mli: Alloc Energy

@@ -1,0 +1,98 @@
+type position =
+  | At of { block : int; index : int }
+  | Done of { capped : bool }
+
+type t = {
+  kernel : Ir.Kernel.t;
+  warp : int;
+  seed : int;
+  max_dynamic : int;
+  trip_counts : int array;    (* per block: consecutive taken count of its Loop branch *)
+  visit_counts : int array;   (* per block: terminator resolutions so far *)
+  mutable pos : position;
+  mutable executed : int;
+}
+
+(* Land on the first block at or after [block] that has instructions,
+   following fallthrough/jump chains of empty blocks. *)
+let rec settle t block steps =
+  if steps > Ir.Kernel.block_count t.kernel * 2 then t.pos <- Done { capped = true }
+  else begin
+    let b = t.kernel.Ir.Kernel.blocks.(block) in
+    if Array.length b.Ir.Block.instrs > 0 then t.pos <- At { block; index = 0 }
+    else resolve_terminator t block (steps + 1)
+  end
+
+and resolve_terminator t block steps =
+  let b = t.kernel.Ir.Kernel.blocks.(block) in
+  let taken_to target = settle t target steps in
+  let fall () =
+    if block + 1 < Ir.Kernel.block_count t.kernel then settle t (block + 1) steps
+    else t.pos <- Done { capped = false }
+  in
+  t.visit_counts.(block) <- t.visit_counts.(block) + 1;
+  match b.Ir.Block.term with
+  | Ir.Terminator.Fallthrough -> fall ()
+  | Ir.Terminator.Jump l -> taken_to l
+  | Ir.Terminator.Ret -> t.pos <- Done { capped = false }
+  | Ir.Terminator.Branch { target; behavior } ->
+    let taken =
+      match behavior with
+      | Ir.Terminator.Always_taken -> true
+      | Ir.Terminator.Never_taken -> false
+      | Ir.Terminator.Loop n ->
+        if t.trip_counts.(block) < n - 1 then begin
+          t.trip_counts.(block) <- t.trip_counts.(block) + 1;
+          true
+        end
+        else begin
+          t.trip_counts.(block) <- 0;
+          false
+        end
+      | Ir.Terminator.Taken_with_prob p ->
+        let h =
+          Util.Prng.hash2 (Util.Prng.hash2 t.seed t.warp)
+            (Util.Prng.hash2 block t.visit_counts.(block))
+        in
+        float_of_int (h land 0xFFFFFF) /. 16777216.0 < p
+    in
+    if taken then taken_to target else fall ()
+
+let create ?(max_dynamic = 100_000) kernel ~warp ~seed =
+  let nb = Ir.Kernel.block_count kernel in
+  let t =
+    {
+      kernel;
+      warp;
+      seed;
+      max_dynamic;
+      trip_counts = Array.make nb 0;
+      visit_counts = Array.make nb 0;
+      pos = Done { capped = false };
+      executed = 0;
+    }
+  in
+  settle t 0 0;
+  t
+
+let peek t =
+  match t.pos with
+  | Done _ -> None
+  | At { block; index } -> Some t.kernel.Ir.Kernel.blocks.(block).Ir.Block.instrs.(index)
+
+let advance t =
+  match t.pos with
+  | Done _ -> ()
+  | At { block; index } ->
+    t.executed <- t.executed + 1;
+    if t.executed >= t.max_dynamic then t.pos <- Done { capped = true }
+    else begin
+      let b = t.kernel.Ir.Kernel.blocks.(block) in
+      if index + 1 < Array.length b.Ir.Block.instrs then
+        t.pos <- At { block; index = index + 1 }
+      else resolve_terminator t block 0
+    end
+
+let finished t = match t.pos with Done _ -> true | At _ -> false
+let dynamic_count t = t.executed
+let hit_cap t = match t.pos with Done { capped } -> capped | At _ -> false

@@ -1,0 +1,31 @@
+(** Per-warp control-flow walker.
+
+    Replays a kernel's dynamic instruction stream for one warp, with
+    deterministic branch resolution: [Loop n] branches count trips per
+    site, probabilistic branches hash (warp seed, site, visit).  This
+    substitutes for the paper's execution-frequency traces (Sec. 5.1) —
+    a given (kernel, warp, seed) always yields the same stream.
+
+    Control flow is warp-uniform (see DESIGN.md): register-file traffic
+    is counted per warp-instruction, so per-thread divergence does not
+    change the measured quantities. *)
+
+type t
+
+val create : ?max_dynamic:int -> Ir.Kernel.t -> warp:int -> seed:int -> t
+(** [max_dynamic] (default 100_000) caps the dynamic instruction count
+    as a termination guard. *)
+
+val peek : t -> Ir.Instr.t option
+(** Next instruction to execute; [None] once the kernel returned or
+    the cap was reached. *)
+
+val advance : t -> unit
+(** Consume the current instruction, resolving the block terminator
+    when it was the last of its block. *)
+
+val finished : t -> bool
+val dynamic_count : t -> int
+
+val hit_cap : t -> bool
+(** Did the walk stop because of [max_dynamic] rather than [Ret]? *)

@@ -1,0 +1,153 @@
+type scheduler = Single_level | Two_level of int
+
+type policy = On_dependence | At_strand_boundaries
+
+type result = {
+  cycles : int;
+  instructions : int;
+  ipc : float;
+  desched_events : int;
+}
+
+type warp_state = {
+  cf : Cf.t;
+  ready : int array;                       (* per register: cycle its value is ready *)
+  mutable long_latency_until : int list;   (* ready cycles of outstanding LL results *)
+  mutable wake : int;                      (* cycle the warp may re-enter the active set *)
+}
+
+let unit_index op =
+  match Ir.Op.unit_class op with Ir.Op.Alu -> 0 | Ir.Op.Sfu -> 1 | Ir.Op.Mem -> 2 | Ir.Op.Tex -> 3
+
+let run ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
+    ?(max_cycles = 10_000_000) ?mrf_banks ~scheduler ~policy (ctx : Alloc.Context.t) =
+  let k = ctx.Alloc.Context.kernel in
+  let partition = ctx.Alloc.Context.partition in
+  let nr = max 1 k.Ir.Kernel.num_regs in
+  let states =
+    Array.init warps (fun w ->
+        {
+          cf = Cf.create ~max_dynamic:max_dynamic_per_warp k ~warp:w ~seed;
+          ready = Array.make nr 0;
+          long_latency_until = [];
+          wake = 0;
+        })
+  in
+  let active_limit = match scheduler with Single_level -> warps | Two_level n -> max 1 n in
+  (* Active set as an ordered list of warp ids (round-robin rotates it);
+     the rest are pending and re-enter in wake order. *)
+  let active = ref (List.init (min active_limit warps) Fun.id) in
+  let pending = ref (List.init (max 0 (warps - active_limit)) (fun i -> i + active_limit)) in
+  let cycle = ref 0 in
+  let instructions = ref 0 in
+  let desched_events = ref 0 in
+  let unit_free = Array.make 4 0 in
+  let outstanding_ll st now =
+    st.long_latency_until <- List.filter (fun t -> t > now) st.long_latency_until;
+    st.long_latency_until <> []
+  in
+  let warp_done w = Cf.finished states.(w).cf in
+  let refill_active () =
+    let missing = active_limit - List.length !active in
+    if missing > 0 then begin
+      let ready_pending, rest =
+        List.partition (fun w -> states.(w).wake <= !cycle && not (warp_done w)) !pending
+      in
+      let take = List.filteri (fun i _ -> i < missing) ready_pending in
+      let leftover = List.filteri (fun i _ -> i >= missing) ready_pending in
+      active := !active @ take;
+      pending := leftover @ rest
+    end
+  in
+  let deschedule w ~wake =
+    states.(w).wake <- wake;
+    active := List.filter (fun x -> x <> w) !active;
+    pending := !pending @ [ w ];
+    incr desched_events;
+    refill_active ()
+  in
+  let try_issue w =
+    let st = states.(w) in
+    match Cf.peek st.cf with
+    | None -> `Finished
+    | Some i ->
+      let now = !cycle in
+      (match policy with
+       | At_strand_boundaries
+         when Strand.Partition.starts_strand partition i.Ir.Instr.id && outstanding_ll st now ->
+         `Deschedule (List.fold_left max now st.long_latency_until)
+       | At_strand_boundaries | On_dependence ->
+         let blocked_regs = List.filter (fun r -> st.ready.(r) > now) i.Ir.Instr.srcs in
+         if blocked_regs <> [] then begin
+           let wait = List.fold_left (fun acc r -> max acc st.ready.(r)) now blocked_regs in
+           let blocked_on_ll =
+             List.exists (fun r -> List.exists (fun t -> t = st.ready.(r)) st.long_latency_until)
+               blocked_regs
+           in
+           match policy, scheduler with
+           | On_dependence, Two_level _ when blocked_on_ll -> `Deschedule wait
+           | (On_dependence | At_strand_boundaries), _ -> `Stall
+         end
+         else if unit_free.(unit_index i.Ir.Instr.op) > now then `Stall
+         else begin
+           (* Banked-MRF refinement: same-bank source operands take
+              extra serialized fetch cycles. *)
+           let conflict_extra =
+             match mrf_banks with
+             | None -> 0
+             | Some banks ->
+               (* Re-reading one register is a broadcast, not a
+                  conflict: count distinct registers per bank. *)
+               let counts = Hashtbl.create 4 in
+               List.iter
+                 (fun r ->
+                   let bank = r mod banks in
+                   Hashtbl.replace counts bank
+                     (1 + Option.value ~default:0 (Hashtbl.find_opt counts bank)))
+                 (List.sort_uniq compare i.Ir.Instr.srcs);
+               Hashtbl.fold (fun _ n acc -> max acc (n - 1)) counts 0
+           in
+           unit_free.(unit_index i.Ir.Instr.op) <- now + Ir.Op.issue_cycles i.Ir.Instr.op;
+           Option.iter
+             (fun d ->
+               st.ready.(d) <- now + Ir.Op.latency i.Ir.Instr.op + conflict_extra;
+               if Ir.Instr.is_long_latency i then
+                 st.long_latency_until <- st.ready.(d) :: st.long_latency_until)
+             i.Ir.Instr.dst;
+           Cf.advance st.cf;
+           incr instructions;
+           `Issued
+         end)
+  in
+  let all_done () = Array.for_all (fun st -> Cf.finished st.cf) states in
+  while (not (all_done ())) && !cycle < max_cycles do
+    refill_active ();
+    (* Round-robin over a snapshot of the active set until one warp
+       issues; membership changes (deschedules, refills) apply to
+       [active] directly and survive the scan. *)
+    let rec attempt = function
+      | [] -> ()
+      | w :: rest ->
+        if not (List.mem w !active) then attempt rest
+        else begin
+          match try_issue w with
+          | `Issued -> active := List.filter (fun x -> x <> w) !active @ [ w ]
+          | `Stall -> attempt rest
+          | `Finished ->
+            active := List.filter (fun x -> x <> w) !active;
+            refill_active ();
+            attempt rest
+          | `Deschedule wake ->
+            deschedule w ~wake;
+            attempt rest
+        end
+    in
+    attempt !active;
+    incr cycle
+  done;
+  {
+    cycles = !cycle;
+    instructions = !instructions;
+    ipc = (if !cycle = 0 then 0.0 else float_of_int !instructions /. float_of_int !cycle);
+    desched_events = !desched_events;
+  }

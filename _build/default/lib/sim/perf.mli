@@ -1,0 +1,48 @@
+(** Cycle-level performance simulation of one SM (Table 2 parameters).
+
+    In-order, one warp instruction issued per cycle, function-unit
+    latencies and shared-datapath issue rates from {!Ir.Op}.  Used to
+    verify the paper's scheduling claim: a two-level warp scheduler
+    with 8 active warps (out of 32) matches the single-level
+    scheduler's IPC (Sec. 6).
+
+    Two descheduling policies are modelled:
+    - [On_dependence]: the hardware RFC policy — a warp leaves the
+      active set when its next instruction waits on a long-latency
+      result (Sec. 2.2);
+    - [At_strand_boundaries]: the software policy — a warp leaves the
+      active set at a compiler-marked strand boundary while
+      long-latency operations are outstanding (Sec. 4.1). *)
+
+type scheduler =
+  | Single_level            (** all warps schedulable every cycle *)
+  | Two_level of int        (** active-set size *)
+
+type policy = On_dependence | At_strand_boundaries
+
+type result = {
+  cycles : int;
+  instructions : int;
+  ipc : float;
+  desched_events : int;
+}
+
+val run :
+  ?warps:int ->
+  ?seed:int ->
+  ?max_dynamic_per_warp:int ->
+  ?max_cycles:int ->
+  ?mrf_banks:int ->
+  scheduler:scheduler ->
+  policy:policy ->
+  Alloc.Context.t ->
+  result
+(** Defaults: 32 warps, 2_000 dynamic instructions per warp,
+    10_000_000-cycle guard.
+
+    [mrf_banks] enables the banked-MRF refinement: the MRF is split
+    into that many banks (Table 2: 32) and an instruction whose source
+    operands collide on a bank takes extra operand-fetch cycles — the
+    operand buffering of Fig. 1(c) hides the base multi-cycle fetch,
+    but same-bank operands serialize.  Omitted = ideal operand fetch
+    (the paper's performance model). *)

@@ -1,0 +1,155 @@
+(* Per warp: run-length-encoded block sequence. *)
+type t = {
+  sequences : (int * int) list array;  (* per warp: (block, consecutive repeats) *)
+}
+
+let warps t = Array.length t.sequences
+
+let rle_push acc block =
+  match acc with
+  | (b, n) :: rest when b = block -> (b, n + 1) :: rest
+  | _ -> (block, 1) :: acc
+
+let capture ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp (k : Ir.Kernel.t) =
+  let sequences =
+    Array.init warps (fun w ->
+        let cf = Cf.create ?max_dynamic:max_dynamic_per_warp k ~warp:w ~seed in
+        let acc = ref [] in
+        let last_block = ref (-1) in
+        let last_idx = ref (-1) in
+        let rec go () =
+          match Cf.peek cf with
+          | None -> ()
+          | Some i ->
+            let blk = Ir.Kernel.block_of k i.Ir.Instr.id in
+            let idx = i.Ir.Instr.id in
+            (* A new block visit starts when the block changes OR when
+               we re-enter the same block (id not the successor of the
+               previous one). *)
+            if blk <> !last_block || idx <= !last_idx then acc := rle_push !acc blk;
+            last_block := blk;
+            last_idx := idx;
+            Cf.advance cf;
+            go ()
+        in
+        go ();
+        List.rev !acc)
+  in
+  { sequences }
+
+let block_sequence t ~warp =
+  List.concat_map (fun (b, n) -> List.init n (fun _ -> b)) t.sequences.(warp)
+
+let replay t (k : Ir.Kernel.t) ~warp f =
+  List.iter
+    (fun b ->
+      if b < 0 || b >= Ir.Kernel.block_count k then
+        invalid_arg "Trace.replay: block out of range for this kernel";
+      Array.iter f k.Ir.Kernel.blocks.(b).Ir.Block.instrs)
+    (block_sequence t ~warp)
+
+let edge_profile t =
+  let counts = Hashtbl.create 64 in
+  let bump e = Hashtbl.replace counts e (1 + Option.value ~default:0 (Hashtbl.find_opt counts e)) in
+  Array.iter
+    (fun seq ->
+      let expanded = List.concat_map (fun (b, n) -> List.init n (fun _ -> b)) seq in
+      (match expanded with
+       | first :: _ -> bump (-1, first)
+       | [] -> ());
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+          bump (a, b);
+          pairs rest
+        | [ _ ] | [] -> ()
+      in
+      pairs expanded)
+    t.sequences;
+  Hashtbl.fold (fun e n acc -> (e, n) :: acc) counts [] |> List.sort compare
+
+let synthesize t (k : Ir.Kernel.t) ~seed =
+  let profile = edge_profile t in
+  let remaining = Hashtbl.create 64 in
+  List.iter (fun (e, n) -> Hashtbl.replace remaining e n) profile;
+  let prng = Util.Prng.create seed in
+  let nb = Ir.Kernel.block_count k in
+  let successors b =
+    Ir.Terminator.successors k.Ir.Kernel.blocks.(b).Ir.Block.term ~at:b ~num_blocks:nb
+  in
+  let rec walk acc b steps =
+    if steps > 1_000_000 then List.rev acc
+    else begin
+      let choices =
+        List.filter_map
+          (fun s ->
+            match Hashtbl.find_opt remaining (b, s) with
+            | Some n when n > 0 -> Some (float_of_int n, s)
+            | Some _ | None -> None)
+          (successors b)
+      in
+      match choices with
+      | [] -> List.rev acc
+      | _ ->
+        let next = Util.Prng.weighted_pick prng choices in
+        Hashtbl.replace remaining (b, next) (Hashtbl.find remaining (b, next) - 1);
+        walk (next :: acc) next (steps + 1)
+    end
+  in
+  if nb = 0 then [] else walk [ 0 ] 0 0
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "trace v1 warps=%d\n" (warps t);
+  Array.iteri
+    (fun w seq ->
+      Printf.bprintf buf "warp %d:" w;
+      List.iter
+        (fun (b, n) ->
+          if n = 1 then Printf.bprintf buf " %d" b else Printf.bprintf buf " %dx%d" b n)
+        seq;
+      Buffer.add_char buf '\n')
+    t.sequences;
+  Buffer.contents buf
+
+let of_string s =
+  try
+    match String.split_on_char '\n' (String.trim s) with
+    | [] -> Error "empty trace"
+    | header :: rest ->
+      let nwarps =
+        match String.split_on_char '=' header with
+        | [ _; n ] when String.length header > 6 && String.sub header 0 5 = "trace" ->
+          int_of_string (String.trim n)
+        | _ -> failwith "bad header"
+      in
+      let sequences = Array.make nwarps [] in
+      List.iter
+        (fun line ->
+          let line = String.trim line in
+          if line <> "" then begin
+            match String.index_opt line ':' with
+            | None -> failwith ("bad line: " ^ line)
+            | Some colon ->
+              let w =
+                int_of_string
+                  (String.trim (String.sub line 5 (colon - 5)))
+              in
+              if w < 0 || w >= nwarps then failwith "warp out of range";
+              let body = String.sub line (colon + 1) (String.length line - colon - 1) in
+              let entries =
+                String.split_on_char ' ' body
+                |> List.filter (fun x -> x <> "")
+                |> List.map (fun tok ->
+                       match String.index_opt tok 'x' with
+                       | Some i ->
+                         ( int_of_string (String.sub tok 0 i),
+                           int_of_string (String.sub tok (i + 1) (String.length tok - i - 1)) )
+                       | None -> (int_of_string tok, 1))
+              in
+              sequences.(w) <- entries
+          end)
+        rest;
+      Ok { sequences }
+  with
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg

@@ -1,0 +1,263 @@
+type hw_options = {
+  rfc_entries : int;
+  with_lrf : bool;
+  flush_on_backward_branch : bool;
+  never_flush : bool;
+}
+
+let hw_defaults ~rfc_entries =
+  { rfc_entries; with_lrf = false; flush_on_backward_branch = false; never_flush = false }
+
+type scheme =
+  | Baseline
+  | Sw of { config : Alloc.Config.t; placement : Alloc.Placement.t }
+  | Hw of hw_options
+
+type result = {
+  counts : Energy.Counts.t;
+  per_strand : Energy.Counts.t array;
+  dynamic_instrs : int;
+  desched_events : int;
+  capped_warps : int;
+}
+
+let datapath_of_op op =
+  if Ir.Op.is_shared_datapath op then Energy.Model.Shared else Energy.Model.Private
+
+(* Liveness of [r] just before instruction [i] executes. *)
+let live_before (ctx : Alloc.Context.t) (i : Ir.Instr.t) r =
+  List.exists (Ir.Reg.equal r) i.Ir.Instr.srcs
+  || (i.Ir.Instr.dst <> Some r
+      && Analysis.Liveness.live_after_instr ctx.Alloc.Context.liveness ~instr_id:i.Ir.Instr.id r)
+
+(* Per-warp outstanding long-latency writes, resolved after a fixed
+   warp-local instruction distance (see interface). *)
+module Outstanding = struct
+  type t = {
+    shadow : int;
+    mutable pending : (Ir.Reg.t * int) list;  (* reg, warp-local issue index *)
+  }
+
+  let create ~shadow = { shadow; pending = [] }
+
+  let expire t ~now =
+    t.pending <- List.filter (fun (_, issued) -> now - issued < t.shadow) t.pending
+
+  let add t r ~now =
+    expire t ~now;
+    t.pending <- (r, now) :: List.filter (fun (x, _) -> not (Ir.Reg.equal x r)) t.pending
+
+  let blocks_on t r ~now =
+    expire t ~now;
+    List.exists (fun (x, _) -> Ir.Reg.equal x r) t.pending
+
+  let any t ~now =
+    expire t ~now;
+    t.pending <> []
+
+  let clear t = t.pending <- []
+end
+
+let run ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shadow = 50)
+    (ctx : Alloc.Context.t) scheme =
+  let k = ctx.Alloc.Context.kernel in
+  let partition = ctx.Alloc.Context.partition in
+  let num_strands = max 1 (Strand.Partition.num_strands partition) in
+  let per_strand = Array.init num_strands (fun _ -> Energy.Counts.create ()) in
+  let desched_events = ref 0 in
+  let dynamic_instrs = ref 0 in
+  let capped_warps = ref 0 in
+  (* Precomputed static facts for the hardware scheme. *)
+  let shared_consumer =
+    let a = Array.make (Ir.Kernel.instr_count k) false in
+    List.iter
+      (fun (inst : Analysis.Duchain.instance) ->
+        if
+          List.exists
+            (fun (r : Analysis.Duchain.read) ->
+              Ir.Op.is_shared_datapath (Ir.Kernel.instr k r.Analysis.Duchain.read_instr).Ir.Instr.op)
+            inst.Analysis.Duchain.reads
+        then a.(inst.Analysis.Duchain.def) <- true)
+      (Analysis.Duchain.instances ctx.Alloc.Context.duchain);
+    a
+  in
+  let backward_block_last_instr =
+    let s = Hashtbl.create 8 in
+    Array.iter
+      (fun (b : Ir.Block.t) ->
+        if Ir.Terminator.is_backward b.Ir.Block.term ~at:b.Ir.Block.label then
+          Option.iter (fun id -> Hashtbl.add s id ()) (Ir.Block.last_id b))
+      k.Ir.Kernel.blocks;
+    s
+  in
+  let run_warp warp =
+    let cf = Cf.create ?max_dynamic:max_dynamic_per_warp k ~warp ~seed in
+    let outstanding = Outstanding.create ~shadow:long_latency_shadow in
+    let rfc, hw_lrf =
+      match scheme with
+      | Hw opts ->
+        ( Some (Machine.Tagged_cache.create ~entries:opts.rfc_entries),
+          if opts.with_lrf then Some (Machine.Tagged_cache.create ~entries:1) else None )
+      | Baseline | Sw _ -> (None, None)
+    in
+    let counts_for (i : Ir.Instr.t) =
+      per_strand.(Strand.Partition.strand_of_instr partition i.Ir.Instr.id)
+    in
+    (* Writeback one evicted RFC value if still live at the eviction point. *)
+    let writeback_rfc_evict c ~liveness_check reg =
+      if liveness_check reg then begin
+        Energy.Counts.add_read c Energy.Model.Rfc Energy.Model.Private ();
+        Energy.Counts.add_write c Energy.Model.Mrf Energy.Model.Private ()
+      end
+    in
+    let insert_rfc c cache ~liveness_check reg =
+      Option.iter (writeback_rfc_evict c ~liveness_check) (Machine.Tagged_cache.insert cache reg);
+      Energy.Counts.add_write c Energy.Model.Rfc Energy.Model.Private ()
+    in
+    let flush_caches c (i : Ir.Instr.t) =
+      let liveness_check = live_before ctx i in
+      Option.iter
+        (fun lrf ->
+          List.iter
+            (fun r ->
+              if liveness_check r then begin
+                Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ();
+                Energy.Counts.add_write c Energy.Model.Mrf Energy.Model.Private ()
+              end)
+            (Machine.Tagged_cache.flush lrf))
+        hw_lrf;
+      Option.iter
+        (fun cache ->
+          List.iter
+            (fun r ->
+              if liveness_check r then begin
+                Energy.Counts.add_read c Energy.Model.Rfc Energy.Model.Private ();
+                Energy.Counts.add_write c Energy.Model.Mrf Energy.Model.Private ()
+              end)
+            (Machine.Tagged_cache.flush cache))
+        rfc
+    in
+    let rec step () =
+      match Cf.peek cf with
+      | None -> if Cf.hit_cap cf then incr capped_warps
+      | Some i ->
+        let id = i.Ir.Instr.id in
+        let now = Cf.dynamic_count cf in
+        let c = counts_for i in
+        let consumer_dp = datapath_of_op i.Ir.Instr.op in
+        (match scheme with
+         | Baseline ->
+           List.iter
+             (fun _ -> Energy.Counts.add_read c Energy.Model.Mrf consumer_dp ())
+             i.Ir.Instr.srcs;
+           if Option.is_some i.Ir.Instr.dst then
+             Energy.Counts.add_write c Energy.Model.Mrf consumer_dp ()
+         | Sw { placement; _ } ->
+           (* Compiler-scheduled deschedule point. *)
+           if Strand.Partition.starts_strand partition id && Outstanding.any outstanding ~now
+           then begin
+             incr desched_events;
+             Outstanding.clear outstanding
+           end;
+           List.iteri
+             (fun pos _ ->
+               match Alloc.Placement.src placement ~instr:id ~pos with
+               | Alloc.Placement.From_mrf ->
+                 Energy.Counts.add_read c Energy.Model.Mrf consumer_dp ()
+               | Alloc.Placement.From_orf _ ->
+                 Energy.Counts.add_read c Energy.Model.Orf consumer_dp ()
+               | Alloc.Placement.From_lrf _ ->
+                 Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ())
+             i.Ir.Instr.srcs;
+           List.iter
+             (fun (_pos, _entry) -> Energy.Counts.add_write c Energy.Model.Orf consumer_dp ())
+             (Alloc.Placement.fills_of placement ~instr:id);
+           (match i.Ir.Instr.dst, Alloc.Placement.dest placement ~instr:id with
+            | Some d, Some dest ->
+              if dest.Alloc.Placement.to_mrf then
+                Energy.Counts.add_write c Energy.Model.Mrf consumer_dp ();
+              if Option.is_some dest.Alloc.Placement.to_orf then
+                Energy.Counts.add_write c Energy.Model.Orf consumer_dp ();
+              if Option.is_some dest.Alloc.Placement.to_lrf then
+                Energy.Counts.add_write c Energy.Model.Lrf Energy.Model.Private ();
+              if Ir.Instr.is_long_latency i then Outstanding.add outstanding d ~now
+            | _, _ -> ())
+         | Hw opts ->
+           let cache = Option.get rfc in
+           (* Deschedule on an unresolved long-latency dependence. *)
+           let blocks =
+             List.exists (fun r -> Outstanding.blocks_on outstanding r ~now) i.Ir.Instr.srcs
+           in
+           if blocks then begin
+             incr desched_events;
+             if not opts.never_flush then flush_caches c i;
+             Outstanding.clear outstanding
+           end;
+           List.iter
+             (fun r ->
+               let lrf_hit =
+                 consumer_dp = Energy.Model.Private
+                 && (match hw_lrf with
+                     | Some lrf -> Machine.Tagged_cache.contains lrf r
+                     | None -> false)
+               in
+               if lrf_hit then
+                 Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ()
+               else if Machine.Tagged_cache.contains cache r then
+                 Energy.Counts.add_read c Energy.Model.Rfc consumer_dp ()
+               else begin
+                 Energy.Counts.add_rfc_probe c ();
+                 Energy.Counts.add_read c Energy.Model.Mrf consumer_dp ()
+               end)
+             i.Ir.Instr.srcs;
+           (match i.Ir.Instr.dst with
+            | None -> ()
+            | Some d ->
+              let liveness_check r =
+                Analysis.Liveness.live_after_instr ctx.Alloc.Context.liveness ~instr_id:id r
+              in
+              if Ir.Instr.is_long_latency i then begin
+                (* Long-latency results bypass the hierarchy (Sec. 2.2). *)
+                Energy.Counts.add_write c Energy.Model.Mrf consumer_dp ();
+                Machine.Tagged_cache.remove cache d;
+                Option.iter (fun lrf -> Machine.Tagged_cache.remove lrf d) hw_lrf;
+                Outstanding.add outstanding d ~now
+              end
+              else begin
+                match hw_lrf with
+                | Some lrf
+                  when consumer_dp = Energy.Model.Private && not shared_consumer.(id) ->
+                  (* LRF insert; evicted value cascades into the RFC. *)
+                  Option.iter
+                    (fun evicted ->
+                      if liveness_check evicted then begin
+                        Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ();
+                        insert_rfc c cache ~liveness_check evicted
+                      end)
+                    (Machine.Tagged_cache.insert lrf d);
+                  Energy.Counts.add_write c Energy.Model.Lrf Energy.Model.Private ();
+                  Machine.Tagged_cache.remove cache d
+                | Some _ | None ->
+                  insert_rfc c cache ~liveness_check d;
+                  Option.iter (fun lrf -> Machine.Tagged_cache.remove lrf d) hw_lrf
+              end);
+           if opts.flush_on_backward_branch && Hashtbl.mem backward_block_last_instr id then
+             flush_caches c i);
+        Cf.advance cf;
+        step ()
+    in
+    step ();
+    dynamic_instrs := !dynamic_instrs + Cf.dynamic_count cf
+  in
+  for w = 0 to warps - 1 do
+    run_warp w
+  done;
+  let counts = Energy.Counts.create () in
+  Array.iter (fun c -> Energy.Counts.merge_into ~dst:counts c) per_strand;
+  {
+    counts;
+    per_strand;
+    dynamic_instrs = !dynamic_instrs;
+    desched_events = !desched_events;
+    capped_warps = !capped_warps;
+  }

@@ -1,0 +1,1 @@
+lib/strand/must_defined.ml: Analysis Array Ir List Option Partition Util

@@ -1,0 +1,1 @@
+lib/strand/must_defined.mli: Analysis Ir Partition

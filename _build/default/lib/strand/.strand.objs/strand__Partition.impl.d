@@ -1,0 +1,1 @@
+lib/strand/partition.ml: Analysis Array Fun Ir List Option Util

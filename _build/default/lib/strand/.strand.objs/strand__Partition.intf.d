@@ -1,0 +1,1 @@
+lib/strand/partition.mli: Analysis Ir

@@ -1,0 +1,64 @@
+type t = {
+  kernel : Ir.Kernel.t;
+  partition : Partition.t;
+  entry_sets : Util.Bitset.t array;  (* per block: must-defined at block entry *)
+}
+
+let compute (k : Ir.Kernel.t) (cfg : Analysis.Cfg.t) (partition : Partition.t) =
+  let nb = Ir.Kernel.block_count k in
+  let nr = k.Ir.Kernel.num_regs in
+  let reachable = Analysis.Cfg.reachable cfg in
+  let entry_sets = Array.init nb (fun _ -> Util.Bitset.create nr) in
+  let out_sets = Array.init nb (fun _ -> Util.Bitset.create nr) in
+  let first_strand_instr b =
+    (* Strand context entering block b: does its first instruction start
+       a strand?  Empty blocks inherit the incoming context. *)
+    match Ir.Block.first_id k.Ir.Kernel.blocks.(b) with
+    | Some id -> Some id
+    | None -> None
+  in
+  for l = 0 to nb - 1 do
+    let b = k.Ir.Kernel.blocks.(l) in
+    let entry = Util.Bitset.create nr in
+    let boundary_at_start =
+      match first_strand_instr l with
+      | Some id -> Partition.starts_strand partition id
+      | None -> false
+    in
+    if l > 0 && not boundary_at_start then begin
+      let preds = List.filter (fun p -> reachable.(p)) cfg.Analysis.Cfg.preds.(l) in
+      match preds with
+      | [] -> ()
+      | first :: rest ->
+        ignore (Util.Bitset.union_into ~dst:entry out_sets.(first));
+        List.iter (fun p -> ignore (Util.Bitset.inter_into ~dst:entry out_sets.(p))) rest
+    end;
+    entry_sets.(l) <- Util.Bitset.copy entry;
+    let cur = entry in
+    Array.iter
+      (fun (i : Ir.Instr.t) ->
+        if Partition.starts_strand partition i.Ir.Instr.id then Util.Bitset.clear_all cur;
+        Option.iter (fun r -> Util.Bitset.set cur r) i.Ir.Instr.dst)
+      b.Ir.Block.instrs;
+    out_sets.(l) <- cur
+  done;
+  { kernel = k; partition; entry_sets }
+
+let must_defined_before t ~instr_id r =
+  let k = t.kernel in
+  let block = Ir.Kernel.block_of k instr_id in
+  let b = k.Ir.Kernel.blocks.(block) in
+  let cur = Util.Bitset.copy t.entry_sets.(block) in
+  let result = ref false in
+  (try
+     Array.iter
+       (fun (i : Ir.Instr.t) ->
+         if Partition.starts_strand t.partition i.Ir.Instr.id then Util.Bitset.clear_all cur;
+         if i.Ir.Instr.id = instr_id then begin
+           result := Util.Bitset.mem cur r;
+           raise Exit
+         end;
+         Option.iter (fun x -> Util.Bitset.set cur x) i.Ir.Instr.dst)
+       b.Ir.Block.instrs
+   with Exit -> ());
+  !result

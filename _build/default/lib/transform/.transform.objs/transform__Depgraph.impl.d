@@ -1,0 +1,1 @@
+lib/transform/depgraph.ml: Array Hashtbl Ir List Option

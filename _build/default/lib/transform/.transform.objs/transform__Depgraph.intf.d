@@ -1,0 +1,1 @@
+lib/transform/depgraph.mli: Ir

@@ -1,0 +1,1 @@
+lib/transform/reschedule.ml: Array Depgraph Ir List

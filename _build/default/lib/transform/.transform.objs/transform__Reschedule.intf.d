@@ -1,0 +1,1 @@
+lib/transform/reschedule.mli: Ir

@@ -1,0 +1,1 @@
+lib/transform/unroll.ml: Array Hashtbl Ir List Option Printf

@@ -1,0 +1,88 @@
+type t = {
+  n : int;
+  preds : int list array;
+  succs : int list array;
+}
+
+let is_memory (i : Ir.Instr.t) =
+  match Ir.Op.unit_class i.Ir.Instr.op with
+  | Ir.Op.Mem | Ir.Op.Tex -> true
+  | Ir.Op.Alu | Ir.Op.Sfu -> false
+
+let is_memory_barrier (i : Ir.Instr.t) =
+  match i.Ir.Instr.op with
+  | Ir.Op.St_global | Ir.Op.St_shared | Ir.Op.Atom_global -> true
+  | _ -> false
+
+let build (b : Ir.Block.t) =
+  let instrs = b.Ir.Block.instrs in
+  let n = Array.length instrs in
+  let edges = Hashtbl.create (4 * n) in
+  let add_edge from_ to_ =
+    if from_ <> to_ then Hashtbl.replace edges (from_, to_) ()
+  in
+  (* Register dependencies: scan backwards for producers/consumers. *)
+  let last_def : (Ir.Reg.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let readers_since_def : (Ir.Reg.t, int list) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun idx (i : Ir.Instr.t) ->
+      List.iter
+        (fun r ->
+          (* RAW *)
+          Option.iter (fun d -> add_edge d idx) (Hashtbl.find_opt last_def r);
+          Hashtbl.replace readers_since_def r
+            (idx :: Option.value ~default:[] (Hashtbl.find_opt readers_since_def r)))
+        i.Ir.Instr.srcs;
+      Option.iter
+        (fun d ->
+          (* WAW *)
+          Option.iter (fun prev -> add_edge prev idx) (Hashtbl.find_opt last_def d);
+          (* WAR *)
+          List.iter (fun reader -> add_edge reader idx)
+            (Option.value ~default:[] (Hashtbl.find_opt readers_since_def d));
+          Hashtbl.replace last_def d idx;
+          Hashtbl.replace readers_since_def d [])
+        i.Ir.Instr.dst)
+    instrs;
+  (* Memory model: barrier ordering. *)
+  let mem_ops_before_barrier = ref [] in
+  let last_barrier = ref None in
+  Array.iteri
+    (fun idx (i : Ir.Instr.t) ->
+      if is_memory i then begin
+        Option.iter (fun bar -> add_edge bar idx) !last_barrier;
+        if is_memory_barrier i then begin
+          List.iter (fun m -> add_edge m idx) !mem_ops_before_barrier;
+          last_barrier := Some idx;
+          mem_ops_before_barrier := []
+        end
+        else mem_ops_before_barrier := idx :: !mem_ops_before_barrier
+      end)
+    instrs;
+  let preds = Array.make n [] in
+  let succs = Array.make n [] in
+  Hashtbl.iter
+    (fun (f, t') () ->
+      succs.(f) <- t' :: succs.(f);
+      preds.(t') <- f :: preds.(t'))
+    edges;
+  Array.iteri (fun i l -> preds.(i) <- List.sort compare l) preds;
+  Array.iteri (fun i l -> succs.(i) <- List.sort compare l) succs;
+  { n; preds; succs }
+
+let num_instrs t = t.n
+let preds t i = t.preds.(i)
+let succs t i = t.succs.(i)
+
+let respects t ~order =
+  Array.length order = t.n
+  &&
+  let position = Array.make t.n (-1) in
+  Array.iteri (fun pos idx -> if idx >= 0 && idx < t.n then position.(idx) <- pos) order;
+  Array.for_all (fun p -> p >= 0) position
+  &&
+  let ok = ref true in
+  for i = 0 to t.n - 1 do
+    List.iter (fun p -> if position.(p) >= position.(i) then ok := false) t.preds.(i)
+  done;
+  !ok

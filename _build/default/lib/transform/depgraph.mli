@@ -1,0 +1,25 @@
+(** Intra-block dependence graph.
+
+    Edges: register RAW/WAR/WAW, and a memory model where stores and
+    atomics are barriers (loads may reorder with loads and ALU work,
+    never across a store/atomic; stores order with every earlier memory
+    operation).  The trailing [Bra] instruction is pinned last by the
+    scheduler, not by edges.
+
+    Any topological order of this graph preserves the block's
+    semantics. *)
+
+type t
+
+val build : Ir.Block.t -> t
+
+val num_instrs : t -> int
+
+val preds : t -> int -> int list
+(** Dependence predecessors, as indices into the block. *)
+
+val succs : t -> int -> int list
+
+val respects : t -> order:int array -> bool
+(** Is [order] (a permutation of block indices, in schedule order) a
+    topological order of the graph? *)

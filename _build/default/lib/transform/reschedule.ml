@@ -1,0 +1,83 @@
+let block ?(hoist_loads = true) (b : Ir.Block.t) =
+  let instrs = b.Ir.Block.instrs in
+  let n = Array.length instrs in
+  let graph = Depgraph.build b in
+  let indegree = Array.init n (fun i -> List.length (Depgraph.preds graph i)) in
+  let scheduled_pos = Array.make n (-1) in
+  let order = Array.make n (-1) in
+  let is_bra i = instrs.(i).Ir.Instr.op = Ir.Op.Bra in
+  let ready = ref [] in
+  for i = n - 1 downto 0 do
+    if indegree.(i) = 0 then ready := i :: !ready
+  done;
+  (* Backward closure of the long-latency operations: everything that
+     must execute before some load can issue.  Scheduling this closure
+     first clusters the loads at the top of the block, so all their
+     consumers share one strand boundary (the Sec. 6.4 prescription) —
+     a consumer scheduled between two loads would otherwise split the
+     cluster and re-fragment the strands. *)
+  let feeds_long_latency = Array.make n false in
+  if hoist_loads then begin
+    let rec mark i =
+      if not feeds_long_latency.(i) then begin
+        feeds_long_latency.(i) <- true;
+        List.iter mark (Depgraph.preds graph i)
+      end
+    in
+    Array.iteri (fun i instr -> if Ir.Instr.is_long_latency instr then mark i) instrs
+  end;
+  let priority i =
+    (* Larger = scheduled sooner. *)
+    let chain_affinity =
+      List.fold_left
+        (fun acc p -> if scheduled_pos.(p) >= 0 then max acc scheduled_pos.(p) else acc)
+        (-1) (Depgraph.preds graph i)
+    in
+    let hoist = if feeds_long_latency.(i) then 1 else 0 in
+    (hoist, chain_affinity, -i)
+  in
+  for pos = 0 to n - 1 do
+    let candidates = List.filter (fun i -> not (is_bra i)) !ready in
+    let pool = if candidates = [] then !ready else candidates in
+    let best =
+      List.fold_left
+        (fun acc i ->
+          match acc with
+          | None -> Some i
+          | Some j -> if priority i > priority j then Some i else acc)
+        None pool
+    in
+    match best with
+    | None -> invalid_arg "Reschedule.block: dependence graph has a cycle"
+    | Some i ->
+      order.(pos) <- i;
+      scheduled_pos.(i) <- pos;
+      ready := List.filter (fun x -> x <> i) !ready;
+      List.iter
+        (fun s ->
+          indegree.(s) <- indegree.(s) - 1;
+          if indegree.(s) = 0 then ready := s :: !ready)
+        (Depgraph.succs graph i)
+  done;
+  order
+
+let kernel ?hoist_loads (k : Ir.Kernel.t) =
+  let next_id = ref 0 in
+  let blocks =
+    Array.map
+      (fun (b : Ir.Block.t) ->
+        let order = block ?hoist_loads b in
+        let instrs =
+          Array.map
+            (fun idx ->
+              let i = b.Ir.Block.instrs.(idx) in
+              let id = !next_id in
+              incr next_id;
+              Ir.Instr.make ~id ~op:i.Ir.Instr.op ~dst:i.Ir.Instr.dst ~srcs:i.Ir.Instr.srcs
+                ~width:i.Ir.Instr.width)
+            order
+        in
+        { b with Ir.Block.instrs })
+      k.Ir.Kernel.blocks
+  in
+  Ir.Kernel.make ~name:(k.Ir.Kernel.name ^ "+resched") ~blocks ~num_regs:k.Ir.Kernel.num_regs

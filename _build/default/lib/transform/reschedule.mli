@@ -1,0 +1,26 @@
+(** Within-block instruction rescheduling — a real implementation of
+    the pass the paper's Sec. 7 limit study only idealizes.
+
+    Two cooperating heuristics over the block dependence graph:
+
+    - {e chain packing}: among ready instructions, prefer the one
+      consuming the most recently scheduled producer, linearizing
+      dependence chains so values die within an instruction or two of
+      birth (more LRF-sized lifetimes, a larger effective ORF);
+    - {e load hoisting} (optional): ready long-latency operations
+      schedule first, clustering them at the top of the block so their
+      consumers share one strand boundary instead of fragmenting the
+      block — the paper's advice for the Reduction/ScalarProd worst
+      cases.
+
+    A conditional block's trailing [Bra] stays last; all reorderings
+    are topological in the dependence graph, so semantics are
+    preserved (checked by {!Depgraph.respects} in tests and by the
+    placement verifier downstream). *)
+
+val block : ?hoist_loads:bool -> Ir.Block.t -> int array
+(** The schedule, as block indices in execution order. *)
+
+val kernel : ?hoist_loads:bool -> Ir.Kernel.t -> Ir.Kernel.t
+(** Reschedule every block (default [hoist_loads:true]); instruction
+    ids are renumbered to the new layout. *)

@@ -1,0 +1,106 @@
+let self_loop (b : Ir.Block.t) =
+  match b.Ir.Block.term with
+  | Ir.Terminator.Branch { target; behavior = Ir.Terminator.Loop n }
+    when target = b.Ir.Block.label -> Some n
+  | _ -> None
+
+let candidates (k : Ir.Kernel.t) =
+  Array.to_list k.Ir.Kernel.blocks
+  |> List.filter_map (fun (b : Ir.Block.t) ->
+         Option.map (fun n -> (b.Ir.Block.label, n)) (self_loop b))
+
+(* The trailing Bra and, when its predicate has no other use in the
+   block, the predicate's definition: the instructions dropped from
+   non-final copies. *)
+let exit_test_indices (b : Ir.Block.t) =
+  let n = Array.length b.Ir.Block.instrs in
+  if n = 0 then []
+  else begin
+    let last = b.Ir.Block.instrs.(n - 1) in
+    if last.Ir.Instr.op <> Ir.Op.Bra then []
+    else begin
+      match last.Ir.Instr.srcs with
+      | [ pred ] ->
+        let pred_uses =
+          Array.to_list b.Ir.Block.instrs
+          |> List.filter (fun (i : Ir.Instr.t) -> List.mem pred i.Ir.Instr.srcs)
+          |> List.length
+        in
+        let def_idx =
+          let found = ref None in
+          Array.iteri
+            (fun idx (i : Ir.Instr.t) -> if i.Ir.Instr.dst = Some pred then found := Some idx)
+            b.Ir.Block.instrs;
+          !found
+        in
+        (match def_idx with
+         | Some d when pred_uses = 1 -> [ d; n - 1 ]
+         | Some _ | None -> [ n - 1 ])
+      | _ -> [ n - 1 ]
+    end
+  end
+
+let kernel ~factor (k : Ir.Kernel.t) =
+  if factor < 1 then invalid_arg "Unroll.kernel: factor < 1";
+  let next_id = ref 0 in
+  let next_reg = ref k.Ir.Kernel.num_regs in
+  let copy_instr (i : Ir.Instr.t) =
+    let id = !next_id in
+    incr next_id;
+    Ir.Instr.make ~id ~op:i.Ir.Instr.op ~dst:i.Ir.Instr.dst ~srcs:i.Ir.Instr.srcs
+      ~width:i.Ir.Instr.width
+  in
+  let blocks =
+    Array.map
+      (fun (b : Ir.Block.t) ->
+        match self_loop b with
+        | Some trips when factor > 1 && trips mod factor = 0 && trips >= factor ->
+          let dropped = exit_test_indices b in
+          (* Register renaming across copies: without it, a copy's
+             definitions carry WAR/WAW dependences on the previous
+             copy's reads, serializing the copies and defeating load
+             clustering.  Non-final copies define fresh names; the
+             final copy restores the original names, so the backedge
+             and the loop exit see the registers they expect. *)
+          let current : (Ir.Reg.t, Ir.Reg.t) Hashtbl.t = Hashtbl.create 16 in
+          let rename r = Option.value ~default:r (Hashtbl.find_opt current r) in
+          let body_copy ~final =
+            Array.to_list b.Ir.Block.instrs
+            |> List.filteri (fun idx _ -> final || not (List.mem idx dropped))
+            |> List.map (fun (i : Ir.Instr.t) ->
+                   let srcs = List.map rename i.Ir.Instr.srcs in
+                   let dst =
+                     Option.map
+                       (fun d ->
+                         if final then begin
+                           Hashtbl.replace current d d;
+                           d
+                         end
+                         else begin
+                           let d' = !next_reg in
+                           next_reg := !next_reg + Ir.Width.words i.Ir.Instr.width;
+                           Hashtbl.replace current d d';
+                           d'
+                         end)
+                       i.Ir.Instr.dst
+                   in
+                   let id = !next_id in
+                   incr next_id;
+                   Ir.Instr.make ~id ~op:i.Ir.Instr.op ~dst ~srcs ~width:i.Ir.Instr.width)
+          in
+          let copies =
+            List.concat (List.init factor (fun c -> body_copy ~final:(c = factor - 1)))
+          in
+          {
+            b with
+            Ir.Block.instrs = Array.of_list copies;
+            term =
+              Ir.Terminator.Branch
+                { target = b.Ir.Block.label; behavior = Ir.Terminator.Loop (trips / factor) };
+          }
+        | Some _ | None -> { b with Ir.Block.instrs = Array.map copy_instr b.Ir.Block.instrs })
+      k.Ir.Kernel.blocks
+  in
+  Ir.Kernel.make
+    ~name:(Printf.sprintf "%s+unroll%d" k.Ir.Kernel.name factor)
+    ~blocks ~num_regs:!next_reg

@@ -1,0 +1,27 @@
+(** Loop unrolling for counted self-loops.
+
+    The paper's prescription for its worst-case benchmarks (Sec. 6.4):
+    "unroll the inner loop and issue all of the long latency
+    instructions at the beginning of the loop", letting the rest of the
+    body stay resident and use the LRF/ORF.  This pass implements the
+    unrolling half; composing with {!Reschedule} (load hoisting) gives
+    the full recipe.
+
+    A candidate loop is a single block ending in a backward branch onto
+    itself with a [Loop n] behaviour.  Unrolling by [factor] (which
+    must divide [n]) concatenates [factor] copies of the body, drops
+    the intermediate exit tests (the trip count is static) — including
+    each dropped test's predicate computation when it has no other use
+    — and divides the trip count.  Registers are {e not} renamed:
+    the IR is imperative, so plain duplication preserves semantics;
+    the allocator's per-definition handling deals with the resulting
+    multi-definition registers. *)
+
+val kernel : factor:int -> Ir.Kernel.t -> Ir.Kernel.t
+(** Unroll every candidate self-loop whose trip count [factor]
+    divides; other blocks are untouched.  [factor <= 1] or no
+    candidates returns an identical kernel (fresh ids).
+    @raise Invalid_argument if [factor < 1]. *)
+
+val candidates : Ir.Kernel.t -> (int * int) list
+(** [(block, trips)] for each unrollable self-loop. *)

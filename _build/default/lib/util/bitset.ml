@@ -1,0 +1,83 @@
+type t = { bits : Bytes.t; capacity : int }
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create";
+  { bits = Bytes.make ((capacity + 7) / 8) '\000'; capacity }
+
+let capacity t = t.capacity
+
+let copy t = { bits = Bytes.copy t.bits; capacity = t.capacity }
+
+let check t i =
+  if i < 0 || i >= t.capacity then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of [0, %d)" i t.capacity)
+
+let set t i =
+  check t i;
+  let byte = i lsr 3 and bit = i land 7 in
+  Bytes.unsafe_set t.bits byte
+    (Char.chr (Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl bit)))
+
+let clear t i =
+  check t i;
+  let byte = i lsr 3 and bit = i land 7 in
+  Bytes.unsafe_set t.bits byte
+    (Char.chr (Char.code (Bytes.unsafe_get t.bits byte) land lnot (1 lsl bit) land 0xff))
+
+let mem t i =
+  check t i;
+  let byte = i lsr 3 and bit = i land 7 in
+  Char.code (Bytes.unsafe_get t.bits byte) land (1 lsl bit) <> 0
+
+let check_same a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch"
+
+let binop_into f ~dst src =
+  check_same dst src;
+  let changed = ref false in
+  for byte = 0 to Bytes.length dst.bits - 1 do
+    let d = Char.code (Bytes.unsafe_get dst.bits byte) in
+    let s = Char.code (Bytes.unsafe_get src.bits byte) in
+    let r = f d s land 0xff in
+    if r <> d then begin
+      changed := true;
+      Bytes.unsafe_set dst.bits byte (Char.chr r)
+    end
+  done;
+  !changed
+
+let union_into ~dst src = binop_into (fun d s -> d lor s) ~dst src
+let inter_into ~dst src = binop_into (fun d s -> d land s) ~dst src
+let diff_into ~dst src = binop_into (fun d s -> d land lnot s) ~dst src
+
+let equal a b = a.capacity = b.capacity && Bytes.equal a.bits b.bits
+
+let is_empty t = Bytes.for_all (fun c -> c = '\000') t.bits
+
+let fill_all t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\255';
+  (* Zero the bits beyond capacity so equal/is_empty stay meaningful. *)
+  for i = t.capacity to (Bytes.length t.bits * 8) - 1 do
+    let byte = i lsr 3 and bit = i land 7 in
+    Bytes.unsafe_set t.bits byte
+      (Char.chr (Char.code (Bytes.unsafe_get t.bits byte) land lnot (1 lsl bit) land 0xff))
+  done
+
+let clear_all t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+let iter t f =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done
+
+let elements t =
+  let acc = ref [] in
+  for i = t.capacity - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let count t =
+  let n = ref 0 in
+  iter t (fun _ -> incr n);
+  !n

@@ -1,0 +1,29 @@
+(** Fixed-size mutable bitsets for dataflow analyses. *)
+
+type t
+
+val create : int -> t
+(** All-zero bitset of the given capacity. *)
+
+val capacity : t -> int
+val copy : t -> t
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+val union_into : dst:t -> t -> bool
+(** [union_into ~dst src] ors [src] into [dst]; returns [true] if [dst]
+    changed.  Capacities must match. *)
+
+val inter_into : dst:t -> t -> bool
+(** Ands [src] into [dst]; returns [true] if [dst] changed. *)
+
+val diff_into : dst:t -> t -> bool
+(** Removes [src]'s bits from [dst]; returns [true] if [dst] changed. *)
+
+val equal : t -> t -> bool
+val is_empty : t -> bool
+val fill_all : t -> unit
+val clear_all : t -> unit
+val iter : t -> (int -> unit) -> unit
+val elements : t -> int list
+val count : t -> int

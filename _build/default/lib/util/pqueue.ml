@@ -1,0 +1,81 @@
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~cmp = { cmp; data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+(* Higher cmp first; on ties, earlier insertion first. *)
+let higher t a b =
+  let c = t.cmp a.value b.value in
+  if c <> 0 then c > 0 else a.seq < b.seq
+
+let grow t =
+  let cap = Array.length t.data in
+  if t.size >= cap then begin
+    let ncap = max 8 (2 * cap) in
+    let fresh = Array.make ncap t.data.(0) in
+    Array.blit t.data 0 fresh 0 t.size;
+    t.data <- fresh
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if higher t t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.size && higher t t.data.(l) t.data.(!best) then best := l;
+  if r < t.size && higher t t.data.(r) t.data.(!best) then best := r;
+  if !best <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!best);
+    t.data.(!best) <- tmp;
+    sift_down t !best
+  end
+
+let push t v =
+  let e = { value = v; seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.data = 0 then t.data <- Array.make 8 e else grow t;
+  t.data.(t.size) <- e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some top.value
+  end
+
+let peek t = if t.size = 0 then None else Some t.data.(0).value
+
+let of_list ~cmp xs =
+  let t = create ~cmp in
+  List.iter (push t) xs;
+  t
+
+let to_sorted_list t =
+  let rec go acc = match pop t with None -> List.rev acc | Some v -> go (v :: acc) in
+  go []

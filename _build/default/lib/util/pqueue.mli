@@ -1,0 +1,27 @@
+(** Mutable binary max-heap priority queue.
+
+    The allocator (paper Fig. 7) pops register instances in decreasing
+    order of energy savings per occupied issue slot; this heap provides
+    that ordering.  Ties are broken by insertion order so allocation is
+    deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty queue.  [cmp a b > 0] means [a] has higher
+    priority than [b]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the highest-priority element. *)
+
+val peek : 'a t -> 'a option
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val to_sorted_list : 'a t -> 'a list
+(** Destructive: drains the queue in priority order. *)

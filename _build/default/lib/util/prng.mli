@@ -1,0 +1,48 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    All stochastic behaviour in the library (branch outcomes, random
+    kernel generation) flows through this module so that every
+    experiment is exactly reproducible from a seed.  The generator is
+    SplitMix64, which is adequate for workload synthesis and has a
+    trivially splittable state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of the remainder of [g]'s stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound] must be > 0. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array.  @raise Invalid_argument on
+    an empty array. *)
+
+val weighted_pick : t -> (float * 'a) list -> 'a
+(** Choice proportional to the given non-negative weights.
+    @raise Invalid_argument if all weights are zero or the list is
+    empty. *)
+
+val hash2 : int -> int -> int
+(** [hash2 a b] is a deterministic non-negative hash of the pair, used
+    for stateless per-(warp, site) branch decisions. *)

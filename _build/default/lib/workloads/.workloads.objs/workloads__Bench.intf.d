@@ -1,0 +1,1 @@
+lib/workloads/bench.mli: Ir Lazy Suite

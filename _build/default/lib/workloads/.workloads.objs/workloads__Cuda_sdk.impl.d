@@ -1,0 +1,1 @@
+lib/workloads/cuda_sdk.ml: Bench Dsl Ir List Suite

@@ -1,0 +1,1 @@
+lib/workloads/cuda_sdk.mli: Bench

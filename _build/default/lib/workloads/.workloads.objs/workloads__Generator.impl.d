@@ -1,0 +1,1 @@
+lib/workloads/generator.ml: Array Dsl Ir List Printf Util

@@ -1,0 +1,1 @@
+lib/workloads/parboil.ml: Bench Dsl Ir Suite

@@ -1,0 +1,1 @@
+lib/workloads/parboil.mli: Bench

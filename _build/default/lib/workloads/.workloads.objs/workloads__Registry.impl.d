@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Bench Cuda_sdk Ir Lazy List Parboil Rodinia String Suite

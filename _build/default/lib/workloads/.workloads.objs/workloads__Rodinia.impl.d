@@ -1,0 +1,1 @@
+lib/workloads/rodinia.ml: Bench Dsl Ir Suite

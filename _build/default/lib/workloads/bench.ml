@@ -1,0 +1,17 @@
+type entry = {
+  name : string;
+  suite : Suite.t;
+  description : string;
+  kernel : Ir.Kernel.t Lazy.t;
+  kernels : Ir.Kernel.t list Lazy.t;
+}
+
+let make suite name ~description ?(extras = []) build =
+  let kernel = lazy (build ()) in
+  {
+    name;
+    suite;
+    description;
+    kernel;
+    kernels = lazy (Lazy.force kernel :: List.map (fun f -> f ()) extras);
+  }

@@ -1,0 +1,21 @@
+(** One registered benchmark (see {!Registry}).
+
+    Real applications launch several kernels; [kernel] is the dominant
+    one (used by single-kernel studies such as the IPC simulation) and
+    [kernels] the full set, which the energy experiments aggregate. *)
+
+type entry = {
+  name : string;
+  suite : Suite.t;
+  description : string;
+  kernel : Ir.Kernel.t Lazy.t;           (** the dominant kernel *)
+  kernels : Ir.Kernel.t list Lazy.t;     (** every kernel, dominant first *)
+}
+
+val make :
+  Suite.t ->
+  string ->
+  description:string ->
+  ?extras:(unit -> Ir.Kernel.t) list ->
+  (unit -> Ir.Kernel.t) ->
+  entry

@@ -1,0 +1,763 @@
+(* The 25 CUDA SDK 3.2 applications of paper Table 1, modelled as
+   synthetic kernels.  Each kernel reproduces the register-usage
+   signature of the real application's dominant kernel: its mix of
+   function units, its loop structure, how often values are re-read
+   and how far apart, and where long-latency operations sit relative
+   to their consumers. *)
+
+module B = Ir.Builder
+module D = Dsl
+
+let entry = Bench.make Suite.Cuda_sdk
+
+(* Streaming c[i] = a[i] + b[i]: one short strand per iteration, almost
+   every value read exactly once. *)
+let vector_add () =
+  let b = B.create "VectorAdd" in
+  let base_a = D.input b and base_b = D.input b and base_c = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:16 (fun i ->
+      let idx = D.iadd b tid i in
+      let x = D.ld_global b (D.addr2 b ~base:base_a ~idx) in
+      let y = D.ld_global b (D.addr2 b ~base:base_b ~idx) in
+      let s = D.fadd b x y in
+      D.st_global b ~addr:(D.addr2 b ~base:base_c ~idx) ~value:s);
+  B.finalize b
+
+(* Tight dot-product loop: two global loads feeding one FMA into a
+   loop-carried accumulator — the paper's worst case (Fig. 15). *)
+let scalar_prod () =
+  let b = B.create "ScalarProd" in
+  let base_a = D.input b and base_b = D.input b and tid = D.input b in
+  let acc = D.mov0 b in
+  D.counted_loop b ~trips:32 (fun i ->
+      let idx = D.iadd b tid i in
+      let x = D.ld_global b (D.addr2 b ~base:base_a ~idx) in
+      let y = D.ld_global b (D.addr2 b ~base:base_b ~idx) in
+      B.op3_into b Ir.Op.Ffma ~dst:acc x y acc);
+  let out = D.input b in
+  D.st_global b ~addr:out ~value:acc;
+  B.finalize b
+
+(* Global-load accumulation followed by a shared-memory tree: the other
+   Fig. 15 worst case. *)
+let reduction () =
+  let b = B.create "Reduction" in
+  let base = D.input b and tid = D.input b and sbase = D.input b in
+  let acc = D.mov0 b in
+  D.counted_loop b ~trips:32 (fun i ->
+      let idx = D.iadd b tid i in
+      let x = D.ld_global b (D.addr2 b ~base ~idx) in
+      B.op2_into b Ir.Op.Fadd ~dst:acc acc x);
+  D.st_shared b ~addr:(D.addr2 b ~base:sbase ~idx:tid) ~value:acc;
+  (* log2(256) = 8 tree steps, each a shared load + add + store. *)
+  D.counted_loop b ~trips:8 (fun i ->
+      let partner = D.ishr b tid i in
+      let other = D.ld_shared b (D.addr2 b ~base:sbase ~idx:partner) in
+      let mine = D.ld_shared b (D.addr2 b ~base:sbase ~idx:tid) in
+      let s = D.fadd b mine other in
+      D.st_shared b ~addr:(D.addr2 b ~base:sbase ~idx:tid) ~value:s);
+  B.finalize b
+
+(* Tiled GEMM: shared-memory staging then an unrolled inner product
+   with a heavily re-read accumulator and tile registers. *)
+let matrix_mul () =
+  let b = B.create "MatrixMul" in
+  let base_a = D.input b and base_b = D.input b and base_c = D.input b in
+  let row = D.input b and col = D.input b and stile = D.input b in
+  let acc = D.mov0 b in
+  D.counted_loop b ~trips:8 (fun t ->
+      (* Stage one tile element of A and B into shared memory. *)
+      let ga = D.addr3 b ~base:base_a ~row ~col:t in
+      let gb = D.addr3 b ~base:base_b ~row:t ~col in
+      let a = D.ld_global b ga in
+      let bb = D.ld_global b gb in
+      D.st_shared b ~addr:(D.addr2 b ~base:stile ~idx:row) ~value:a;
+      D.st_shared b ~addr:(D.addr2 b ~base:stile ~idx:col) ~value:bb;
+      (* Unrolled k-loop over the tile. *)
+      for _k = 1 to 4 do
+        let x = D.ld_shared b (D.addr2 b ~base:stile ~idx:row) in
+        let y = D.ld_shared b (D.addr2 b ~base:stile ~idx:col) in
+        B.op3_into b Ir.Op.Ffma ~dst:acc x y acc
+      done);
+  D.st_global b ~addr:(D.addr3 b ~base:base_c ~row ~col) ~value:acc;
+  B.finalize b
+
+(* Four texture fetches blended with cubic weights; the weights are
+   computed once and each read four times. *)
+let bicubic_texture () =
+  let b = B.create "BicubicTexture" in
+  let u = D.input b and v = D.input b and out = D.input b in
+  let fu = D.cvt b u in
+  let w0 = D.fmul b fu fu in
+  let w1 = D.ffma b fu w0 w0 in
+  let w2 = D.fadd b w0 w1 in
+  let w3 = D.fmul b w1 w2 in
+  let acc = D.mov0 b in
+  List.iteri
+    (fun off w ->
+      let coord = D.iadd b u (if off mod 2 = 0 then v else u) in
+      let texel = D.tex b coord in
+      B.op3_into b Ir.Op.Ffma ~dst:acc texel w acc)
+    [ w0; w1; w2; w3 ];
+  D.st_global b ~addr:out ~value:acc;
+  B.finalize b
+
+(* Binomial option pricing: backward induction over shared-memory call
+   values; pu/pd read every iteration (read-operand pattern). *)
+let binomial_options () =
+  let b = B.create "BinomialOptions" in
+  let svals = D.input b and pu = D.input b and pd = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:16 (fun step ->
+      let idx = D.iadd b tid step in
+      let hi = D.ld_shared b (D.addr2 b ~base:svals ~idx) in
+      let lo = D.ld_shared b (D.addr2 b ~base:svals ~idx:tid) in
+      let v = D.fmul b hi pu in
+      let v2 = D.ffma b lo pd v in
+      D.st_shared b ~addr:(D.addr2 b ~base:svals ~idx:tid) ~value:v2);
+  B.finalize b
+
+(* Sliding-window box filter: the running sum is updated in place, the
+   scale factor is a loop-invariant input. *)
+let box_filter () =
+  let b = B.create "BoxFilter" in
+  let src = D.input b and dst = D.input b and tid = D.input b and scale = D.input b in
+  let sum = D.mov0 b in
+  D.counted_loop b ~trips:24 (fun i ->
+      let idx = D.iadd b tid i in
+      let incoming = D.ld_global b (D.addr2 b ~base:src ~idx) in
+      let outgoing = D.ld_global b (D.addr2 b ~base:src ~idx:tid) in
+      B.op2_into b Ir.Op.Fadd ~dst:sum sum incoming;
+      B.op2_into b Ir.Op.Fsub ~dst:sum sum outgoing;
+      let v = D.fmul b sum scale in
+      D.st_global b ~addr:(D.addr2 b ~base:dst ~idx) ~value:v);
+  B.finalize b
+
+(* Separable convolution: unrolled 8-tap FIR over shared memory with
+   coefficient inputs re-read every iteration. *)
+let convolution_separable () =
+  let b = B.create "ConvolutionSeparable" in
+  let smem = D.input b and dst = D.input b and tid = D.input b in
+  let coeffs = D.inputs b 8 in
+  D.counted_loop b ~trips:8 (fun i ->
+      let base_idx = D.iadd b tid i in
+      let acc = D.mov0 b in
+      List.iter
+        (fun c ->
+          let x = D.ld_shared b (D.addr2 b ~base:smem ~idx:base_idx) in
+          B.op3_into b Ir.Op.Ffma ~dst:acc x c acc)
+        coeffs;
+      D.st_global b ~addr:(D.addr2 b ~base:dst ~idx:base_idx) ~value:acc);
+  B.finalize b
+
+(* Texture-path convolution: the taps come from the texture unit. *)
+let convolution_texture () =
+  let b = B.create "ConvolutionTexture" in
+  let dst = D.input b and tid = D.input b in
+  let coeffs = D.inputs b 4 in
+  D.counted_loop b ~trips:12 (fun i ->
+      let base_idx = D.iadd b tid i in
+      let acc = D.mov0 b in
+      List.iter
+        (fun c ->
+          let t = D.tex b base_idx in
+          B.op3_into b Ir.Op.Ffma ~dst:acc t c acc)
+        coeffs;
+      D.st_global b ~addr:(D.addr2 b ~base:dst ~idx:base_idx) ~value:acc);
+  B.finalize b
+
+(* 8x8 DCT butterflies on shared memory: values produced by one stage
+   are each read twice by the next (read-2 burst pattern). *)
+let dct8x8 () =
+  let b = B.create "Dct8x8" in
+  let smem = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:4 (fun row ->
+      let base_idx = D.iadd b tid row in
+      let xs = List.init 8 (fun _ -> D.ld_shared b (D.addr2 b ~base:smem ~idx:base_idx)) in
+      let rec butterfly = function
+        | a :: c :: rest ->
+          let s = D.fadd b a c in
+          let d = D.fsub b a c in
+          (s, d) :: butterfly rest
+        | _ -> []
+      in
+      let stage1 = butterfly xs in
+      let sums = List.map fst stage1 and diffs = List.map snd stage1 in
+      let stage2 = butterfly (sums @ diffs) in
+      List.iter
+        (fun (s, d) ->
+          let v = D.ffma b s d s in
+          D.st_shared b ~addr:(D.addr2 b ~base:smem ~idx:base_idx) ~value:v)
+        stage2);
+  B.finalize b
+
+(* Haar wavelet: load a pair, produce average and difference. *)
+let dwt_haar1d () =
+  let b = B.create "DwtHaar1D" in
+  let src = D.input b and dst_lo = D.input b and dst_hi = D.input b and tid = D.input b in
+  let half = D.input b in
+  D.counted_loop b ~trips:16 (fun i ->
+      let idx = D.iadd b tid i in
+      let a = D.ld_global b (D.addr2 b ~base:src ~idx) in
+      let c = D.ld_global b (D.addr2 b ~base:src ~idx:tid) in
+      let avg = D.fmul b (D.fadd b a c) half in
+      let diff = D.fmul b (D.fsub b a c) half in
+      D.st_global b ~addr:(D.addr2 b ~base:dst_lo ~idx) ~value:avg;
+      D.st_global b ~addr:(D.addr2 b ~base:dst_hi ~idx) ~value:diff);
+  B.finalize b
+
+(* DXT compression: min/max endpoint search over an unrolled pixel
+   block, then bit packing with shifts and ors. *)
+let dxtc () =
+  let b = B.create "Dxtc" in
+  let src = D.input b and dst = D.input b and tid = D.input b in
+  let lo = D.mov0 b in
+  let hi = D.mov0 b in
+  D.counted_loop b ~trips:4 (fun i ->
+      let idx = D.iadd b tid i in
+      let pixels = List.init 4 (fun _ -> D.ld_global b (D.addr2 b ~base:src ~idx)) in
+      List.iter
+        (fun p ->
+          B.op2_into b Ir.Op.Imin ~dst:lo lo p;
+          B.op2_into b Ir.Op.Imax ~dst:hi hi p)
+        pixels;
+      let range = D.isub b hi lo in
+      let packed = D.ior b (D.ishl b lo range) (D.ishr b hi range) in
+      D.st_global b ~addr:(D.addr2 b ~base:dst ~idx) ~value:packed);
+  B.finalize b
+
+(* Eigenvalue bisection: data-dependent interval halving with a
+   divergent hammock per step. *)
+let eigen_values () =
+  let b = B.create "EigenValues" in
+  let diag = D.input b and tid = D.input b and out = D.input b in
+  let left = D.mov0 b in
+  let right = D.mov0 b in
+  D.counted_loop b ~trips:20 (fun i ->
+      let mid = D.fmul b (D.fadd b left right) (D.input b) in
+      let idx = D.iadd b tid i in
+      let d = D.ld_shared b (D.addr2 b ~base:diag ~idx) in
+      let cmp = D.setp b d mid in
+      D.if_then_else b ~pred:cmp ~taken_prob:0.5
+        (fun () -> B.op1_into b Ir.Op.Mov ~dst:left mid)
+        (fun () -> B.op1_into b Ir.Op.Mov ~dst:right mid));
+  D.st_global b ~addr:out ~value:(D.fadd b left right);
+  B.finalize b
+
+(* Walsh-Hadamard butterfly passes over global memory. *)
+let fast_walsh_transform () =
+  let b = B.create "FastWalshTransform" in
+  let data = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:10 (fun stride ->
+      let pos = D.ishl b tid stride in
+      let a = D.ld_global b (D.addr2 b ~base:data ~idx:pos) in
+      let c = D.ld_global b (D.addr2 b ~base:data ~idx:tid) in
+      let s = D.fadd b a c in
+      let d = D.fsub b a c in
+      D.st_global b ~addr:(D.addr2 b ~base:data ~idx:pos) ~value:s;
+      D.st_global b ~addr:(D.addr2 b ~base:data ~idx:tid) ~value:d);
+  B.finalize b
+
+(* 256-bin histogram: bin index arithmetic and shared-memory counter
+   updates through atomics. *)
+let histogram () =
+  let b = B.create "Histogram" in
+  let src = D.input b and bins = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:24 (fun i ->
+      let idx = D.iadd b tid i in
+      let x = D.ld_global b (D.addr2 b ~base:src ~idx) in
+      let bin = D.iand b (D.ishr b x x) x in
+      let slot = D.addr2 b ~base:bins ~idx:bin in
+      let one = D.mov0 b in
+      ignore (D.atom_global b slot one));
+  B.finalize b
+
+(* Non-local-means-style denoising: per-neighbour distance, an SFU
+   exponential weight, and two running accumulators. *)
+let image_denoising () =
+  let b = B.create "ImageDenoising" in
+  let src = D.input b and dst = D.input b and tid = D.input b and center = D.input b in
+  let wsum = D.mov0 b in
+  let vsum = D.mov0 b in
+  D.counted_loop b ~trips:9 (fun i ->
+      let idx = D.iadd b tid i in
+      let p = D.ld_global b (D.addr2 b ~base:src ~idx) in
+      let d = D.fsub b p center in
+      let d2 = D.fmul b d d in
+      let w = D.ex2 b d2 in
+      B.op2_into b Ir.Op.Fadd ~dst:wsum wsum w;
+      B.op3_into b Ir.Op.Ffma ~dst:vsum p w vsum);
+  let inv = D.rcp b wsum in
+  D.st_global b ~addr:(D.addr2 b ~base:dst ~idx:tid) ~value:(D.fmul b vsum inv);
+  B.finalize b
+
+(* Mandelbrot iteration: z updated in place, divergent escape test. *)
+let mandelbrot () =
+  let b = B.create "Mandelbrot" in
+  let cx = D.input b and cy = D.input b and out = D.input b and tid = D.input b in
+  let zx = D.mov0 b in
+  let zy = D.mov0 b in
+  let count = D.mov0 b in
+  D.counted_loop b ~trips:24 (fun _i ->
+      (* Three unrolled z = z^2 + c steps per trip, as real codegen
+         unrolls the escape loop. *)
+      for _u = 1 to 3 do
+        let xx = D.fmul b zx zx in
+        let yy = D.fmul b zy zy in
+        let xy = D.fmul b zx zy in
+        B.op2_into b Ir.Op.Fadd ~dst:zx (D.fsub b xx yy) cx;
+        B.op2_into b Ir.Op.Fadd ~dst:zy (D.fadd b xy xy) cy
+      done;
+      let xx = D.fmul b zx zx in
+      let yy = D.fmul b zy zy in
+      let mag = D.fadd b xx yy in
+      let esc = D.setp b mag cx in
+      D.if_then b ~pred:esc ~taken_prob:0.7 (fun () ->
+          B.op2_into b Ir.Op.Iadd ~dst:count count count));
+  D.st_global b ~addr:(D.addr2 b ~base:out ~idx:tid) ~value:count;
+  B.finalize b
+
+(* Merge sort rank computation: compare-select ladders. *)
+let merge_sort () =
+  let b = B.create "MergeSort" in
+  let keys = D.input b and dst = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:12 (fun i ->
+      let idx = D.iadd b tid i in
+      let a = D.ld_global b (D.addr2 b ~base:keys ~idx) in
+      let c = D.ld_global b (D.addr2 b ~base:keys ~idx:tid) in
+      let p = D.setp b a c in
+      let lo = D.sel b p a c in
+      let hi = D.sel b p c a in
+      D.st_global b ~addr:(D.addr2 b ~base:dst ~idx) ~value:lo;
+      D.st_global b ~addr:(D.addr2 b ~base:dst ~idx:tid) ~value:hi);
+  B.finalize b
+
+(* Monte Carlo option pricing: an inlined RNG, Box–Muller SFU pipeline
+   and a payoff accumulator. *)
+let monte_carlo () =
+  let b = B.create "MonteCarlo" in
+  let seed = D.input b and strike = D.input b and out = D.input b and tid = D.input b in
+  let state = D.mov b seed in
+  let acc = D.mov0 b in
+  D.counted_loop b ~trips:24 (fun _i ->
+      (* xorshift: three shift/xor steps *)
+      B.op2_into b Ir.Op.Ixor ~dst:state state (D.ishl b state state);
+      B.op2_into b Ir.Op.Ixor ~dst:state state (D.ishr b state state);
+      B.op2_into b Ir.Op.Ixor ~dst:state state (D.ishl b state state);
+      let u = D.cvt b state in
+      (* Box-Muller: both outputs share sqrt(-2 ln u) *)
+      let l = D.lg2 b u in
+      let r = D.sqrt b l in
+      let c = D.cos b u in
+      let si = D.sin b u in
+      let g1 = D.fmul b r c in
+      let g2 = D.fmul b r si in
+      (* geometric Brownian step and payoff for both paths *)
+      let s1 = D.ffma b g1 strike strike in
+      let s2 = D.ffma b g2 strike strike in
+      let p1 = D.fmax b (D.fsub b s1 strike) strike in
+      let p2 = D.fmax b (D.fsub b s2 strike) strike in
+      B.op2_into b Ir.Op.Fadd ~dst:acc acc p1;
+      B.op2_into b Ir.Op.Fadd ~dst:acc acc p2);
+  D.st_global b ~addr:(D.addr2 b ~base:out ~idx:tid) ~value:acc;
+  B.finalize b
+
+(* N-body inner loop: per-body distance, rsqrt, three force
+   accumulators re-read every iteration. *)
+let nbody () =
+  let b = B.create "Nbody" in
+  let pos = D.input b and px = D.input b and py = D.input b and pz = D.input b in
+  let ax = D.mov0 b in
+  let ay = D.mov0 b in
+  let az = D.mov0 b in
+  D.counted_loop b ~trips:32 (fun j ->
+      let bx = D.ld_shared b (D.addr2 b ~base:pos ~idx:j) in
+      let by = D.ld_shared b (D.addr2 b ~base:pos ~idx:j) in
+      let bz = D.ld_shared b (D.addr2 b ~base:pos ~idx:j) in
+      let dx = D.fsub b bx px in
+      let dy = D.fsub b by py in
+      let dz = D.fsub b bz pz in
+      let r2 = D.ffma b dx dx (D.ffma b dy dy (D.fmul b dz dz)) in
+      let inv = D.rsqrt b r2 in
+      let inv3 = D.fmul b (D.fmul b inv inv) inv in
+      B.op3_into b Ir.Op.Ffma ~dst:ax dx inv3 ax;
+      B.op3_into b Ir.Op.Ffma ~dst:ay dy inv3 ay;
+      B.op3_into b Ir.Op.Ffma ~dst:az dz inv3 az);
+  let out = D.input b in
+  D.st_global b ~addr:out ~value:(D.fadd b ax (D.fadd b ay az));
+  B.finalize b
+
+(* Recursive Gaussian IIR filter: four loop-carried taps rotated every
+   iteration — long-lived values the ORF cannot hold across strands. *)
+let recursive_gaussian () =
+  let b = B.create "RecursiveGaussian" in
+  let src = D.input b and dst = D.input b and tid = D.input b in
+  let a0 = D.input b and a1 = D.input b and b0 = D.input b and b1 = D.input b in
+  let yp1 = D.mov0 b in
+  let yp2 = D.mov0 b in
+  let xp1 = D.mov0 b in
+  let xp2 = D.mov0 b in
+  D.counted_loop b ~trips:24 (fun i ->
+      let idx = D.iadd b tid i in
+      let x = D.ld_global b (D.addr2 b ~base:src ~idx) in
+      let t0 = D.fmul b x a0 in
+      let t1 = D.ffma b xp1 a1 t0 in
+      let t2 = D.ffma b yp1 b0 t1 in
+      let y = D.ffma b yp2 b1 t2 in
+      B.op1_into b Ir.Op.Mov ~dst:xp2 xp1;
+      B.op1_into b Ir.Op.Mov ~dst:xp1 x;
+      B.op1_into b Ir.Op.Mov ~dst:yp2 yp1;
+      B.op1_into b Ir.Op.Mov ~dst:yp1 y;
+      D.st_global b ~addr:(D.addr2 b ~base:dst ~idx) ~value:y);
+  B.finalize b
+
+(* Sobel edge filter: 3x3 texture window, two gradient sums, threshold
+   select. *)
+let sobel_filter () =
+  let b = B.create "SobelFilter" in
+  let dst = D.input b and tid = D.input b and thresh = D.input b in
+  D.counted_loop b ~trips:8 (fun i ->
+      let idx = D.iadd b tid i in
+      let window = List.init 9 (fun _ -> D.tex b idx) in
+      let gx =
+        List.fold_left (fun acc p -> D.ffma b p thresh acc) (D.mov0 b) window
+      in
+      let gy = D.reduce_tree b window in
+      let mag = D.ffma b gx gx (D.fmul b gy gy) in
+      let p = D.setp b mag thresh in
+      let v = D.sel b p mag thresh in
+      D.st_global b ~addr:(D.addr2 b ~base:dst ~idx) ~value:v);
+  B.finalize b
+
+(* Sobol quasi-random generation: direction-vector XOR ladder. *)
+let sobol_qrng () =
+  let b = B.create "SobolQRNG" in
+  let directions = D.input b and dst = D.input b and tid = D.input b in
+  let state = D.mov0 b in
+  D.counted_loop b ~trips:20 (fun i ->
+      let idx = D.iadd b tid i in
+      let dvec = D.ld_global b (D.addr2 b ~base:directions ~idx) in
+      let bit = D.iand b idx idx in
+      B.op2_into b Ir.Op.Ixor ~dst:state state (D.iand b dvec bit);
+      D.st_global b ~addr:(D.addr2 b ~base:dst ~idx) ~value:(D.mov b state));
+  B.finalize b
+
+(* Bitonic sorting network stage: shared-memory compare-exchange with
+   values re-read across substages. *)
+let sorting_networks () =
+  let b = B.create "SortingNetworks" in
+  let smem = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:6 (fun stage ->
+      let partner = D.ixor b tid stage in
+      let a = D.ld_shared b (D.addr2 b ~base:smem ~idx:tid) in
+      let c = D.ld_shared b (D.addr2 b ~base:smem ~idx:partner) in
+      let p = D.setp b a c in
+      let lo = D.sel b p a c in
+      let hi = D.sel b p c a in
+      D.st_shared b ~addr:(D.addr2 b ~base:smem ~idx:tid) ~value:lo;
+      D.st_shared b ~addr:(D.addr2 b ~base:smem ~idx:partner) ~value:hi);
+  B.finalize b
+
+(* Volume ray marching: texture sample per step, front-to-back alpha
+   blending into two live-across-iteration accumulators. *)
+let volume_render () =
+  let b = B.create "VolumeRender" in
+  let out = D.input b and tid = D.input b and step = D.input b in
+  let color = D.mov0 b in
+  let alpha = D.mov0 b in
+  let pos = D.mov b tid in
+  D.counted_loop b ~trips:16 (fun _i ->
+      let sample = D.tex b pos in
+      let opacity = D.fmul b sample step in
+      let contrib = D.fmul b opacity alpha in
+      B.op3_into b Ir.Op.Ffma ~dst:color sample contrib color;
+      B.op2_into b Ir.Op.Fadd ~dst:alpha alpha opacity;
+      B.op2_into b Ir.Op.Iadd ~dst:pos pos step;
+      let full = D.setp b alpha step in
+      D.if_then b ~pred:full ~taken_prob:0.8 (fun () ->
+          D.dead_store_value b alpha color));
+  D.st_global b ~addr:(D.addr2 b ~base:out ~idx:tid) ~value:color;
+  B.finalize b
+
+
+
+(* ConvolutionSeparable's column pass: same FIR but strided access and
+   a fresh coefficient set. *)
+let convolution_columns () =
+  let b = B.create "ConvolutionSeparable.columns" in
+  let smem = D.input b and dst = D.input b and tid = D.input b and pitch = D.input b in
+  let coeffs = D.inputs b 8 in
+  D.counted_loop b ~trips:8 (fun i ->
+      let row_base = D.imad b i pitch tid in
+      let acc = D.mov0 b in
+      List.iter
+        (fun c ->
+          let x = D.ld_shared b (D.addr2 b ~base:smem ~idx:row_base) in
+          B.op3_into b Ir.Op.Ffma ~dst:acc x c acc)
+        coeffs;
+      D.st_global b ~addr:(D.addr2 b ~base:dst ~idx:row_base) ~value:acc);
+  B.finalize b
+
+(* Dct8x8's inverse transform: the same butterfly structure applied to
+   quantized coefficients loaded from global memory. *)
+let idct8x8 () =
+  let b = B.create "Dct8x8.inverse" in
+  let coeffs = D.input b and out = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:4 (fun row ->
+      let base_idx = D.iadd b tid row in
+      let xs = List.init 4 (fun _ -> D.ld_global b (D.addr2 b ~base:coeffs ~idx:base_idx)) in
+      let rec butterfly = function
+        | a :: c :: rest -> (D.fadd b a c, D.fsub b a c) :: butterfly rest
+        | _ -> []
+      in
+      List.iter
+        (fun (s, d) ->
+          let v = D.ffma b s d s in
+          D.st_global b ~addr:(D.addr2 b ~base:out ~idx:base_idx) ~value:v)
+        (butterfly xs));
+  B.finalize b
+
+(* SortingNetworks' global merge stage: compare-exchange across block
+   boundaries through global memory. *)
+let sorting_merge_global () =
+  let b = B.create "SortingNetworks.mergeGlobal" in
+  let keys = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:4 (fun stride ->
+      let partner = D.ior b tid stride in
+      let a = D.ld_global b (D.addr2 b ~base:keys ~idx:tid) in
+      let c = D.ld_global b (D.addr2 b ~base:keys ~idx:partner) in
+      let p = D.setp b a c in
+      let lo = D.sel b p a c in
+      let hi = D.sel b p c a in
+      D.st_global b ~addr:(D.addr2 b ~base:keys ~idx:tid) ~value:lo;
+      D.st_global b ~addr:(D.addr2 b ~base:keys ~idx:partner) ~value:hi);
+  B.finalize b
+
+(* MergeSort's rank computation: binary search of each key in the
+   opposite segment (data-dependent hammocks). *)
+let merge_sort_ranks () =
+  let b = B.create "MergeSort.ranks" in
+  let keys = D.input b and ranks = D.input b and tid = D.input b in
+  let key = D.ld_global b (D.addr2 b ~base:keys ~idx:tid) in
+  let lo = D.mov0 b in
+  let hi = D.mov0 b in
+  D.counted_loop b ~trips:6 (fun _i ->
+      let mid = D.ishr b (D.iadd b lo hi) lo in
+      let probe = D.ld_global b (D.addr2 b ~base:keys ~idx:mid) in
+      let p = D.setp b probe key in
+      D.if_then_else b ~pred:p ~taken_prob:0.5
+        (fun () -> B.op1_into b Ir.Op.Mov ~dst:lo mid)
+        (fun () -> B.op1_into b Ir.Op.Mov ~dst:hi mid));
+  D.st_global b ~addr:(D.addr2 b ~base:ranks ~idx:tid) ~value:lo;
+  B.finalize b
+
+(* VolumeRender's gradient precomputation: central differences over
+   six texture samples, normalized through the SFU. *)
+let volume_gradients () =
+  let b = B.create "VolumeRender.gradients" in
+  let out = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:6 (fun i ->
+      let idx = D.iadd b tid i in
+      let xp = D.tex b idx and xm = D.tex b idx in
+      let yp = D.tex b idx and ym = D.tex b idx in
+      let zp = D.tex b idx and zm = D.tex b idx in
+      let gx = D.fsub b xp xm in
+      let gy = D.fsub b yp ym in
+      let gz = D.fsub b zp zm in
+      let len2 = D.ffma b gx gx (D.ffma b gy gy (D.fmul b gz gz)) in
+      let inv = D.rsqrt b len2 in
+      D.st_global b ~addr:(D.addr2 b ~base:out ~idx) ~value:(D.fmul b gx inv));
+  B.finalize b
+
+(* ------------------------------------------------------------------ *)
+(* Secondary kernels: real applications launch several kernels; these
+   model the non-dominant ones the paper's full-app runs also covered. *)
+
+(* Reduction's final stage: a single block combines the per-block
+   partial sums (short, shared-memory bound). *)
+let reduction_final () =
+  let b = B.create "Reduction.final" in
+  let partials = D.input b and out = D.input b and tid = D.input b in
+  let acc = D.mov0 b in
+  D.counted_loop b ~trips:8 (fun i ->
+      let idx = D.iadd b tid i in
+      let p = D.ld_shared b (D.addr2 b ~base:partials ~idx) in
+      B.op2_into b Ir.Op.Fadd ~dst:acc acc p);
+  D.st_global b ~addr:out ~value:acc;
+  B.finalize b
+
+(* Histogram's merge stage: sum per-block partial histograms. *)
+let histogram_merge () =
+  let b = B.create "Histogram.merge" in
+  let partial = D.input b and final = D.input b and bin = D.input b in
+  let sum = D.mov0 b in
+  D.counted_loop b ~trips:8 (fun blk ->
+      let idx = D.iadd b bin blk in
+      let v = D.ld_global b (D.addr2 b ~base:partial ~idx) in
+      B.op2_into b Ir.Op.Iadd ~dst:sum sum v);
+  D.st_global b ~addr:(D.addr2 b ~base:final ~idx:bin) ~value:sum;
+  B.finalize b
+
+(* MonteCarlo's RNG-state setup: pure integer scrambling, no loads. *)
+let monte_carlo_setup () =
+  let b = B.create "MonteCarlo.rngSetup" in
+  let seed0 = D.input b and states = D.input b and tid = D.input b in
+  let s = D.ixor b seed0 tid in
+  let s1 = D.ixor b (D.ishl b s s) s in
+  let s2 = D.ixor b (D.ishr b s1 s1) s1 in
+  let s3 = D.imad b s2 s2 tid in
+  D.st_global b ~addr:(D.addr2 b ~base:states ~idx:tid) ~value:s3;
+  B.finalize b
+
+(* BinomialOptions' leaf initialization: expiry values via SFU. *)
+let binomial_init () =
+  let b = B.create "BinomialOptions.init" in
+  let svals = D.input b and strike = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:8 (fun i ->
+      let idx = D.iadd b tid i in
+      let up = D.cvt b idx in
+      let price = D.ex2 b up in
+      let payoff = D.fmax b (D.fsub b price strike) (D.mov0 b) in
+      D.st_shared b ~addr:(D.addr2 b ~base:svals ~idx) ~value:payoff);
+  B.finalize b
+
+(* Nbody's integrator: read acceleration, update velocity/position. *)
+let nbody_integrate () =
+  let b = B.create "Nbody.integrate" in
+  let pos = D.input b and vel = D.input b and acc = D.input b and dt = D.input b in
+  let tid = D.input b in
+  D.counted_loop b ~trips:4 (fun i ->
+      let idx = D.iadd b tid i in
+      let a = D.ld_global b (D.addr2 b ~base:acc ~idx) in
+      let v = D.ld_global b (D.addr2 b ~base:vel ~idx) in
+      let p = D.ld_global b (D.addr2 b ~base:pos ~idx) in
+      let v2 = D.ffma b a dt v in
+      let p2 = D.ffma b v2 dt p in
+      D.st_global b ~addr:(D.addr2 b ~base:vel ~idx) ~value:v2;
+      D.st_global b ~addr:(D.addr2 b ~base:pos ~idx) ~value:p2);
+  B.finalize b
+
+(* FastWalshTransform's scaling epilogue. *)
+let fwt_scale () =
+  let b = B.create "FastWalshTransform.scale" in
+  let data = D.input b and norm = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:8 (fun i ->
+      let idx = D.iadd b tid i in
+      let v = D.ld_global b (D.addr2 b ~base:data ~idx) in
+      D.st_global b ~addr:(D.addr2 b ~base:data ~idx) ~value:(D.fmul b v norm));
+  B.finalize b
+
+
+(* BoxFilter's vertical pass: same sliding window along columns. *)
+let box_filter_vertical () =
+  let b = B.create "BoxFilter.vertical" in
+  let src = D.input b and dst = D.input b and tid = D.input b and scale = D.input b in
+  let pitch = D.input b in
+  let sum = D.mov0 b in
+  D.counted_loop b ~trips:16 (fun i ->
+      let idx = D.imad b i pitch tid in
+      let v = D.ld_global b (D.addr2 b ~base:src ~idx) in
+      B.op2_into b Ir.Op.Fadd ~dst:sum sum v;
+      D.st_global b ~addr:(D.addr2 b ~base:dst ~idx) ~value:(D.fmul b sum scale));
+  B.finalize b
+
+(* DwtHaar1D's second decomposition level over the approximations. *)
+let dwt_haar_level2 () =
+  let b = B.create "DwtHaar1D.level2" in
+  let approx = D.input b and out = D.input b and tid = D.input b and half = D.input b in
+  D.counted_loop b ~trips:8 (fun i ->
+      let idx = D.iadd b tid i in
+      let a = D.ld_shared b (D.addr2 b ~base:approx ~idx) in
+      let c = D.ld_shared b (D.addr2 b ~base:approx ~idx:tid) in
+      D.st_shared b ~addr:(D.addr2 b ~base:out ~idx) ~value:(D.fmul b (D.fadd b a c) half);
+      D.st_shared b ~addr:(D.addr2 b ~base:out ~idx:tid) ~value:(D.fmul b (D.fsub b a c) half));
+  B.finalize b
+
+(* ImageDenoising's KNN variant: weight by rank instead of distance. *)
+let image_denoising_knn () =
+  let b = B.create "ImageDenoising.knn" in
+  let src = D.input b and dst = D.input b and tid = D.input b and center = D.input b in
+  let wsum = D.mov0 b in
+  let vsum = D.mov0 b in
+  D.counted_loop b ~trips:9 (fun i ->
+      let idx = D.iadd b tid i in
+      let p = D.ld_global b (D.addr2 b ~base:src ~idx) in
+      let d = D.fsub b p center in
+      let rank = D.fmax b d (D.fsub b center p) in
+      let w = D.rcp b (D.fadd b rank rank) in
+      B.op2_into b Ir.Op.Fadd ~dst:wsum wsum w;
+      B.op3_into b Ir.Op.Ffma ~dst:vsum p w vsum);
+  D.st_global b ~addr:(D.addr2 b ~base:dst ~idx:tid) ~value:(D.fmul b vsum (D.rcp b wsum));
+  B.finalize b
+
+(* Mandelbrot's colouring pass: map iteration counts to RGBA. *)
+let mandelbrot_colors () =
+  let b = B.create "Mandelbrot.colors" in
+  let counts_buf = D.input b and image = D.input b and tid = D.input b and palette = D.input b in
+  D.counted_loop b ~trips:8 (fun i ->
+      let idx = D.iadd b tid i in
+      let n = D.ld_global b (D.addr2 b ~base:counts_buf ~idx) in
+      let hue = D.iand b n palette in
+      let r = B.op1 b Ir.Op.Ishl hue in
+      let g = B.op1 b Ir.Op.Ishr hue in
+      let rgba = D.ior b (D.ior b r g) hue in
+      D.st_global b ~addr:(D.addr2 b ~base:image ~idx) ~value:rgba);
+  B.finalize b
+
+(* SobolQRNG's scrambling pass over the generated points. *)
+let sobol_scramble () =
+  let b = B.create "SobolQRNG.scramble" in
+  let points = D.input b and scramble = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:10 (fun i ->
+      let idx = D.iadd b tid i in
+      let v = D.ld_global b (D.addr2 b ~base:points ~idx) in
+      let s = D.ixor b v scramble in
+      let f = D.cvt b s in
+      D.st_global b ~addr:(D.addr2 b ~base:points ~idx) ~value:f);
+  B.finalize b
+
+let benchmarks =
+  [
+    entry "BicubicTexture" ~description:"texture fetches blended with re-read cubic weights"
+      bicubic_texture;
+    entry "BinomialOptions" ~description:"backward induction over shared memory; pu/pd re-read"
+      ~extras:[ binomial_init ] binomial_options;
+    entry "BoxFilter" ~description:"sliding-window sum updated in place"
+      ~extras:[ box_filter_vertical ] box_filter;
+    entry "ConvolutionSeparable" ~description:"unrolled 8-tap FIR over shared memory"
+      ~extras:[ convolution_columns ] convolution_separable;
+    entry "ConvolutionTexture" ~description:"4-tap FIR fed by the texture unit" convolution_texture;
+    entry "Dct8x8" ~description:"butterfly stages with read-twice values"
+      ~extras:[ idct8x8 ] dct8x8;
+    entry "DwtHaar1D" ~description:"pairwise average/difference wavelet step"
+      ~extras:[ dwt_haar_level2 ] dwt_haar1d;
+    entry "Dxtc" ~description:"endpoint min/max search and bit packing" dxtc;
+    entry "EigenValues" ~description:"bisection with divergent interval update" eigen_values;
+    entry "FastWalshTransform" ~description:"global-memory butterfly passes"
+      ~extras:[ fwt_scale ] fast_walsh_transform;
+    entry "Histogram" ~description:"bin arithmetic and atomic counter updates"
+      ~extras:[ histogram_merge ] histogram;
+    entry "ImageDenoising" ~description:"per-neighbour weights via SFU exponential"
+      ~extras:[ image_denoising_knn ] image_denoising;
+    entry "Mandelbrot" ~description:"in-place complex iteration with escape test"
+      ~extras:[ mandelbrot_colors ] mandelbrot;
+    entry "MatrixMul" ~description:"tiled GEMM with shared-memory staging" matrix_mul;
+    entry "MergeSort" ~description:"compare-select rank ladders"
+      ~extras:[ merge_sort_ranks ] merge_sort;
+    entry "MonteCarlo" ~description:"inlined RNG and Box-Muller SFU pipeline"
+      ~extras:[ monte_carlo_setup ] monte_carlo;
+    entry "Nbody" ~description:"distance/rsqrt inner loop with three accumulators"
+      ~extras:[ nbody_integrate ] nbody;
+    entry "RecursiveGaussian" ~description:"IIR filter with four rotated loop-carried taps"
+      recursive_gaussian;
+    entry "Reduction" ~description:"global accumulation + shared-memory tree (worst case)"
+      ~extras:[ reduction_final ] reduction;
+    entry "ScalarProd" ~description:"tight load-FMA dot product (worst case)" scalar_prod;
+    entry "SobelFilter" ~description:"3x3 texture window gradient filter" sobel_filter;
+    entry "SobolQRNG" ~description:"direction-vector XOR ladder"
+      ~extras:[ sobol_scramble ] sobol_qrng;
+    entry "SortingNetworks" ~description:"bitonic compare-exchange on shared memory"
+      ~extras:[ sorting_merge_global ] sorting_networks;
+    entry "VectorAdd" ~description:"pure streaming add" vector_add;
+    entry "VolumeRender" ~description:"ray marching with alpha-blend accumulators"
+      ~extras:[ volume_gradients ] volume_render;
+  ]

@@ -1,0 +1,104 @@
+type reg = Ir.Reg.t
+
+let inputs b n = List.init n (fun _ -> Ir.Builder.fresh b)
+let input b = Ir.Builder.fresh b
+
+let iadd b x y = Ir.Builder.op2 b Ir.Op.Iadd x y
+let isub b x y = Ir.Builder.op2 b Ir.Op.Isub x y
+let imul b x y = Ir.Builder.op2 b Ir.Op.Imul x y
+let imad b x y z = Ir.Builder.op3 b Ir.Op.Imad x y z
+let iand b x y = Ir.Builder.op2 b Ir.Op.Iand x y
+let ior b x y = Ir.Builder.op2 b Ir.Op.Ior x y
+let ixor b x y = Ir.Builder.op2 b Ir.Op.Ixor x y
+let ishl b x y = Ir.Builder.op2 b Ir.Op.Ishl x y
+let ishr b x y = Ir.Builder.op2 b Ir.Op.Ishr x y
+let imin b x y = Ir.Builder.op2 b Ir.Op.Imin x y
+let imax b x y = Ir.Builder.op2 b Ir.Op.Imax x y
+let fadd b x y = Ir.Builder.op2 b Ir.Op.Fadd x y
+let fsub b x y = Ir.Builder.op2 b Ir.Op.Fsub x y
+let fmul b x y = Ir.Builder.op2 b Ir.Op.Fmul x y
+let ffma b x y z = Ir.Builder.op3 b Ir.Op.Ffma x y z
+let fmin b x y = Ir.Builder.op2 b Ir.Op.Fmin x y
+let fmax b x y = Ir.Builder.op2 b Ir.Op.Fmax x y
+let mov b x = Ir.Builder.op1 b Ir.Op.Mov x
+let mov0 b = Ir.Builder.op0 b Ir.Op.Mov ()
+let setp b x y = Ir.Builder.op2 b Ir.Op.Setp x y
+let sel b p x y = Ir.Builder.op3 b Ir.Op.Sel p x y
+let cvt b x = Ir.Builder.op1 b Ir.Op.Cvt x
+
+let rcp b x = Ir.Builder.op1 b Ir.Op.Rcp x
+let sqrt b x = Ir.Builder.op1 b Ir.Op.Sqrt x
+let rsqrt b x = Ir.Builder.op1 b Ir.Op.Rsqrt x
+let sin b x = Ir.Builder.op1 b Ir.Op.Sin x
+let cos b x = Ir.Builder.op1 b Ir.Op.Cos x
+let ex2 b x = Ir.Builder.op1 b Ir.Op.Ex2 x
+let lg2 b x = Ir.Builder.op1 b Ir.Op.Lg2 x
+
+let ld_global b a = Ir.Builder.op1 b Ir.Op.Ld_global a
+let ld_global64 b a = Ir.Builder.op1 b Ir.Op.Ld_global ~width:Ir.Width.W64 a
+let st_global b ~addr ~value = Ir.Builder.store b Ir.Op.St_global ~addr ~value
+let ld_shared b a = Ir.Builder.op1 b Ir.Op.Ld_shared a
+let st_shared b ~addr ~value = Ir.Builder.store b Ir.Op.St_shared ~addr ~value
+let atom_global b a v = Ir.Builder.op2 b Ir.Op.Atom_global a v
+let tex b a = Ir.Builder.op1 b Ir.Op.Tex_fetch a
+
+(* Real codegen scales the element index to a byte offset before the
+   add: one shift-by-immediate and one add of short-lived values per
+   access. *)
+let addr2 b ~base ~idx =
+  let byte_offset = Ir.Builder.op1 b Ir.Op.Ishl idx in
+  iadd b base byte_offset
+
+let addr3 b ~base ~row ~col =
+  let scaled = imad b row row col in
+  iadd b base scaled
+
+let counted_loop b ~trips body =
+  let i = mov0 b in
+  let head = Ir.Builder.here b in
+  body i;
+  Ir.Builder.op2_into b Ir.Op.Iadd ~dst:i i i;
+  (* Compare against an immediate bound: a single-source setp. *)
+  let p = Ir.Builder.op1 b Ir.Op.Setp i in
+  Ir.Builder.branch b ~pred:p ~target:head (Ir.Terminator.Loop trips);
+  let (_ : Ir.Builder.label) = Ir.Builder.here b in
+  ()
+
+let if_then b ~pred ~taken_prob body =
+  let join = Ir.Builder.new_label b in
+  Ir.Builder.branch b ~pred ~target:join (Ir.Terminator.Taken_with_prob taken_prob);
+  let (_ : Ir.Builder.label) = Ir.Builder.here b in
+  body ();
+  Ir.Builder.start_block b join
+
+let if_then_else b ~pred ~taken_prob then_side else_side =
+  let else_l = Ir.Builder.new_label b in
+  let join = Ir.Builder.new_label b in
+  Ir.Builder.branch b ~pred ~target:else_l (Ir.Terminator.Taken_with_prob taken_prob);
+  let (_ : Ir.Builder.label) = Ir.Builder.here b in
+  then_side ();
+  Ir.Builder.jump b join;
+  Ir.Builder.start_block b else_l;
+  else_side ();
+  Ir.Builder.start_block b join
+
+let fma_chain b ~init ~coeffs =
+  List.fold_left (fun acc (c, x) -> ffma b acc c x) init coeffs
+
+let rec reduce_tree b = function
+  | [] -> invalid_arg "Dsl.reduce_tree: empty"
+  | [ x ] -> x
+  | xs ->
+    let rec pair = function
+      | a :: c :: rest -> fadd b a c :: pair rest
+      | [ a ] -> [ a ]
+      | [] -> []
+    in
+    reduce_tree b (pair xs)
+
+let load_stream b ~base ~idx ~n =
+  List.init n (fun _ ->
+      let a = addr2 b ~base ~idx in
+      ld_global b a)
+
+let dead_store_value b x y = ignore (iand b x y)

@@ -1,0 +1,99 @@
+(** Kernel-construction idioms shared by the synthetic benchmarks.
+
+    The benchmarks model the register-usage signatures of the paper's
+    applications (Fig. 2), not their numerics: what matters to every
+    measured quantity is which registers are defined and read where,
+    on which function units, and around which control flow.
+
+    Registers created by {!inputs} are read without ever being written
+    — kernel parameters and thread ids pre-loaded in the MRF, the
+    read-operand-allocation candidates of Sec. 4.4. *)
+
+type reg = Ir.Reg.t
+
+val inputs : Ir.Builder.t -> int -> reg list
+(** Fresh never-written registers (kernel parameters). *)
+
+val input : Ir.Builder.t -> reg
+
+(** {2 Arithmetic wrappers} — fresh destination, 32-bit *)
+
+val iadd : Ir.Builder.t -> reg -> reg -> reg
+val isub : Ir.Builder.t -> reg -> reg -> reg
+val imul : Ir.Builder.t -> reg -> reg -> reg
+val imad : Ir.Builder.t -> reg -> reg -> reg -> reg
+val iand : Ir.Builder.t -> reg -> reg -> reg
+val ior : Ir.Builder.t -> reg -> reg -> reg
+val ixor : Ir.Builder.t -> reg -> reg -> reg
+val ishl : Ir.Builder.t -> reg -> reg -> reg
+val ishr : Ir.Builder.t -> reg -> reg -> reg
+val imin : Ir.Builder.t -> reg -> reg -> reg
+val imax : Ir.Builder.t -> reg -> reg -> reg
+val fadd : Ir.Builder.t -> reg -> reg -> reg
+val fsub : Ir.Builder.t -> reg -> reg -> reg
+val fmul : Ir.Builder.t -> reg -> reg -> reg
+val ffma : Ir.Builder.t -> reg -> reg -> reg -> reg
+val fmin : Ir.Builder.t -> reg -> reg -> reg
+val fmax : Ir.Builder.t -> reg -> reg -> reg
+val mov : Ir.Builder.t -> reg -> reg
+val mov0 : Ir.Builder.t -> reg
+(** Immediate move (no sources). *)
+
+val setp : Ir.Builder.t -> reg -> reg -> reg
+val sel : Ir.Builder.t -> reg -> reg -> reg -> reg
+val cvt : Ir.Builder.t -> reg -> reg
+
+(** {2 SFU / memory / texture wrappers} *)
+
+val rcp : Ir.Builder.t -> reg -> reg
+val sqrt : Ir.Builder.t -> reg -> reg
+val rsqrt : Ir.Builder.t -> reg -> reg
+val sin : Ir.Builder.t -> reg -> reg
+val cos : Ir.Builder.t -> reg -> reg
+val ex2 : Ir.Builder.t -> reg -> reg
+val lg2 : Ir.Builder.t -> reg -> reg
+
+val ld_global : Ir.Builder.t -> reg -> reg
+val ld_global64 : Ir.Builder.t -> reg -> reg
+(** 64-bit load: the value occupies two ORF entries when allocated. *)
+
+val st_global : Ir.Builder.t -> addr:reg -> value:reg -> unit
+val ld_shared : Ir.Builder.t -> reg -> reg
+val st_shared : Ir.Builder.t -> addr:reg -> value:reg -> unit
+val atom_global : Ir.Builder.t -> reg -> reg -> reg
+val tex : Ir.Builder.t -> reg -> reg
+
+val addr2 : Ir.Builder.t -> base:reg -> idx:reg -> reg
+(** [base + idx] address computation. *)
+
+val addr3 : Ir.Builder.t -> base:reg -> row:reg -> col:reg -> reg
+(** [base + row * pitch + col], as one [Imad] plus one [Iadd]. *)
+
+(** {2 Control flow} *)
+
+val counted_loop : Ir.Builder.t -> trips:int -> (reg -> unit) -> unit
+(** A backward-branch loop executing the body [trips] times; the body
+    receives the induction variable.  The induction update and the
+    loop-exit compare/branch are emitted after the body. *)
+
+val if_then : Ir.Builder.t -> pred:reg -> taken_prob:float -> (unit -> unit) -> unit
+(** A forward hammock: with [taken_prob] the body is skipped. *)
+
+val if_then_else :
+  Ir.Builder.t -> pred:reg -> taken_prob:float -> (unit -> unit) -> (unit -> unit) -> unit
+(** Both-sided hammock; [taken_prob] selects the else side. *)
+
+(** {2 Compound idioms} *)
+
+val fma_chain : Ir.Builder.t -> init:reg -> coeffs:(reg * reg) list -> reg
+(** Horner-style dependent FMA chain: each step reads the previous
+    result once (the read-once, lifetime-1 pattern of Fig. 2). *)
+
+val reduce_tree : Ir.Builder.t -> reg list -> reg
+(** Pairwise [Fadd] reduction tree. *)
+
+val load_stream : Ir.Builder.t -> base:reg -> idx:reg -> n:int -> reg list
+(** [n] global loads at consecutive offsets from [base + idx]. *)
+
+val dead_store_value : Ir.Builder.t -> reg -> reg -> unit
+(** Produce a value that is never read (Fig. 2(a)'s read-0 class). *)

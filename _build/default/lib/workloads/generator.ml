@@ -1,0 +1,109 @@
+module B = Ir.Builder
+module D = Dsl
+
+type state = {
+  b : B.t;
+  prng : Util.Prng.t;
+  prob_branches : bool;
+  mutable pool : Ir.Reg.t list;  (* registers safe to read *)
+}
+
+let pick_reg st =
+  match st.pool with
+  | [] ->
+    let r = D.input st.b in
+    st.pool <- [ r ];
+    r
+  | pool -> Util.Prng.pick st.prng (Array.of_list pool)
+
+let add_reg st r = st.pool <- r :: st.pool
+
+(* One random instruction; keeps the pool of readable registers. *)
+let random_instr st =
+  let b = st.b in
+  let x = pick_reg st and y = pick_reg st and z = pick_reg st in
+  let fresh2 op = add_reg st (B.op2 b op x y) in
+  let into2 op =
+    let dst = pick_reg st in
+    B.op2_into b op ~dst x y
+  in
+  match Util.Prng.int st.prng 100 with
+  | n when n < 30 ->
+    fresh2 (Util.Prng.pick st.prng [| Ir.Op.Iadd; Ir.Op.Isub; Ir.Op.Fadd; Ir.Op.Fsub; Ir.Op.Fmul |])
+  | n when n < 40 -> add_reg st (B.op3 b Ir.Op.Ffma x y z)
+  | n when n < 48 -> into2 (Util.Prng.pick st.prng [| Ir.Op.Iadd; Ir.Op.Fadd; Ir.Op.Fmul |])
+  | n when n < 56 -> add_reg st (B.op1 b (Util.Prng.pick st.prng [| Ir.Op.Rcp; Ir.Op.Sqrt; Ir.Op.Sin; Ir.Op.Ex2 |]) x)
+  | n when n < 68 -> add_reg st (B.op1 b Ir.Op.Ld_global x)
+  | n when n < 74 -> add_reg st (B.op1 b Ir.Op.Ld_shared x)
+  | n when n < 78 -> add_reg st (B.op1 b Ir.Op.Tex_fetch x)
+  | n when n < 84 -> D.st_global b ~addr:x ~value:y
+  | n when n < 88 -> D.st_shared b ~addr:x ~value:y
+  | n when n < 92 -> add_reg st (B.op1 b Ir.Op.Ld_global ~width:Ir.Width.W64 x)
+  | n when n < 96 -> add_reg st (B.op3 b Ir.Op.Sel x y z)
+  | _ -> ignore (B.op2 b Ir.Op.Iand x y)  (* dead value *)
+
+let branch_behavior st =
+  if st.prob_branches then Ir.Terminator.Taken_with_prob (Util.Prng.float st.prng 1.0)
+  else if Util.Prng.bool st.prng then Ir.Terminator.Always_taken
+  else Ir.Terminator.Never_taken
+
+let rec random_segment st ~depth =
+  let b = st.b in
+  match Util.Prng.int st.prng 10 with
+  | (0 | 1 | 2) when depth < 2 ->
+    (* counted loop *)
+    let trips = 2 + Util.Prng.int st.prng 6 in
+    let body_len = 2 + Util.Prng.int st.prng 5 in
+    D.counted_loop b ~trips (fun i ->
+        add_reg st i;
+        for _ = 1 to body_len do
+          random_instr st
+        done;
+        if depth < 1 && Util.Prng.bool st.prng then random_segment st ~depth:(depth + 1))
+  | 3 | 4 ->
+    (* one-sided hammock; registers defined inside are unsafe after the
+       join (maybe-undefined), so snapshot and restore the pool. *)
+    let p = D.setp b (pick_reg st) (pick_reg st) in
+    let saved = st.pool in
+    let join = Ir.Builder.new_label b in
+    Ir.Builder.branch b ~pred:p ~target:join (branch_behavior st);
+    let (_ : Ir.Builder.label) = Ir.Builder.here b in
+    for _ = 1 to 1 + Util.Prng.int st.prng 3 do
+      random_instr st
+    done;
+    Ir.Builder.start_block b join;
+    st.pool <- saved
+  | 5 ->
+    (* two-sided hammock writing a common register on both sides
+       (Fig. 10(c)): the merged value is safe to read after the join. *)
+    let p = D.setp b (pick_reg st) (pick_reg st) in
+    let merged = pick_reg st in
+    let saved = st.pool in
+    let x = pick_reg st and y = pick_reg st in
+    let else_l = Ir.Builder.new_label b in
+    let join = Ir.Builder.new_label b in
+    Ir.Builder.branch b ~pred:p ~target:else_l (branch_behavior st);
+    let (_ : Ir.Builder.label) = Ir.Builder.here b in
+    B.op2_into st.b Ir.Op.Iadd ~dst:merged x y;
+    Ir.Builder.jump b join;
+    Ir.Builder.start_block b else_l;
+    B.op2_into st.b Ir.Op.Fmul ~dst:merged y x;
+    Ir.Builder.start_block b join;
+    st.pool <- merged :: saved
+  | _ ->
+    for _ = 1 to 2 + Util.Prng.int st.prng 6 do
+      random_instr st
+    done
+
+let kernel ?(size = 12) ?(prob_branches = true) ~seed () =
+  let b = B.create (Printf.sprintf "random-%d" seed) in
+  let prng = Util.Prng.create seed in
+  let st = { b; prng; prob_branches; pool = [] } in
+  let n_inputs = 2 + Util.Prng.int prng 5 in
+  List.iter (add_reg st) (D.inputs b n_inputs);
+  for _ = 1 to max 1 size do
+    random_segment st ~depth:0
+  done;
+  (* Read a few leftovers so long-lived values exist. *)
+  D.st_global b ~addr:(pick_reg st) ~value:(pick_reg st);
+  B.finalize b

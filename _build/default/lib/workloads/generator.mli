@@ -1,0 +1,14 @@
+(** Seeded random structured-kernel generator.
+
+    Produces arbitrary (but always well-formed) kernels — nested
+    counted loops, one- and two-sided hammocks, every opcode class,
+    in-place register updates, dead values, wide loads — used by the
+    qcheck properties to exercise the allocator and verifier on shapes
+    the hand-written benchmarks do not cover. *)
+
+val kernel : ?size:int -> ?prob_branches:bool -> seed:int -> unit -> Ir.Kernel.t
+(** [size] scales the number of generated segments (default 12).
+    [prob_branches:false] replaces data-dependent branch behaviours
+    with warp-uniform ones (used to cross-check the SIMT executor
+    against the warp-uniform walker).  Deterministic in
+    [(seed, size, prob_branches)]. *)

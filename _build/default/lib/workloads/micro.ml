@@ -1,0 +1,90 @@
+module B = Ir.Builder
+
+let chain n =
+  let b = B.create (Printf.sprintf "micro-chain-%d" n) in
+  let x0 = Dsl.input b in
+  (* Each link reads its predecessor once, in operand slot A, so the
+     whole chain can flow through a single split-LRF bank. *)
+  let rec go v i = if i = 0 then v else go (Dsl.iadd b v x0) (i - 1) in
+  let last = go (Dsl.iadd b x0 x0) n in
+  Dsl.st_global b ~addr:x0 ~value:last;
+  B.finalize b
+
+let fanout n =
+  let b = B.create (Printf.sprintf "micro-fanout-%d" n) in
+  let base = Dsl.input b in
+  let v = Dsl.iadd b base base in
+  let uses = List.init n (fun _ -> Dsl.imul b v v) in
+  Dsl.st_global b ~addr:base ~value:(Dsl.reduce_tree b (List.map (Dsl.cvt b) uses));
+  B.finalize b
+
+let hammock_merge () =
+  let b = B.create "micro-hammock" in
+  let p = Dsl.input b in
+  let r = B.fresh b in
+  Dsl.if_then_else b ~pred:p ~taken_prob:0.5
+    (fun () -> B.op2_into b Ir.Op.Iadd ~dst:r p p)
+    (fun () -> B.op2_into b Ir.Op.Imul ~dst:r p p);
+  let use = Dsl.mov b r in
+  Dsl.st_global b ~addr:p ~value:use;
+  B.finalize b
+
+let loop_carried trips =
+  let b = B.create (Printf.sprintf "micro-loop-%d" trips) in
+  let base = Dsl.input b in
+  let acc = Dsl.mov0 b in
+  Dsl.counted_loop b ~trips (fun i ->
+      let t = Dsl.iadd b i i in
+      B.op2_into b Ir.Op.Iadd ~dst:acc acc t);
+  Dsl.st_global b ~addr:base ~value:acc;
+  B.finalize b
+
+let wide_values n =
+  let b = B.create (Printf.sprintf "micro-wide-%d" n) in
+  let base = Dsl.input b in
+  for _ = 1 to n do
+    (* Short-latency wide loads: eligible for the ORF, where each
+       occupies two consecutive entries. *)
+    let w = B.op1 b Ir.Op.Ld_shared ~width:Ir.Width.W64 base in
+    let lo = Dsl.cvt b w in
+    Dsl.st_shared b ~addr:base ~value:lo
+  done;
+  B.finalize b
+
+let shared_consumers n =
+  let b = B.create (Printf.sprintf "micro-shared-%d" n) in
+  let base = Dsl.input b in
+  for _ = 1 to n do
+    let v = Dsl.iadd b base base in
+    Dsl.st_shared b ~addr:base ~value:v
+  done;
+  B.finalize b
+
+let sfu_pipeline n =
+  let b = B.create (Printf.sprintf "micro-sfu-%d" n) in
+  let x0 = Dsl.input b in
+  let rec go v i = if i = 0 then v else go (Dsl.rcp b (Dsl.fadd b v v)) (i - 1) in
+  Dsl.st_global b ~addr:x0 ~value:(go x0 n);
+  B.finalize b
+
+let spiller n =
+  let b = B.create (Printf.sprintf "micro-spill-%d" n) in
+  let base = Dsl.input b in
+  (* n values born together, all consumed at the end: live ranges
+     overlap completely, so at most orf_entries of them fit. *)
+  let vs = List.init n (fun _ -> Dsl.iadd b base base) in
+  let sum = Dsl.reduce_tree b vs in
+  Dsl.st_global b ~addr:base ~value:sum;
+  B.finalize b
+
+let all () =
+  [
+    ("chain", chain 8);
+    ("fanout", fanout 6);
+    ("hammock", hammock_merge ());
+    ("loop-carried", loop_carried 8);
+    ("wide", wide_values 3);
+    ("shared-consumers", shared_consumers 4);
+    ("sfu-pipeline", sfu_pipeline 4);
+    ("spiller", spiller 10);
+  ]

@@ -1,0 +1,30 @@
+(** Micro-pattern kernels: each isolates one register-usage pattern the
+    allocator must handle, with a known-best placement strategy.  Used
+    by targeted tests and as minimal repro cases; they are NOT part of
+    the Table-1 registry.
+
+    - [chain n]: a dependent ALU chain — every link is LRF material.
+    - [fanout n]: one value read [n] times in a burst — a single ORF
+      entry covering many reads.
+    - [hammock_merge]: Fig. 10(c) — both sides write, the merge reads.
+    - [loop_carried trips]: an accumulator crossing backward branches —
+      must live in the MRF between iterations.
+    - [wide_values n]: 64-bit loads — consecutive-entry ORF occupancy.
+    - [shared_consumers n]: every value feeds the shared datapath —
+      nothing may touch the LRF.
+    - [sfu_pipeline n]: SFU producers/consumers — ORF with shared-wire
+      pricing.
+    - [spiller n]: more simultaneously-live values than any ORF holds —
+      exercises prioritization and partial ranges. *)
+
+val chain : int -> Ir.Kernel.t
+val fanout : int -> Ir.Kernel.t
+val hammock_merge : unit -> Ir.Kernel.t
+val loop_carried : int -> Ir.Kernel.t
+val wide_values : int -> Ir.Kernel.t
+val shared_consumers : int -> Ir.Kernel.t
+val sfu_pipeline : int -> Ir.Kernel.t
+val spiller : int -> Ir.Kernel.t
+
+val all : unit -> (string * Ir.Kernel.t) list
+(** Every micro pattern at a representative size. *)

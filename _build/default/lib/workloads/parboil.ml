@@ -1,0 +1,158 @@
+(* The 5 Parboil applications of paper Table 1.  These have the longest
+   execution times of the paper's benchmarks; their kernels are deep
+   arithmetic loops over loaded data. *)
+
+module B = Ir.Builder
+module D = Dsl
+
+let entry = Bench.make Suite.Parboil
+
+(* Coulombic potential: for each grid point, accumulate the potential
+   contributed by a list of atoms: dx/dy deltas, r^2, rsqrt, FMA. *)
+let cp () =
+  let b = B.create "cp" in
+  let atoms = D.input b and gx = D.input b and gy = D.input b and out = D.input b in
+  let tid = D.input b in
+  let energy = D.mov0 b in
+  D.counted_loop b ~trips:32 (fun j ->
+      let ax = D.ld_shared b (D.addr2 b ~base:atoms ~idx:j) in
+      let ay = D.ld_shared b (D.addr2 b ~base:atoms ~idx:j) in
+      let aq = D.ld_shared b (D.addr2 b ~base:atoms ~idx:j) in
+      let dx = D.fsub b ax gx in
+      let dy = D.fsub b ay gy in
+      let r2 = D.ffma b dx dx (D.fmul b dy dy) in
+      let inv = D.rsqrt b r2 in
+      B.op3_into b Ir.Op.Ffma ~dst:energy aq inv energy);
+  D.st_global b ~addr:(D.addr2 b ~base:out ~idx:tid) ~value:energy;
+  B.finalize b
+
+(* MRI gridding FHD: per-sample sin/cos phase rotation into real and
+   imaginary accumulators; kx/ky/kz sample coordinates loaded. *)
+let mri_fhd () =
+  let b = B.create "mri-fhd" in
+  let kspace = D.input b and x = D.input b and y = D.input b and z = D.input b in
+  let out = D.input b and tid = D.input b in
+  let r_acc = D.mov0 b in
+  let i_acc = D.mov0 b in
+  D.counted_loop b ~trips:24 (fun s ->
+      let kx = D.ld_global b (D.addr2 b ~base:kspace ~idx:s) in
+      let ky = D.ld_global b (D.addr2 b ~base:kspace ~idx:s) in
+      let kz = D.ld_global b (D.addr2 b ~base:kspace ~idx:tid) in
+      let phase = D.ffma b kx x (D.ffma b ky y (D.fmul b kz z)) in
+      let c = D.cos b phase in
+      let si = D.sin b phase in
+      B.op3_into b Ir.Op.Ffma ~dst:r_acc c c r_acc;
+      B.op3_into b Ir.Op.Ffma ~dst:i_acc si si i_acc);
+  D.st_global b ~addr:(D.addr2 b ~base:out ~idx:tid) ~value:(D.fadd b r_acc i_acc);
+  B.finalize b
+
+(* MRI Q computation: like FHD but the trajectory data is staged in
+   shared memory and the phase magnitude is re-read. *)
+let mri_q () =
+  let b = B.create "mri-q" in
+  let traj = D.input b and x = D.input b and y = D.input b and out = D.input b in
+  let tid = D.input b in
+  let q_r = D.mov0 b in
+  let q_i = D.mov0 b in
+  D.counted_loop b ~trips:24 (fun s ->
+      let kx = D.ld_shared b (D.addr2 b ~base:traj ~idx:s) in
+      let ky = D.ld_shared b (D.addr2 b ~base:traj ~idx:s) in
+      let mag = D.ld_shared b (D.addr2 b ~base:traj ~idx:tid) in
+      let phase = D.ffma b kx x (D.fmul b ky y) in
+      let c = D.fmul b (D.cos b phase) mag in
+      let si = D.fmul b (D.sin b phase) mag in
+      B.op2_into b Ir.Op.Fadd ~dst:q_r q_r c;
+      B.op2_into b Ir.Op.Fadd ~dst:q_i q_i si);
+  D.st_global b ~addr:(D.addr2 b ~base:out ~idx:tid) ~value:(D.ffma b q_r q_r q_i);
+  B.finalize b
+
+(* RPES quantum-chemistry kernel: nested loops of polynomial terms and
+   SFU exponentials with several medium-lived intermediates. *)
+let rpes () =
+  let b = B.create "rpes" in
+  let coeff = D.input b and dist = D.input b and out = D.input b and tid = D.input b in
+  let total = D.mov0 b in
+  D.counted_loop b ~trips:8 (fun i ->
+      let base_c = D.ld_global b (D.addr2 b ~base:coeff ~idx:i) in
+      D.counted_loop b ~trips:6 (fun j ->
+          let d = D.ld_shared b (D.addr2 b ~base:dist ~idx:j) in
+          let d2 = D.fmul b d d in
+          let arg = D.fmul b d2 base_c in
+          let e = D.ex2 b arg in
+          let poly = D.ffma b d2 base_c (D.ffma b d base_c d2) in
+          B.op3_into b Ir.Op.Ffma ~dst:total poly e total));
+  D.st_global b ~addr:(D.addr2 b ~base:out ~idx:tid) ~value:total;
+  B.finalize b
+
+(* Sum of absolute differences for motion estimation: 16 texture
+   samples against 16 frame samples per candidate block. *)
+let sad () =
+  let b = B.create "sad" in
+  let frame = D.input b and out = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:8 (fun cand ->
+      let acc = D.mov0 b in
+      let base_idx = D.iadd b tid cand in
+      for _px = 1 to 8 do
+        let cur = D.ld_global b (D.addr2 b ~base:frame ~idx:base_idx) in
+        let ref_px = D.tex b base_idx in
+        let diff = D.fsub b cur ref_px in
+        let mag = D.fmax b diff (D.fsub b ref_px cur) in
+        B.op2_into b Ir.Op.Fadd ~dst:acc acc mag
+      done;
+      D.st_global b ~addr:(D.addr2 b ~base:out ~idx:base_idx) ~value:acc);
+  B.finalize b
+
+
+(* Secondary kernel: mri-fhd's rho-phi precomputation (pure ALU/SFU
+   transform of the sample data). *)
+let mri_fhd_rhophi () =
+  let b = B.create "mri-fhd.rhoPhi"  in
+  let phi_r = D.input b and phi_i = D.input b and d_r = D.input b and d_i = D.input b in
+  let out = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:8 (fun i ->
+      let idx = D.iadd b tid i in
+      let pr = D.ld_global b (D.addr2 b ~base:phi_r ~idx) in
+      let pi = D.ld_global b (D.addr2 b ~base:phi_i ~idx) in
+      let dr = D.ld_global b (D.addr2 b ~base:d_r ~idx) in
+      let di = D.ld_global b (D.addr2 b ~base:d_i ~idx) in
+      let real = D.ffma b pr dr (D.fmul b pi di) in
+      let imag = D.fsub b (D.fmul b pr di) (D.fmul b pi dr) in
+      D.st_global b ~addr:(D.addr2 b ~base:out ~idx) ~value:(D.fadd b real imag));
+  B.finalize b
+
+
+(* mri-q's phiMag precomputation: |phi|^2 per sample, pure ALU. *)
+let mri_q_phimag () =
+  let b = B.create "mri-q.phiMag" in
+  let phi_r = D.input b and phi_i = D.input b and out = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:8 (fun i ->
+      let idx = D.iadd b tid i in
+      let r = D.ld_global b (D.addr2 b ~base:phi_r ~idx) in
+      let im = D.ld_global b (D.addr2 b ~base:phi_i ~idx) in
+      let mag = D.ffma b r r (D.fmul b im im) in
+      D.st_global b ~addr:(D.addr2 b ~base:out ~idx) ~value:mag);
+  B.finalize b
+
+(* cp's energy-grid accumulation epilogue: add the per-block partial
+   potentials into the global grid. *)
+let cp_grid_sum () =
+  let b = B.create "cp.gridSum" in
+  let partials = D.input b and grid = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:8 (fun blk ->
+      let idx = D.iadd b tid blk in
+      let p = D.ld_global b (D.addr2 b ~base:partials ~idx) in
+      let g = D.ld_global b (D.addr2 b ~base:grid ~idx:tid) in
+      D.st_global b ~addr:(D.addr2 b ~base:grid ~idx:tid) ~value:(D.fadd b g p));
+  B.finalize b
+
+let benchmarks =
+  [
+    entry "cp" ~description:"coulombic potential: distance + rsqrt accumulation"
+      ~extras:[ cp_grid_sum ] cp;
+    entry "mri-fhd" ~description:"sin/cos phase rotation into complex accumulators"
+      ~extras:[ mri_fhd_rhophi ] mri_fhd;
+    entry "mri-q" ~description:"Q matrix: shared-memory trajectory, sin/cos"
+      ~extras:[ mri_q_phimag ] mri_q;
+    entry "rpes" ~description:"nested polynomial + exponential evaluation" rpes;
+    entry "sad" ~description:"4x4 block sum of absolute differences" sad;
+  ]

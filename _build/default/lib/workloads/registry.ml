@@ -1,0 +1,17 @@
+type entry = Bench.entry = {
+  name : string;
+  suite : Suite.t;
+  description : string;
+  kernel : Ir.Kernel.t Lazy.t;
+  kernels : Ir.Kernel.t list Lazy.t;
+}
+
+let all () = Cuda_sdk.benchmarks @ Parboil.benchmarks @ Rodinia.benchmarks
+
+let by_suite s = List.filter (fun e -> e.suite = s) (all ())
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.lowercase_ascii e.name = lower) (all ())
+
+let names () = List.map (fun e -> e.name) (all ())

@@ -1,0 +1,20 @@
+(** The benchmark registry: every application of paper Table 1, as a
+    synthetic kernel modelling its register-usage signature. *)
+
+type entry = Bench.entry = {
+  name : string;
+  suite : Suite.t;
+  description : string;  (** what the modelled computation looks like *)
+  kernel : Ir.Kernel.t Lazy.t;        (** the dominant kernel *)
+  kernels : Ir.Kernel.t list Lazy.t;  (** every kernel, dominant first *)
+}
+
+val all : unit -> entry list
+(** All 36 benchmarks, CUDA SDK then Parboil then Rodinia. *)
+
+val by_suite : Suite.t -> entry list
+
+val find : string -> entry option
+(** Case-insensitive lookup by name. *)
+
+val names : unit -> string list

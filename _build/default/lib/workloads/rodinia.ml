@@ -1,0 +1,231 @@
+(* The 6 Rodinia applications of paper Table 1. *)
+
+module B = Ir.Builder
+module D = Dsl
+
+let entry = Bench.make Suite.Rodinia
+
+(* Back-propagation forward pass: weighted sums of hidden units; the
+   input activation is re-read against each weight. *)
+let backprop () =
+  let b = B.create "backprop" in
+  let weights = D.input b and acts = D.input b and out = D.input b and tid = D.input b in
+  let sum = D.mov0 b in
+  D.counted_loop b ~trips:16 (fun j ->
+      let w = D.ld_global b (D.addr2 b ~base:weights ~idx:j) in
+      let a = D.ld_shared b (D.addr2 b ~base:acts ~idx:j) in
+      B.op3_into b Ir.Op.Ffma ~dst:sum w a sum);
+  (* Sigmoid via SFU: 1 / (1 + 2^-x). *)
+  let e = D.ex2 b sum in
+  let denom = D.fadd b e e in
+  let act = D.rcp b denom in
+  D.st_global b ~addr:(D.addr2 b ~base:out ~idx:tid) ~value:act;
+  B.finalize b
+
+(* HotSpot thermal stencil: five-point neighbourhood from shared
+   memory, several re-read coefficients. *)
+let hotspot () =
+  let b = B.create "hotspot" in
+  let temp = D.input b and power = D.input b and tid = D.input b in
+  let rx = D.input b and ry = D.input b and rz = D.input b in
+  D.counted_loop b ~trips:8 (fun step ->
+      let idx = D.iadd b tid step in
+      let center = D.ld_shared b (D.addr2 b ~base:temp ~idx) in
+      let north = D.ld_shared b (D.addr2 b ~base:temp ~idx:tid) in
+      let south = D.ld_shared b (D.addr2 b ~base:temp ~idx) in
+      let east = D.ld_shared b (D.addr2 b ~base:temp ~idx:tid) in
+      let west = D.ld_shared b (D.addr2 b ~base:temp ~idx) in
+      let p = D.ld_global b (D.addr2 b ~base:power ~idx) in
+      let horiz = D.fmul b (D.fadd b (D.fsub b east center) (D.fsub b west center)) rx in
+      let vert = D.fmul b (D.fadd b (D.fsub b north center) (D.fsub b south center)) ry in
+      let delta = D.ffma b p rz (D.fadd b horiz vert) in
+      let updated = D.fadd b center delta in
+      D.st_shared b ~addr:(D.addr2 b ~base:temp ~idx) ~value:updated);
+  B.finalize b
+
+(* Haar wavelet transform (hwt): butterfly passes like DwtHaar1D but
+   in-place over shared memory with strided partners. *)
+let hwt () =
+  let b = B.create "hwt" in
+  let data = D.input b and tid = D.input b and scale = D.input b in
+  D.counted_loop b ~trips:10 (fun level ->
+      let partner = D.ishl b tid level in
+      let a = D.ld_shared b (D.addr2 b ~base:data ~idx:tid) in
+      let c = D.ld_shared b (D.addr2 b ~base:data ~idx:partner) in
+      let avg = D.fmul b (D.fadd b a c) scale in
+      let diff = D.fmul b (D.fsub b a c) scale in
+      D.st_shared b ~addr:(D.addr2 b ~base:data ~idx:tid) ~value:avg;
+      D.st_shared b ~addr:(D.addr2 b ~base:data ~idx:partner) ~value:diff);
+  B.finalize b
+
+(* LU decomposition elimination step: the pivot reciprocal is computed
+   once per row and re-read against every column. *)
+let lu () =
+  let b = B.create "lu" in
+  let matrix = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:8 (fun row ->
+      let pivot_addr = D.addr3 b ~base:matrix ~row ~col:row in
+      let pivot = D.ld_global b pivot_addr in
+      let inv = D.rcp b pivot in
+      D.counted_loop b ~trips:8 (fun col ->
+          let idx = D.iadd b tid col in
+          let a = D.ld_global b (D.addr2 b ~base:matrix ~idx) in
+          let l = D.fmul b a inv in
+          let update = D.ffma b l pivot a in
+          D.st_global b ~addr:(D.addr2 b ~base:matrix ~idx) ~value:update));
+  B.finalize b
+
+(* Needleman–Wunsch DP wavefront: max over three neighbours plus a
+   match/mismatch hammock. *)
+let needle () =
+  let b = B.create "needle" in
+  let score = D.input b and ref_seq = D.input b and penalty = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:16 (fun d ->
+      let idx = D.iadd b tid d in
+      let nw = D.ld_shared b (D.addr2 b ~base:score ~idx) in
+      let n = D.ld_shared b (D.addr2 b ~base:score ~idx:tid) in
+      let w = D.ld_shared b (D.addr2 b ~base:score ~idx) in
+      let r = D.ld_global b (D.addr2 b ~base:ref_seq ~idx) in
+      let diag = D.iadd b nw r in
+      let vert = D.isub b n penalty in
+      let horiz = D.isub b w penalty in
+      let best = D.imax b diag (D.imax b vert horiz) in
+      let p = D.setp b best diag in
+      D.if_then b ~pred:p ~taken_prob:0.5 (fun () ->
+          D.st_shared b ~addr:(D.addr2 b ~base:score ~idx) ~value:diag);
+      D.st_shared b ~addr:(D.addr2 b ~base:score ~idx:tid) ~value:best);
+  B.finalize b
+
+(* SRAD speckle-reducing diffusion: gradient stencil, divergence-like
+   coefficient with SFU ops, two passes worth of intermediates. *)
+let srad () =
+  let b = B.create "srad" in
+  let img = D.input b and coeff = D.input b and out = D.input b and tid = D.input b in
+  let q0 = D.input b in
+  D.counted_loop b ~trips:12 (fun i ->
+      let idx = D.iadd b tid i in
+      let c = D.ld_global b (D.addr2 b ~base:img ~idx) in
+      let n = D.ld_global b (D.addr2 b ~base:img ~idx:tid) in
+      let s = D.ld_global b (D.addr2 b ~base:img ~idx) in
+      let e = D.ld_global b (D.addr2 b ~base:img ~idx:tid) in
+      let dn = D.fsub b n c in
+      let ds = D.fsub b s c in
+      let de = D.fsub b e c in
+      let g2 = D.ffma b dn dn (D.ffma b ds ds (D.fmul b de de)) in
+      let l = D.fadd b (D.fadd b dn ds) de in
+      let num = D.ffma b l l g2 in
+      let den = D.ffma b l q0 num in
+      let q = D.fmul b num (D.rcp b den) in
+      let cval = D.rcp b (D.ffma b q q0 q) in
+      D.st_global b ~addr:(D.addr2 b ~base:coeff ~idx) ~value:cval;
+      let update = D.ffma b cval dn c in
+      D.st_global b ~addr:(D.addr2 b ~base:out ~idx) ~value:update);
+  B.finalize b
+
+
+(* ------------------------------------------------------------------ *)
+(* Secondary kernels. *)
+
+(* Back-propagation's weight-adjustment pass: delta x activation FMA
+   into each weight, momentum term re-read. *)
+let backprop_adjust () =
+  let b = B.create "backprop.adjust" in
+  let weights = D.input b and deltas = D.input b and acts = D.input b in
+  let momentum = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:12 (fun j ->
+      let idx = D.iadd b tid j in
+      let w = D.ld_global b (D.addr2 b ~base:weights ~idx) in
+      let d = D.ld_shared b (D.addr2 b ~base:deltas ~idx) in
+      let a = D.ld_shared b (D.addr2 b ~base:acts ~idx) in
+      let grad = D.fmul b d a in
+      let w2 = D.ffma b grad momentum w in
+      D.st_global b ~addr:(D.addr2 b ~base:weights ~idx) ~value:w2);
+  B.finalize b
+
+(* SRAD's second pass: apply the diffusion coefficients computed by the
+   first pass to update the image. *)
+let srad_pass2 () =
+  let b = B.create "srad.pass2" in
+  let img = D.input b and coeff = D.input b and lambda = D.input b and tid = D.input b in
+  D.counted_loop b ~trips:12 (fun i ->
+      let idx = D.iadd b tid i in
+      let c_c = D.ld_global b (D.addr2 b ~base:coeff ~idx) in
+      let c_s = D.ld_global b (D.addr2 b ~base:coeff ~idx:tid) in
+      let c_e = D.ld_global b (D.addr2 b ~base:coeff ~idx) in
+      let v = D.ld_global b (D.addr2 b ~base:img ~idx) in
+      let div = D.fadd b (D.fadd b c_c c_s) c_e in
+      let v2 = D.ffma b div lambda v in
+      D.st_global b ~addr:(D.addr2 b ~base:img ~idx) ~value:v2);
+  B.finalize b
+
+
+(* HotSpot's pyramid step: a second stencil pass over the halo-expanded
+   tile before results are committed. *)
+let hotspot_commit () =
+  let b = B.create "hotspot.commit" in
+  let temp = D.input b and out = D.input b and tid = D.input b and amb = D.input b in
+  D.counted_loop b ~trips:8 (fun i ->
+      let idx = D.iadd b tid i in
+      let v = D.ld_shared b (D.addr2 b ~base:temp ~idx) in
+      let cooled = D.ffma b v amb v in
+      D.st_global b ~addr:(D.addr2 b ~base:out ~idx) ~value:cooled);
+  B.finalize b
+
+(* hwt's inverse transform: reconstruct from averages/differences. *)
+let hwt_inverse () =
+  let b = B.create "hwt.inverse" in
+  let data = D.input b and tid = D.input b and scale = D.input b in
+  D.counted_loop b ~trips:10 (fun level ->
+      let partner = D.ishr b tid level in
+      let avg = D.ld_shared b (D.addr2 b ~base:data ~idx:tid) in
+      let diff = D.ld_shared b (D.addr2 b ~base:data ~idx:partner) in
+      D.st_shared b ~addr:(D.addr2 b ~base:data ~idx:tid)
+        ~value:(D.fmul b (D.fadd b avg diff) scale);
+      D.st_shared b ~addr:(D.addr2 b ~base:data ~idx:partner)
+        ~value:(D.fmul b (D.fsub b avg diff) scale));
+  B.finalize b
+
+(* LU's diagonal kernel: invert the pivot block (SFU reciprocal per
+   diagonal element, serial dependence down the diagonal). *)
+let lu_diagonal () =
+  let b = B.create "lu.diagonal" in
+  let matrix = D.input b and tid = D.input b in
+  let carry = D.mov0 b in
+  D.counted_loop b ~trips:8 (fun i ->
+      let idx = D.addr3 b ~base:matrix ~row:i ~col:tid in
+      let d = D.ld_global b idx in
+      let inv = D.rcp b d in
+      B.op3_into b Ir.Op.Ffma ~dst:carry inv carry inv;
+      D.st_global b ~addr:idx ~value:carry);
+  B.finalize b
+
+(* Needleman-Wunsch traceback: follow max-score predecessors. *)
+let needle_traceback () =
+  let b = B.create "needle.traceback" in
+  let score = D.input b and path = D.input b and tid = D.input b in
+  let pos = D.mov b tid in
+  D.counted_loop b ~trips:12 (fun _i ->
+      let here = D.ld_global b (D.addr2 b ~base:score ~idx:pos) in
+      let diag = D.ld_global b (D.addr2 b ~base:score ~idx:pos) in
+      let p = D.setp b here diag in
+      D.if_then_else b ~pred:p ~taken_prob:0.5
+        (fun () -> B.op2_into b Ir.Op.Iadd ~dst:pos pos tid)
+        (fun () -> B.op2_into b Ir.Op.Isub ~dst:pos pos tid);
+      D.st_global b ~addr:(D.addr2 b ~base:path ~idx:pos) ~value:here);
+  B.finalize b
+
+let benchmarks =
+  [
+    entry "backprop" ~description:"weighted-sum forward pass with SFU sigmoid"
+      ~extras:[ backprop_adjust ] backprop;
+    entry "hotspot" ~description:"five-point thermal stencil on shared memory"
+      ~extras:[ hotspot_commit ] hotspot;
+    entry "hwt" ~description:"in-place Haar butterfly passes"
+      ~extras:[ hwt_inverse ] hwt;
+    entry "lu" ~description:"row elimination with re-read pivot reciprocal"
+      ~extras:[ lu_diagonal ] lu;
+    entry "needle" ~description:"DP wavefront max with divergent traceback store"
+      ~extras:[ needle_traceback ] needle;
+    entry "srad" ~description:"gradient stencil + diffusion coefficient pipeline"
+      ~extras:[ srad_pass2 ] srad;
+  ]

@@ -1,0 +1,4 @@
+(** The rodinia applications of paper Table 1, as synthetic
+    kernels modelling each application's register-usage signature. *)
+
+val benchmarks : Bench.entry list

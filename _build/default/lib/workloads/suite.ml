@@ -1,0 +1,7 @@
+type t = Cuda_sdk | Parboil | Rodinia
+
+let name = function Cuda_sdk -> "CUDA SDK" | Parboil -> "Parboil" | Rodinia -> "Rodinia"
+
+let all = [ Cuda_sdk; Parboil; Rodinia ]
+
+let pp fmt t = Format.pp_print_string fmt (name t)

@@ -1,0 +1,7 @@
+(** The three benchmark suites of paper Table 1. *)
+
+type t = Cuda_sdk | Parboil | Rodinia
+
+val name : t -> string
+val all : t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Alloc Energy Ir List Option String

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Alloc Analysis Array Fun Ir List Option

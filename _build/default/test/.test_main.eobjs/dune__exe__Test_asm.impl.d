@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Alloc Array Ir Lazy List QCheck QCheck_alcotest Sim String Workloads

@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Alloc Array Energy Experiments Ir List Rfh Sim

@@ -1,0 +1,1 @@
+test/test_micro.ml: Alcotest Alloc Energy Ir List Sim Strand String Workloads

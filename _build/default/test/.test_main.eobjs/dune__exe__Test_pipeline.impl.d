@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Alloc Energy Ir Sim Strand String

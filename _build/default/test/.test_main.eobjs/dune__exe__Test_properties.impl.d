@@ -1,0 +1,1 @@
+test/test_properties.ml: Alloc Analysis Energy Ir List QCheck QCheck_alcotest Sim Strand String Transform Util Workloads

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Alloc Array Energy Ir Lazy List Option Sim Util Workloads

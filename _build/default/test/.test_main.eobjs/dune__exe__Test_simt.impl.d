@@ -1,0 +1,1 @@
+test/test_simt.ml: Alcotest Alloc Analysis Energy Ir Lazy Option Sim Workloads

@@ -1,0 +1,1 @@
+test/test_strand.ml: Alcotest Alloc Analysis Array Ir Lazy List Option Strand Workloads

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Alloc Array Ir Lazy List Sim String Transform Workloads

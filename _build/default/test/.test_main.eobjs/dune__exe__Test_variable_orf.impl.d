@@ -1,0 +1,1 @@
+test/test_variable_orf.ml: Alcotest Alloc Array Energy Ir Lazy Option Sim String Workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Alloc Ir Lazy List Option Sim String Util Workloads

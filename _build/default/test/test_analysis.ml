@@ -1,0 +1,271 @@
+(* Unit tests for CFG, dominance, liveness, reaching definitions and
+   def-use chains, on hand-crafted kernels with known answers. *)
+
+let check = Alcotest.check
+
+module B = Ir.Builder
+module Op = Ir.Op
+
+(* Diamond: BB0 -> {BB1, BB2} -> BB3. *)
+let diamond () =
+  let b = B.create "diamond" in
+  let p = B.op0 b Op.Mov () in
+  let else_l = B.new_label b in
+  let join = B.new_label b in
+  B.branch b ~pred:p ~target:else_l (Ir.Terminator.Taken_with_prob 0.5);
+  let (_ : B.label) = B.here b in
+  ignore (B.op0 b Op.Mov ());
+  B.jump b join;
+  B.start_block b else_l;
+  ignore (B.op0 b Op.Mov ());
+  B.start_block b join;
+  B.ret b;
+  B.finalize b
+
+(* Loop: BB0 -> BB1 (head) -> BB1 | BB2. *)
+let loop_kernel () =
+  let b = B.create "loop" in
+  let x = B.op0 b Op.Mov () in
+  let head = B.here b in
+  let y = B.op1 b Op.Mov x in
+  let p = B.op1 b Op.Setp y in
+  B.branch b ~pred:p ~target:head (Ir.Terminator.Loop 3);
+  let (_ : B.label) = B.here b in
+  B.ret b;
+  B.finalize b
+
+let test_cfg_diamond () =
+  let k = diamond () in
+  let cfg = Analysis.Cfg.of_kernel k in
+  check Alcotest.(list int) "bb0 succs" [ 2; 1 ] cfg.Analysis.Cfg.succs.(0);
+  check Alcotest.(list int) "bb1 succs" [ 3 ] cfg.Analysis.Cfg.succs.(1);
+  check Alcotest.(list int) "bb2 succs" [ 3 ] cfg.Analysis.Cfg.succs.(2);
+  check Alcotest.(list int) "bb3 preds sorted" [ 1; 2 ]
+    (List.sort compare cfg.Analysis.Cfg.preds.(3));
+  check
+    Alcotest.(list (pair int int))
+    "no backward edges" []
+    (Analysis.Cfg.backward_edges cfg)
+
+let test_cfg_loop_backedge () =
+  let k = loop_kernel () in
+  let cfg = Analysis.Cfg.of_kernel k in
+  check Alcotest.(list (pair int int)) "backedge" [ (1, 1) ] (Analysis.Cfg.backward_edges cfg);
+  let targets = Analysis.Cfg.backward_targets cfg in
+  check Alcotest.bool "bb1 is backward target" true targets.(1);
+  check Alcotest.bool "bb0 is not" false targets.(0)
+
+let test_cfg_reachable_rpo () =
+  let k = diamond () in
+  let cfg = Analysis.Cfg.of_kernel k in
+  let reach = Analysis.Cfg.reachable cfg in
+  check Alcotest.bool "all reachable" true (Array.for_all Fun.id reach);
+  let rpo = Analysis.Cfg.reverse_postorder cfg in
+  check Alcotest.int "rpo covers all" 4 (Array.length rpo);
+  check Alcotest.int "entry first" 0 rpo.(0);
+  let idx = Analysis.Cfg.rpo_index cfg in
+  check Alcotest.int "entry index" 0 idx.(0);
+  check Alcotest.int "join last" 3 idx.(3)
+
+let test_dominance_diamond () =
+  let k = diamond () in
+  let cfg = Analysis.Cfg.of_kernel k in
+  let dom = Analysis.Dominance.compute cfg in
+  check (Alcotest.option Alcotest.int) "idom bb1" (Some 0) (Analysis.Dominance.idom dom 1);
+  check (Alcotest.option Alcotest.int) "idom bb2" (Some 0) (Analysis.Dominance.idom dom 2);
+  check (Alcotest.option Alcotest.int) "idom bb3" (Some 0) (Analysis.Dominance.idom dom 3);
+  check (Alcotest.option Alcotest.int) "entry has none" None (Analysis.Dominance.idom dom 0);
+  check Alcotest.bool "0 dom 3" true (Analysis.Dominance.dominates dom 0 3);
+  check Alcotest.bool "1 not dom 3" false (Analysis.Dominance.dominates dom 1 3);
+  check Alcotest.bool "reflexive" true (Analysis.Dominance.dominates dom 2 2)
+
+let test_dominance_loop () =
+  let k = loop_kernel () in
+  let cfg = Analysis.Cfg.of_kernel k in
+  let dom = Analysis.Dominance.compute cfg in
+  check Alcotest.bool "head dominates exit" true (Analysis.Dominance.dominates dom 1 2);
+  check Alcotest.bool "entry dominates head" true (Analysis.Dominance.dominates dom 0 1)
+
+let test_instr_dominates () =
+  let k = diamond () in
+  let cfg = Analysis.Cfg.of_kernel k in
+  let dom = Analysis.Dominance.compute cfg in
+  (* instr 0 (mov) and instr 1 (bra) are in block 0; instr 2 in bb1. *)
+  check Alcotest.bool "same block order" true (Analysis.Dominance.instr_dominates k dom 0 1);
+  check Alcotest.bool "same block reverse" false (Analysis.Dominance.instr_dominates k dom 1 0);
+  check Alcotest.bool "bb0 dominates bb1 instr" true (Analysis.Dominance.instr_dominates k dom 0 2)
+
+let test_liveness_straight_line () =
+  let b = B.create "t" in
+  let x = B.op0 b Op.Mov () in
+  let y = B.op1 b Op.Mov x in
+  let z = B.op2 b Op.Iadd x y in
+  B.store b Op.St_global ~addr:z ~value:z;
+  let k = B.finalize b in
+  let cfg = Analysis.Cfg.of_kernel k in
+  let live = Analysis.Liveness.compute k cfg in
+  (* After the store (instr 3), nothing is live. *)
+  check Alcotest.bool "z dead at end" false
+    (Analysis.Liveness.live_after_instr live ~instr_id:3 z);
+  (* After instr 1 (y's def), both x and y are live (z's add reads both). *)
+  check Alcotest.bool "x live after 1" true (Analysis.Liveness.live_after_instr live ~instr_id:1 x);
+  check Alcotest.bool "y live after 1" true (Analysis.Liveness.live_after_instr live ~instr_id:1 y);
+  (* After instr 2, x and y are dead, z live. *)
+  check Alcotest.bool "x dead after 2" false (Analysis.Liveness.live_after_instr live ~instr_id:2 x);
+  check Alcotest.bool "z live after 2" true (Analysis.Liveness.live_after_instr live ~instr_id:2 z)
+
+let test_liveness_loop_carried () =
+  let b = B.create "t" in
+  let acc = B.op0 b Op.Mov () in
+  let head = B.here b in
+  B.op2_into b Op.Iadd ~dst:acc acc acc;
+  let p = B.op1 b Op.Setp acc in
+  B.branch b ~pred:p ~target:head (Ir.Terminator.Loop 2);
+  let (_ : B.label) = B.here b in
+  B.store b Op.St_global ~addr:acc ~value:acc;
+  let k = B.finalize b in
+  let cfg = Analysis.Cfg.of_kernel k in
+  let live = Analysis.Liveness.compute k cfg in
+  (* acc is live around the loop: live-in of the loop head includes it. *)
+  check Alcotest.bool "acc live into head" true
+    (Ir.Reg.Set.mem acc (Analysis.Liveness.live_in live 1));
+  check Alcotest.bool "acc live out of head" true
+    (Ir.Reg.Set.mem acc (Analysis.Liveness.live_out live 1))
+
+let test_reaching_multi_def () =
+  (* Hammock writing r on both sides; the join read is reached by both. *)
+  let b = B.create "t" in
+  let p = B.op0 b Op.Mov () in
+  let r = B.op0 b Op.Mov () in
+  let else_l = B.new_label b in
+  let join = B.new_label b in
+  B.branch b ~pred:p ~target:else_l (Ir.Terminator.Taken_with_prob 0.5);
+  let (_ : B.label) = B.here b in
+  B.op1_into b Op.Mov ~dst:r p;
+  B.jump b join;
+  B.start_block b else_l;
+  B.op1_into b Op.Mov ~dst:r r;
+  B.start_block b join;
+  B.store b Op.St_global ~addr:r ~value:r;
+  let k = B.finalize b in
+  let cfg = Analysis.Cfg.of_kernel k in
+  let reach = Analysis.Reaching.compute k cfg in
+  (* The store is the last instruction. *)
+  let store_id = Ir.Kernel.instr_count k - 1 in
+  let defs = Analysis.Reaching.reaching_before reach ~instr_id:store_id r in
+  check Alcotest.int "two reaching defs" 2 (List.length defs);
+  (* Inside the then-branch, only the local def reaches its own block end. *)
+  check Alcotest.bool "then def reaches bb1 end" true
+    (Analysis.Reaching.reaches_block_end reach ~block:1 ~def:(List.nth defs 0))
+
+let test_reaching_input () =
+  let b = B.create "t" in
+  let input = B.fresh b in
+  let x = B.op1 b Op.Mov input in
+  B.store b Op.St_global ~addr:x ~value:x;
+  let k = B.finalize b in
+  let cfg = Analysis.Cfg.of_kernel k in
+  let reach = Analysis.Reaching.compute k cfg in
+  check Alcotest.(list int) "input has no defs" []
+    (Analysis.Reaching.reaching_before reach ~instr_id:0 input)
+
+let test_duchain_instances () =
+  let b = B.create "t" in
+  let x = B.op0 b Op.Mov () in
+  let y = B.op1 b Op.Mov x in
+  let z = B.op2 b Op.Iadd x y in
+  B.store b Op.St_global ~addr:z ~value:x;
+  let k = B.finalize b in
+  let ctx = Alloc.Context.create k in
+  let du = ctx.Alloc.Context.duchain in
+  let x_inst = Option.get (Analysis.Duchain.instance_of_def du 0) in
+  check Alcotest.int "x read 3 times" 3 (List.length x_inst.Analysis.Duchain.reads);
+  let z_inst = Option.get (Analysis.Duchain.instance_of_def du 2) in
+  check Alcotest.int "z read once" 1 (List.length z_inst.Analysis.Duchain.reads);
+  check Alcotest.int "z read at store slot 0" 0
+    (List.hd z_inst.Analysis.Duchain.reads).Analysis.Duchain.slot;
+  check Alcotest.bool "x not merged" false (Analysis.Duchain.reads_of_instance_multi du x_inst)
+
+let test_duchain_merged_group () =
+  (* Both hammock sides write r; the join read merges the defs. *)
+  let b = B.create "t" in
+  let p = B.op0 b Op.Mov () in
+  let r = B.op0 b Op.Mov () in
+  let else_l = B.new_label b in
+  let join = B.new_label b in
+  B.branch b ~pred:p ~target:else_l (Ir.Terminator.Taken_with_prob 0.5);
+  let (_ : B.label) = B.here b in
+  B.op1_into b Op.Mov ~dst:r p;
+  B.jump b join;
+  B.start_block b else_l;
+  B.op1_into b Op.Mov ~dst:r p;
+  B.start_block b join;
+  B.store b Op.St_global ~addr:r ~value:p;
+  let k = B.finalize b in
+  let ctx = Alloc.Context.create k in
+  let du = ctx.Alloc.Context.duchain in
+  (* Find the two defs of r (the op1_into instructions). *)
+  let r_defs =
+    List.filter (fun (i : Analysis.Duchain.instance) -> i.Analysis.Duchain.reg = r)
+      (Analysis.Duchain.instances du)
+  in
+  let group_sizes =
+    List.map
+      (fun (i : Analysis.Duchain.instance) ->
+        List.length (Analysis.Duchain.group_members du i.Analysis.Duchain.group))
+      r_defs
+  in
+  (* The initial mov of r is killed on both paths; the two hammock defs
+     must share one group of size >= 2. *)
+  check Alcotest.bool "merged group exists" true (List.exists (fun n -> n >= 2) group_sizes)
+
+let test_duchain_inputs () =
+  let b = B.create "t" in
+  let input = B.fresh b in
+  ignore (B.op2 b Op.Iadd input input);
+  let k = B.finalize b in
+  let ctx = Alloc.Context.create k in
+  let inputs = Analysis.Duchain.input_reads ctx.Alloc.Context.duchain in
+  check Alcotest.int "one input register" 1 (List.length inputs);
+  let r, reads = List.hd inputs in
+  check Alcotest.int "it is the input" input r;
+  check Alcotest.int "read twice" 2 (List.length reads)
+
+let test_pressure () =
+  (* x and y live together across the add; peak = 2. *)
+  let b = B.create "t" in
+  let x = B.op0 b Op.Mov () in
+  let y = B.op0 b Op.Mov () in
+  let z = B.op2 b Op.Iadd x y in
+  B.store b Op.St_global ~addr:z ~value:z;
+  let k = B.finalize b in
+  let cfg = Analysis.Cfg.of_kernel k in
+  let live = Analysis.Liveness.compute k cfg in
+  let p = Analysis.Pressure.compute k cfg live in
+  check Alcotest.int "3 registers" 3 p.Analysis.Pressure.registers_used;
+  check Alcotest.int "peak live 2" 2 p.Analysis.Pressure.max_live
+
+let test_resident_warps () =
+  (* Table 2's machine: 32 regs/thread -> 32 warps in 128 KB. *)
+  check Alcotest.int "32 regs" 32 (Analysis.Pressure.resident_warps 32);
+  check Alcotest.int "64 regs halves warps" 16 (Analysis.Pressure.resident_warps 64);
+  check Alcotest.bool "zero regs unbounded" true (Analysis.Pressure.resident_warps 0 > 1000)
+
+let suite =
+  [
+    Alcotest.test_case "pressure" `Quick test_pressure;
+    Alcotest.test_case "resident warps" `Quick test_resident_warps;
+    Alcotest.test_case "cfg diamond" `Quick test_cfg_diamond;
+    Alcotest.test_case "cfg loop backedge" `Quick test_cfg_loop_backedge;
+    Alcotest.test_case "cfg reachable/rpo" `Quick test_cfg_reachable_rpo;
+    Alcotest.test_case "dominance diamond" `Quick test_dominance_diamond;
+    Alcotest.test_case "dominance loop" `Quick test_dominance_loop;
+    Alcotest.test_case "instr dominates" `Quick test_instr_dominates;
+    Alcotest.test_case "liveness straight line" `Quick test_liveness_straight_line;
+    Alcotest.test_case "liveness loop carried" `Quick test_liveness_loop_carried;
+    Alcotest.test_case "reaching multi def" `Quick test_reaching_multi_def;
+    Alcotest.test_case "reaching input" `Quick test_reaching_input;
+    Alcotest.test_case "duchain instances" `Quick test_duchain_instances;
+    Alcotest.test_case "duchain merged group" `Quick test_duchain_merged_group;
+    Alcotest.test_case "duchain inputs" `Quick test_duchain_inputs;
+  ]

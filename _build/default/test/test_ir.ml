@@ -1,0 +1,265 @@
+(* Unit tests for the IR: widths, opcodes, instructions, terminators,
+   kernel validation and the builder. *)
+
+let check = Alcotest.check
+
+module B = Ir.Builder
+module Op = Ir.Op
+
+(* --- Width / Op --------------------------------------------------- *)
+
+let test_width () =
+  check Alcotest.int "w32" 1 (Ir.Width.words Ir.Width.W32);
+  check Alcotest.int "w64" 2 (Ir.Width.words Ir.Width.W64);
+  check Alcotest.int "w128" 4 (Ir.Width.words Ir.Width.W128);
+  check Alcotest.string "name" "b64" (Ir.Width.to_string Ir.Width.W64)
+
+let test_op_unit_class () =
+  check Alcotest.bool "add is alu" true (Op.unit_class Op.Fadd = Op.Alu);
+  check Alcotest.bool "sqrt is sfu" true (Op.unit_class Op.Sqrt = Op.Sfu);
+  check Alcotest.bool "ld is mem" true (Op.unit_class Op.Ld_global = Op.Mem);
+  check Alcotest.bool "tex is tex" true (Op.unit_class Op.Tex_fetch = Op.Tex);
+  check Alcotest.bool "bra is alu" true (Op.unit_class Op.Bra = Op.Alu)
+
+let test_op_long_latency () =
+  check Alcotest.bool "global load" true (Op.is_long_latency Op.Ld_global);
+  check Alcotest.bool "atomic" true (Op.is_long_latency Op.Atom_global);
+  check Alcotest.bool "texture" true (Op.is_long_latency Op.Tex_fetch);
+  check Alcotest.bool "shared load short" false (Op.is_long_latency Op.Ld_shared);
+  check Alcotest.bool "global store short" false (Op.is_long_latency Op.St_global);
+  check Alcotest.bool "sfu short" false (Op.is_long_latency Op.Rcp)
+
+let test_op_latencies () =
+  (* Table 2 *)
+  check Alcotest.int "alu" 8 (Op.latency Op.Imad);
+  check Alcotest.int "sfu" 20 (Op.latency Op.Sin);
+  check Alcotest.int "shared" 20 (Op.latency Op.St_shared);
+  check Alcotest.int "dram" 400 (Op.latency Op.Ld_global);
+  check Alcotest.int "tex" 400 (Op.latency Op.Tex_fetch)
+
+let test_op_issue_cycles () =
+  check Alcotest.int "alu full throughput" 1 (Op.issue_cycles Op.Fadd);
+  check Alcotest.int "shared datapath reduced" 4 (Op.issue_cycles Op.Cos);
+  check Alcotest.int "mem reduced" 4 (Op.issue_cycles Op.Ld_global)
+
+let test_op_has_result () =
+  check Alcotest.bool "store" false (Op.has_result Op.St_global);
+  check Alcotest.bool "bra" false (Op.has_result Op.Bra);
+  check Alcotest.bool "load" true (Op.has_result Op.Ld_global);
+  check Alcotest.bool "atom returns old value" true (Op.has_result Op.Atom_global)
+
+let test_op_shared_datapath () =
+  check Alcotest.bool "alu private" false (Op.is_shared_datapath Op.Iadd);
+  check Alcotest.bool "sfu shared" true (Op.is_shared_datapath Op.Ex2);
+  check Alcotest.bool "mem shared" true (Op.is_shared_datapath Op.St_shared)
+
+(* --- Instr -------------------------------------------------------- *)
+
+let test_instr_make_valid () =
+  let i = Ir.Instr.make ~id:0 ~op:Op.Ffma ~dst:(Some 3) ~srcs:[ 0; 1; 2 ] ~width:Ir.Width.W32 in
+  check Alcotest.(list int) "reads" [ 0; 1; 2 ] (Ir.Instr.reads i);
+  check (Alcotest.option Alcotest.int) "defines" (Some 3) (Ir.Instr.defines i)
+
+let test_instr_make_invalid () =
+  let mk op dst srcs () =
+    ignore (Ir.Instr.make ~id:0 ~op ~dst ~srcs ~width:Ir.Width.W32)
+  in
+  Alcotest.check_raises "4 srcs"
+    (Invalid_argument "Instr.make: more than 3 source operands")
+    (mk Op.Ffma (Some 9) [ 0; 1; 2; 3 ]);
+  Alcotest.check_raises "store with dst"
+    (Invalid_argument "Instr.make: st.global carries a destination")
+    (mk Op.St_global (Some 9) [ 0; 1 ]);
+  Alcotest.check_raises "add without dst"
+    (Invalid_argument "Instr.make: add.s32 lacks a destination")
+    (mk Op.Iadd None [ 0; 1 ])
+
+let test_slot_names () =
+  check Alcotest.string "A" "A" (Ir.Instr.slot_name 0);
+  check Alcotest.string "C" "C" (Ir.Instr.slot_name 2);
+  Alcotest.check_raises "bad slot" (Invalid_argument "Instr.slot_name: 3") (fun () ->
+      ignore (Ir.Instr.slot_name 3))
+
+(* --- Terminator --------------------------------------------------- *)
+
+let test_terminator_successors () =
+  let succs t at = Ir.Terminator.successors t ~at ~num_blocks:5 in
+  check Alcotest.(list int) "fallthrough" [ 3 ] (succs Ir.Terminator.Fallthrough 2);
+  check Alcotest.(list int) "jump" [ 0 ] (succs (Ir.Terminator.Jump 0) 2);
+  check Alcotest.(list int) "branch" [ 4; 3 ]
+    (succs (Ir.Terminator.Branch { target = 4; behavior = Ir.Terminator.Always_taken }) 2);
+  check Alcotest.(list int) "ret" [] (succs Ir.Terminator.Ret 2)
+
+let test_terminator_backward () =
+  let backward t at = Ir.Terminator.is_backward t ~at in
+  check Alcotest.bool "self loop" true (backward (Ir.Terminator.Jump 2) 2);
+  check Alcotest.bool "backward branch" true
+    (backward (Ir.Terminator.Branch { target = 1; behavior = Ir.Terminator.Loop 4 }) 3);
+  check Alcotest.bool "forward branch" false
+    (backward (Ir.Terminator.Branch { target = 4; behavior = Ir.Terminator.Never_taken }) 3);
+  check Alcotest.bool "fallthrough" false (backward Ir.Terminator.Fallthrough 3)
+
+(* --- Builder / Kernel --------------------------------------------- *)
+
+let test_builder_simple () =
+  let b = B.create "t" in
+  let x = B.op0 b Op.Mov () in
+  let y = B.op1 b Op.Mov x in
+  let z = B.op2 b Op.Iadd x y in
+  B.store b Op.St_global ~addr:x ~value:z;
+  let k = B.finalize b in
+  check Alcotest.int "instrs" 4 (Ir.Kernel.instr_count k);
+  check Alcotest.int "blocks" 1 (Ir.Kernel.block_count k);
+  check Alcotest.int "regs" 3 k.Ir.Kernel.num_regs;
+  (* ids dense in layout order *)
+  Ir.Kernel.iter_instrs k (fun _ i ->
+      check Alcotest.int "id = position" i.Ir.Instr.id (Ir.Kernel.instr k i.Ir.Instr.id).Ir.Instr.id)
+
+let test_builder_auto_ret () =
+  let b = B.create "t" in
+  ignore (B.op0 b Op.Mov ());
+  let k = B.finalize b in
+  match k.Ir.Kernel.blocks.(0).Ir.Block.term with
+  | Ir.Terminator.Ret -> ()
+  | _ -> Alcotest.fail "expected implicit Ret"
+
+let test_builder_forward_label () =
+  let b = B.create "t" in
+  let p = B.op0 b Op.Mov () in
+  let target = B.new_label b in
+  B.branch b ~pred:p ~target (Ir.Terminator.Taken_with_prob 0.5);
+  let (_ : B.label) = B.here b in
+  ignore (B.op0 b Op.Mov ());
+  B.start_block b target;
+  B.ret b;
+  let k = B.finalize b in
+  check Alcotest.int "3 blocks" 3 (Ir.Kernel.block_count k);
+  match k.Ir.Kernel.blocks.(0).Ir.Block.term with
+  | Ir.Terminator.Branch { target = 2; _ } -> ()
+  | _ -> Alcotest.fail "branch should resolve to block 2"
+
+let test_builder_unplaced_label () =
+  let b = B.create "t" in
+  let p = B.op0 b Op.Mov () in
+  let ghost = B.new_label b in
+  B.branch b ~pred:p ~target:ghost (Ir.Terminator.Always_taken);
+  let (_ : B.label) = B.here b in
+  B.ret b;
+  Alcotest.check_raises "unplaced" (Invalid_argument "Builder.finalize: label 1 never placed")
+    (fun () -> ignore (B.finalize b))
+
+let test_builder_emit_after_term () =
+  let b = B.create "t" in
+  B.ret b;
+  Alcotest.check_raises "closed block"
+    (Invalid_argument "Builder: emitting after a terminator; start a new block first")
+    (fun () -> ignore (B.op0 b Op.Mov ()))
+
+let test_builder_double_place () =
+  let b = B.create "t" in
+  let l = B.new_label b in
+  B.start_block b l;
+  Alcotest.check_raises "double placement"
+    (Invalid_argument "Builder.start_block: label 1 already placed") (fun () ->
+      B.start_block b l)
+
+let test_builder_store_requires_store_op () =
+  let b = B.create "t" in
+  let x = B.op0 b Op.Mov () in
+  Alcotest.check_raises "not a store" (Invalid_argument "Builder.store: not a store opcode")
+    (fun () -> B.store b Op.Iadd ~addr:x ~value:x)
+
+let test_kernel_validate_loop_forward () =
+  (* A Loop behaviour on a forward branch must be rejected. *)
+  let blocks =
+    [|
+      {
+        Ir.Block.label = 0;
+        instrs =
+          [| Ir.Instr.make ~id:0 ~op:Op.Bra ~dst:None ~srcs:[] ~width:Ir.Width.W32 |];
+        term = Ir.Terminator.Branch { target = 1; behavior = Ir.Terminator.Loop 2 };
+      };
+      { Ir.Block.label = 1; instrs = [||]; term = Ir.Terminator.Ret };
+    |]
+  in
+  match Ir.Kernel.validate ~name:"bad" ~blocks ~num_regs:0 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "forward Loop accepted"
+
+let test_kernel_validate_target_range () =
+  let blocks =
+    [| { Ir.Block.label = 0; instrs = [||]; term = Ir.Terminator.Jump 7 } |]
+  in
+  match Ir.Kernel.validate ~name:"bad" ~blocks ~num_regs:0 with
+  | Error msg -> check Alcotest.bool "mentions range" true (String.length msg > 0)
+  | Ok () -> Alcotest.fail "out-of-range target accepted"
+
+let test_kernel_validate_last_fallthrough () =
+  let blocks =
+    [| { Ir.Block.label = 0; instrs = [||]; term = Ir.Terminator.Fallthrough } |]
+  in
+  match Ir.Kernel.validate ~name:"bad" ~blocks ~num_regs:0 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "trailing fallthrough accepted"
+
+let test_kernel_validate_register_range () =
+  let blocks =
+    [|
+      {
+        Ir.Block.label = 0;
+        instrs = [| Ir.Instr.make ~id:0 ~op:Op.Mov ~dst:(Some 5) ~srcs:[] ~width:Ir.Width.W32 |];
+        term = Ir.Terminator.Ret;
+      };
+    |]
+  in
+  match Ir.Kernel.validate ~name:"bad" ~blocks ~num_regs:3 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range register accepted"
+
+let test_kernel_block_of () =
+  let b = B.create "t" in
+  ignore (B.op0 b Op.Mov ());
+  let (_ : B.label) = B.here b in
+  ignore (B.op0 b Op.Mov ());
+  ignore (B.op0 b Op.Mov ());
+  let k = B.finalize b in
+  check Alcotest.int "instr 0 in block 0" 0 (Ir.Kernel.block_of k 0);
+  check Alcotest.int "instr 2 in block 1" 1 (Ir.Kernel.block_of k 2)
+
+let test_kernel_fold_and_pp () =
+  let b = B.create "t" in
+  ignore (B.op0 b Op.Mov ());
+  ignore (B.op0 b Op.Mov ());
+  let k = B.finalize b in
+  let n = Ir.Kernel.fold_instrs k ~init:0 ~f:(fun acc _ _ -> acc + 1) in
+  check Alcotest.int "fold counts" 2 n;
+  check Alcotest.bool "pp nonempty" true (String.length (Ir.Kernel.to_string k) > 10)
+
+let suite =
+  [
+    Alcotest.test_case "width words" `Quick test_width;
+    Alcotest.test_case "op unit class" `Quick test_op_unit_class;
+    Alcotest.test_case "op long latency" `Quick test_op_long_latency;
+    Alcotest.test_case "op latencies (Table 2)" `Quick test_op_latencies;
+    Alcotest.test_case "op issue cycles" `Quick test_op_issue_cycles;
+    Alcotest.test_case "op has result" `Quick test_op_has_result;
+    Alcotest.test_case "op shared datapath" `Quick test_op_shared_datapath;
+    Alcotest.test_case "instr make valid" `Quick test_instr_make_valid;
+    Alcotest.test_case "instr make invalid" `Quick test_instr_make_invalid;
+    Alcotest.test_case "slot names" `Quick test_slot_names;
+    Alcotest.test_case "terminator successors" `Quick test_terminator_successors;
+    Alcotest.test_case "terminator backward" `Quick test_terminator_backward;
+    Alcotest.test_case "builder simple" `Quick test_builder_simple;
+    Alcotest.test_case "builder auto ret" `Quick test_builder_auto_ret;
+    Alcotest.test_case "builder forward label" `Quick test_builder_forward_label;
+    Alcotest.test_case "builder unplaced label" `Quick test_builder_unplaced_label;
+    Alcotest.test_case "builder emit after term" `Quick test_builder_emit_after_term;
+    Alcotest.test_case "builder double place" `Quick test_builder_double_place;
+    Alcotest.test_case "builder store op check" `Quick test_builder_store_requires_store_op;
+    Alcotest.test_case "validate: forward Loop" `Quick test_kernel_validate_loop_forward;
+    Alcotest.test_case "validate: target range" `Quick test_kernel_validate_target_range;
+    Alcotest.test_case "validate: last fallthrough" `Quick test_kernel_validate_last_fallthrough;
+    Alcotest.test_case "validate: register range" `Quick test_kernel_validate_register_range;
+    Alcotest.test_case "kernel block_of" `Quick test_kernel_block_of;
+    Alcotest.test_case "kernel fold/pp" `Quick test_kernel_fold_and_pp;
+  ]

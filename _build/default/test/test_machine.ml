@@ -1,0 +1,66 @@
+(* Tagged FIFO cache tests (the hardware RFC / HW LRF model). *)
+
+let check = Alcotest.check
+
+let test_create_invalid () =
+  Alcotest.check_raises "zero entries" (Invalid_argument "Tagged_cache.create: entries < 1")
+    (fun () -> ignore (Machine.Tagged_cache.create ~entries:0))
+
+let test_insert_and_lookup () =
+  let c = Machine.Tagged_cache.create ~entries:2 in
+  check Alcotest.bool "miss" false (Machine.Tagged_cache.contains c 1);
+  check (Alcotest.option Alcotest.int) "no evict" None (Machine.Tagged_cache.insert c 1);
+  check Alcotest.bool "hit" true (Machine.Tagged_cache.contains c 1);
+  check Alcotest.int "occupancy" 1 (Machine.Tagged_cache.occupancy c)
+
+let test_fifo_eviction () =
+  let c = Machine.Tagged_cache.create ~entries:2 in
+  ignore (Machine.Tagged_cache.insert c 1);
+  ignore (Machine.Tagged_cache.insert c 2);
+  (* Full: inserting 3 evicts the oldest (1). *)
+  check (Alcotest.option Alcotest.int) "evicts oldest" (Some 1) (Machine.Tagged_cache.insert c 3);
+  check Alcotest.bool "1 gone" false (Machine.Tagged_cache.contains c 1);
+  check Alcotest.bool "2 stays" true (Machine.Tagged_cache.contains c 2);
+  check Alcotest.bool "3 present" true (Machine.Tagged_cache.contains c 3)
+
+let test_overwrite_in_place () =
+  let c = Machine.Tagged_cache.create ~entries:2 in
+  ignore (Machine.Tagged_cache.insert c 1);
+  ignore (Machine.Tagged_cache.insert c 2);
+  (* Rewriting a resident register neither evicts nor reorders. *)
+  check (Alcotest.option Alcotest.int) "no eviction" None (Machine.Tagged_cache.insert c 1);
+  check (Alcotest.option Alcotest.int) "1 still oldest" (Some 1) (Machine.Tagged_cache.insert c 3)
+
+let test_remove () =
+  let c = Machine.Tagged_cache.create ~entries:2 in
+  ignore (Machine.Tagged_cache.insert c 1);
+  Machine.Tagged_cache.remove c 1;
+  check Alcotest.bool "removed" false (Machine.Tagged_cache.contains c 1);
+  Machine.Tagged_cache.remove c 99 (* removing an absent entry is a no-op *)
+
+let test_flush () =
+  let c = Machine.Tagged_cache.create ~entries:3 in
+  ignore (Machine.Tagged_cache.insert c 5);
+  ignore (Machine.Tagged_cache.insert c 7);
+  check Alcotest.(list int) "flush returns fifo order" [ 5; 7 ] (Machine.Tagged_cache.flush c);
+  check Alcotest.int "empty after flush" 0 (Machine.Tagged_cache.occupancy c);
+  check Alcotest.(list int) "second flush empty" [] (Machine.Tagged_cache.flush c)
+
+let test_single_entry_lrf () =
+  (* A 1-entry instance behaves as a last-result file. *)
+  let c = Machine.Tagged_cache.create ~entries:1 in
+  check (Alcotest.option Alcotest.int) "first" None (Machine.Tagged_cache.insert c 1);
+  check (Alcotest.option Alcotest.int) "replaces" (Some 1) (Machine.Tagged_cache.insert c 2);
+  check Alcotest.bool "only last" true
+    (Machine.Tagged_cache.contains c 2 && not (Machine.Tagged_cache.contains c 1))
+
+let suite =
+  [
+    Alcotest.test_case "create invalid" `Quick test_create_invalid;
+    Alcotest.test_case "insert/lookup" `Quick test_insert_and_lookup;
+    Alcotest.test_case "fifo eviction" `Quick test_fifo_eviction;
+    Alcotest.test_case "overwrite in place" `Quick test_overwrite_in_place;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "flush" `Quick test_flush;
+    Alcotest.test_case "single entry = LRF" `Quick test_single_entry_lrf;
+  ]

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "rfh"
+    [
+      ("util", Test_util.suite);
+      ("ir", Test_ir.suite);
+      ("asm", Test_asm.suite);
+      ("analysis", Test_analysis.suite);
+      ("strand", Test_strand.suite);
+      ("energy", Test_energy.suite);
+      ("alloc", Test_alloc.suite);
+      ("machine", Test_machine.suite);
+      ("sim", Test_sim.suite);
+      ("simt", Test_simt.suite);
+      ("trace", Test_trace.suite);
+      ("variable-orf", Test_variable_orf.suite);
+      ("extra", Test_extra.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("workloads", Test_workloads.suite);
+      ("micro", Test_micro.suite);
+      ("transform", Test_transform.suite);
+      ("experiments", Test_experiments.suite);
+      ("properties", Test_properties.suite);
+    ]

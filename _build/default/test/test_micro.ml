@@ -1,0 +1,146 @@
+(* Micro-pattern tests: each isolated register-usage pattern must get
+   the allocation the design intends. *)
+
+let check = Alcotest.check
+
+let compile ?(config = Alloc.Config.make ()) k =
+  let ctx = Alloc.Context.create k in
+  let placement, stats = Alloc.Allocator.run config ctx in
+  (match Alloc.Verify.check config ctx placement with
+   | Ok () -> ()
+   | Error errs -> Alcotest.failf "verify: %s" (String.concat "; " errs));
+  (ctx, placement, stats)
+
+let counts_of ?(config = Alloc.Config.make ()) k =
+  let ctx, placement, _ = compile ~config k in
+  (Sim.Traffic.run ~warps:1 ctx (Sim.Traffic.Sw { config; placement })).Sim.Traffic.counts
+
+let test_chain_lives_in_lrf () =
+  (* A pure dependence chain: half-open intervals let every link share
+     LRF banks; the only MRF traffic is the input read + store. *)
+  let k = Workloads.Micro.chain 8 in
+  let _, _, stats = compile k in
+  check Alcotest.bool "most links in the LRF" true (stats.Alloc.Allocator.lrf_allocated >= 6);
+  let c = counts_of k in
+  check Alcotest.bool "LRF carries the chain" true
+    (Energy.Counts.reads c Energy.Model.Lrf >= 6)
+
+let test_fanout_one_orf_entry () =
+  (* A burst-read value occupies one ORF entry covering many reads. *)
+  let k = Workloads.Micro.fanout 6 in
+  let c = counts_of k in
+  check Alcotest.bool "burst served above the MRF" true
+    (Energy.Counts.reads c Energy.Model.Orf + Energy.Counts.reads c Energy.Model.Lrf >= 6)
+
+let test_hammock_single_entry () =
+  let k = Workloads.Micro.hammock_merge () in
+  let _, placement, _ = compile ~config:(Alloc.Config.make ~lrf:Alloc.Config.No_lrf ()) k
+  in
+  (* Both defs of the merged register write the same ORF entry. *)
+  let entries =
+    Ir.Kernel.fold_instrs k ~init:[] ~f:(fun acc _ i ->
+        match Alloc.Placement.dest placement ~instr:i.Ir.Instr.id with
+        | Some { Alloc.Placement.to_orf = Some e; _ } -> e :: acc
+        | _ -> acc)
+  in
+  match List.sort_uniq compare entries with
+  | [ _ ] | [] -> ()  (* shared entry (or judged unprofitable) *)
+  | es -> Alcotest.failf "expected one shared entry, got %d" (List.length es)
+
+let test_loop_carried_goes_through_mrf () =
+  let k = Workloads.Micro.loop_carried 8 in
+  let config = Alloc.Config.make () in
+  let ctx, placement, _ = compile ~config k in
+  (* The accumulator's loop-body def must keep an MRF copy. *)
+  let ok = ref false in
+  Ir.Kernel.iter_instrs k (fun _ i ->
+      match i.Ir.Instr.dst, Alloc.Placement.dest placement ~instr:i.Ir.Instr.id with
+      | Some d, Some dest ->
+        (* the in-loop accumulator def: reads itself *)
+        if List.mem d i.Ir.Instr.srcs && Strand.Partition.strand_of_instr
+             ctx.Alloc.Context.partition i.Ir.Instr.id > 0
+        then if dest.Alloc.Placement.to_mrf then ok := true
+      | _ -> ());
+  check Alcotest.bool "accumulator reaches the MRF" true !ok
+
+let test_wide_needs_two_entries () =
+  let k = Workloads.Micro.wide_values 3 in
+  let wide_defs_in_orf config =
+    let _, placement, _ = compile ~config k in
+    Ir.Kernel.fold_instrs k ~init:0 ~f:(fun acc _ i ->
+        if i.Ir.Instr.width = Ir.Width.W64 then
+          match Alloc.Placement.dest placement ~instr:i.Ir.Instr.id with
+          | Some { Alloc.Placement.to_orf = Some _; _ } -> acc + 1
+          | _ -> acc
+        else acc)
+  in
+  check Alcotest.int "1-entry ORF holds no wide values" 0
+    (wide_defs_in_orf (Alloc.Config.make ~orf_entries:1 ~lrf:Alloc.Config.No_lrf ()));
+  check Alcotest.bool "2-entry ORF holds them" true
+    (wide_defs_in_orf (Alloc.Config.make ~orf_entries:2 ~lrf:Alloc.Config.No_lrf ()) > 0)
+
+let test_shared_consumers_never_lrf () =
+  let k = Workloads.Micro.shared_consumers 4 in
+  let c = counts_of k in
+  check Alcotest.int "no LRF traffic" 0
+    (Energy.Counts.reads c Energy.Model.Lrf + Energy.Counts.writes c Energy.Model.Lrf)
+
+let test_sfu_values_avoid_lrf () =
+  (* SFU results may use the ORF but never the LRF. *)
+  let k = Workloads.Micro.sfu_pipeline 4 in
+  let _, placement, _ = compile k in
+  Ir.Kernel.iter_instrs k (fun _ i ->
+      if Ir.Op.is_shared_datapath i.Ir.Instr.op then
+        match Alloc.Placement.dest placement ~instr:i.Ir.Instr.id with
+        | Some { Alloc.Placement.to_lrf = Some _; _ } ->
+          Alcotest.fail "SFU result placed in the LRF"
+        | _ -> ())
+
+let test_spiller_respects_capacity () =
+  (* 10 fully-overlapping live ranges, 2-entry ORF: at most 2 of the
+     values can hold entries over the common interval. *)
+  let k = Workloads.Micro.spiller 10 in
+  let config = Alloc.Config.make ~orf_entries:2 ~lrf:Alloc.Config.No_lrf ~read_operands:false () in
+  let _, placement, _ = compile ~config k in
+  (* Count distinct producing instructions whose interval covers the
+     final reduction start and sit in the ORF; capacity bounds it. *)
+  let orf_defs =
+    Ir.Kernel.fold_instrs k ~init:0 ~f:(fun acc _ i ->
+        match Alloc.Placement.dest placement ~instr:i.Ir.Instr.id with
+        | Some { Alloc.Placement.to_orf = Some _; _ } -> acc + 1
+        | _ -> acc)
+  in
+  check Alcotest.bool "capacity respected but used" true (orf_defs >= 2);
+  (* And the verifier (run inside compile) guarantees no double-booking. *)
+  ()
+
+let test_all_micro_verify_everywhere () =
+  List.iter
+    (fun (name, k) ->
+      List.iter
+        (fun config ->
+          let ctx = Alloc.Context.create k in
+          let placement = Alloc.Allocator.place config ctx in
+          match Alloc.Verify.check config ctx placement with
+          | Ok () -> ()
+          | Error errs ->
+            Alcotest.failf "%s: %s" name (String.concat "; " errs))
+        [
+          Alloc.Config.make ~orf_entries:1 ~lrf:Alloc.Config.No_lrf ();
+          Alloc.Config.make ~orf_entries:8 ~lrf:Alloc.Config.Split ();
+          Alloc.Config.make ~orf_entries:4 ~lrf:Alloc.Config.Unified ();
+        ])
+    (Workloads.Micro.all ())
+
+let suite =
+  [
+    Alcotest.test_case "chain lives in LRF" `Quick test_chain_lives_in_lrf;
+    Alcotest.test_case "fanout uses one entry" `Quick test_fanout_one_orf_entry;
+    Alcotest.test_case "hammock shares entry" `Quick test_hammock_single_entry;
+    Alcotest.test_case "loop-carried via MRF" `Quick test_loop_carried_goes_through_mrf;
+    Alcotest.test_case "wide needs 2 entries" `Quick test_wide_needs_two_entries;
+    Alcotest.test_case "shared consumers never LRF" `Quick test_shared_consumers_never_lrf;
+    Alcotest.test_case "SFU values avoid LRF" `Quick test_sfu_values_avoid_lrf;
+    Alcotest.test_case "spiller respects capacity" `Quick test_spiller_respects_capacity;
+    Alcotest.test_case "all micros verify" `Quick test_all_micro_verify_everywhere;
+  ]

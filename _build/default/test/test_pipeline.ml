@@ -1,0 +1,95 @@
+(* End-to-end smoke tests: build a kernel, allocate, verify, count. *)
+
+let check = Alcotest.check
+
+(* saxpy-like kernel: load x and y, fma, store; loop over 8 elements. *)
+let saxpy () =
+  let b = Ir.Builder.create "saxpy" in
+  let a = Ir.Builder.op0 b Ir.Op.Mov () in
+  let base_x = Ir.Builder.op0 b Ir.Op.Mov () in
+  let base_y = Ir.Builder.op0 b Ir.Op.Mov () in
+  let i = Ir.Builder.op0 b Ir.Op.Mov () in
+  let head = Ir.Builder.here b in
+  let addr_x = Ir.Builder.op2 b Ir.Op.Iadd base_x i in
+  let addr_y = Ir.Builder.op2 b Ir.Op.Iadd base_y i in
+  let x = Ir.Builder.op1 b Ir.Op.Ld_global addr_x in
+  let y = Ir.Builder.op1 b Ir.Op.Ld_global addr_y in
+  let r = Ir.Builder.op3 b Ir.Op.Ffma a x y in
+  Ir.Builder.store b Ir.Op.St_global ~addr:addr_y ~value:r;
+  Ir.Builder.op2_into b Ir.Op.Iadd ~dst:i i i;
+  let p = Ir.Builder.op2 b Ir.Op.Setp i a in
+  Ir.Builder.branch b ~pred:p ~target:head (Ir.Terminator.Loop 8);
+  let (_ : Ir.Builder.label) = Ir.Builder.here b in
+  Ir.Builder.ret b;
+  Ir.Builder.finalize b
+
+let test_build () =
+  let k = saxpy () in
+  check Alcotest.int "blocks" 3 (Ir.Kernel.block_count k);
+  check Alcotest.bool "has instrs" true (Ir.Kernel.instr_count k > 8)
+
+let test_strands () =
+  let k = saxpy () in
+  let ctx = Alloc.Context.create k in
+  let n = Strand.Partition.num_strands ctx.Alloc.Context.partition in
+  (* At least: preamble strand, loop-head strand, post-load strand. *)
+  check Alcotest.bool "several strands" true (n >= 3)
+
+let alloc_and_verify config k =
+  let ctx = Alloc.Context.create k in
+  let placement, stats = Alloc.Allocator.run config ctx in
+  (match Alloc.Verify.check config ctx placement with
+   | Ok () -> ()
+   | Error errs -> Alcotest.failf "verification failed:\n%s" (String.concat "\n" errs));
+  (ctx, placement, stats)
+
+let test_alloc_two_level () =
+  let config = Alloc.Config.make ~orf_entries:3 ~lrf:Alloc.Config.No_lrf () in
+  let _, _, stats = alloc_and_verify config (saxpy ()) in
+  check Alcotest.bool "some ORF allocations" true (stats.Alloc.Allocator.orf_allocated > 0)
+
+let test_alloc_three_level_split () =
+  let config = Alloc.Config.make ~orf_entries:3 ~lrf:Alloc.Config.Split () in
+  let _, _, stats = alloc_and_verify config (saxpy ()) in
+  check Alcotest.bool "some LRF allocations" true (stats.Alloc.Allocator.lrf_allocated > 0)
+
+let test_traffic_energy_ordering () =
+  let k = saxpy () in
+  let ctx = Alloc.Context.create k in
+  let params = Energy.Params.default in
+  let energy_of scheme entries =
+    let r = Sim.Traffic.run ~warps:8 ctx scheme in
+    (Energy.Counts.energy params ~orf_entries:entries r.Sim.Traffic.counts).Energy.Counts.total
+  in
+  let base = energy_of Sim.Traffic.Baseline 3 in
+  let config = Alloc.Config.make ~orf_entries:3 ~lrf:Alloc.Config.Split () in
+  let placement = Alloc.Allocator.place config ctx in
+  let sw = energy_of (Sim.Traffic.Sw { config; placement }) 3 in
+  let hw = energy_of (Sim.Traffic.Hw (Sim.Traffic.hw_defaults ~rfc_entries:3)) 3 in
+  check Alcotest.bool "baseline positive" true (base > 0.0);
+  check Alcotest.bool "SW beats baseline" true (sw < base);
+  check Alcotest.bool "HW beats baseline" true (hw < base);
+  check Alcotest.bool "SW beats HW" true (sw < hw)
+
+let test_perf_two_level () =
+  let k = saxpy () in
+  let ctx = Alloc.Context.create k in
+  let single =
+    Sim.Perf.run ~warps:32 ~scheduler:Sim.Perf.Single_level ~policy:Sim.Perf.On_dependence ctx
+  in
+  let two =
+    Sim.Perf.run ~warps:32 ~scheduler:(Sim.Perf.Two_level 8) ~policy:Sim.Perf.On_dependence ctx
+  in
+  check Alcotest.bool "ipc positive" true (two.Sim.Perf.ipc > 0.0);
+  check Alcotest.bool "two-level within 5% of single-level" true
+    (two.Sim.Perf.ipc >= 0.95 *. single.Sim.Perf.ipc)
+
+let suite =
+  [
+    Alcotest.test_case "build saxpy" `Quick test_build;
+    Alcotest.test_case "strand partition" `Quick test_strands;
+    Alcotest.test_case "allocate 2-level" `Quick test_alloc_two_level;
+    Alcotest.test_case "allocate 3-level split" `Quick test_alloc_three_level_split;
+    Alcotest.test_case "energy ordering" `Quick test_traffic_energy_ordering;
+    Alcotest.test_case "two-level scheduler IPC" `Quick test_perf_two_level;
+  ]

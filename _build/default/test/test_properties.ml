@@ -1,0 +1,237 @@
+(* Property-based tests over randomly generated kernels: the allocator
+   must produce verifiable placements for every kernel shape and
+   configuration, and the core invariants must hold universally. *)
+
+let kernel_of_seed ?(size = 10) seed = Workloads.Generator.kernel ~size ~seed ()
+
+let seed_arb = QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 100_000)
+
+let config_of_seed seed =
+  let lrf =
+    match seed mod 3 with
+    | 0 -> Alloc.Config.No_lrf
+    | 1 -> Alloc.Config.Unified
+    | _ -> Alloc.Config.Split
+  in
+  Alloc.Config.make
+    ~orf_entries:(1 + (seed / 3 mod 8))
+    ~lrf
+    ~partial_ranges:(seed mod 2 = 0)
+    ~read_operands:(seed mod 5 <> 0)
+    ()
+
+let prop_allocator_sound =
+  QCheck.Test.make ~count:150 ~name:"allocator placements verify on random kernels" seed_arb
+    (fun seed ->
+      let k = kernel_of_seed seed in
+      let ctx = Alloc.Context.create k in
+      let config = config_of_seed seed in
+      let placement = Alloc.Allocator.place config ctx in
+      match Alloc.Verify.check config ctx placement with
+      | Ok () -> true
+      | Error errs ->
+        QCheck.Test.fail_reportf "seed %d: %s" seed (String.concat "; " errs))
+
+let prop_strands_tile =
+  QCheck.Test.make ~count:100 ~name:"strand intervals tile the kernel" seed_arb (fun seed ->
+      let k = kernel_of_seed seed in
+      let ctx = Alloc.Context.create k in
+      let part = ctx.Alloc.Context.partition in
+      let n = Ir.Kernel.instr_count k in
+      let ok = ref true in
+      let prev = ref (-1) in
+      for id = 0 to n - 1 do
+        let s = Strand.Partition.strand_of_instr part id in
+        (* Strand ids are monotone and change exactly at starts. *)
+        if Strand.Partition.starts_strand part id then begin
+          if s <> !prev + 1 then ok := false
+        end
+        else if s <> !prev then ok := false;
+        prev := s
+      done;
+      !ok && (n = 0 || !prev = Strand.Partition.num_strands part - 1))
+
+let prop_sw_energy_never_worse =
+  QCheck.Test.make ~count:60 ~name:"SW hierarchy never exceeds baseline energy" seed_arb
+    (fun seed ->
+      let k = kernel_of_seed ~size:6 seed in
+      let ctx = Alloc.Context.create k in
+      let config = Alloc.Config.make () in
+      let placement = Alloc.Allocator.place config ctx in
+      let base = Sim.Traffic.run ~warps:2 ctx Sim.Traffic.Baseline in
+      let sw = Sim.Traffic.run ~warps:2 ctx (Sim.Traffic.Sw { config; placement }) in
+      let energy c =
+        (Energy.Counts.energy Energy.Params.default ~orf_entries:3 c).Energy.Counts.total
+      in
+      (* The allocator only moves a value off the MRF when it saves
+         energy, so the total can never exceed the baseline. *)
+      energy sw.Sim.Traffic.counts <= energy base.Sim.Traffic.counts +. 1e-6)
+
+let prop_sw_preserves_read_count =
+  QCheck.Test.make ~count:60 ~name:"SW scheme preserves total operand reads" seed_arb
+    (fun seed ->
+      let k = kernel_of_seed ~size:6 seed in
+      let ctx = Alloc.Context.create k in
+      let config = config_of_seed seed in
+      let placement = Alloc.Allocator.place config ctx in
+      let base = Sim.Traffic.run ~warps:2 ctx Sim.Traffic.Baseline in
+      let sw = Sim.Traffic.run ~warps:2 ctx (Sim.Traffic.Sw { config; placement }) in
+      (* Unlike the HW cache (writeback reads), the SW scheme performs
+         exactly one read per source operand. *)
+      Energy.Counts.total_reads sw.Sim.Traffic.counts
+      = Energy.Counts.total_reads base.Sim.Traffic.counts)
+
+let prop_hw_reads_at_least_baseline =
+  QCheck.Test.make ~count:40 ~name:"HW cache reads >= baseline reads (writebacks)" seed_arb
+    (fun seed ->
+      let k = kernel_of_seed ~size:6 seed in
+      let ctx = Alloc.Context.create k in
+      let base = Sim.Traffic.run ~warps:2 ctx Sim.Traffic.Baseline in
+      let hw =
+        Sim.Traffic.run ~warps:2 ctx (Sim.Traffic.Hw (Sim.Traffic.hw_defaults ~rfc_entries:3))
+      in
+      Energy.Counts.total_reads hw.Sim.Traffic.counts
+      >= Energy.Counts.total_reads base.Sim.Traffic.counts)
+
+let prop_traffic_deterministic =
+  QCheck.Test.make ~count:40 ~name:"traffic accounting is deterministic" seed_arb (fun seed ->
+      let k = kernel_of_seed ~size:5 seed in
+      let ctx = Alloc.Context.create k in
+      let r1 = Sim.Traffic.run ~warps:3 ~seed ctx Sim.Traffic.Baseline in
+      let r2 = Sim.Traffic.run ~warps:3 ~seed ctx Sim.Traffic.Baseline in
+      Energy.Counts.total_reads r1.Sim.Traffic.counts
+      = Energy.Counts.total_reads r2.Sim.Traffic.counts
+      && r1.Sim.Traffic.dynamic_instrs = r2.Sim.Traffic.dynamic_instrs)
+
+let prop_generator_valid =
+  QCheck.Test.make ~count:100 ~name:"generated kernels validate" seed_arb (fun seed ->
+      let k = kernel_of_seed seed in
+      match
+        Ir.Kernel.validate ~name:k.Ir.Kernel.name ~blocks:k.Ir.Kernel.blocks
+          ~num_regs:k.Ir.Kernel.num_regs
+      with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_reportf "seed %d: %s" seed msg)
+
+let prop_perf_conservation =
+  QCheck.Test.make ~count:20 ~name:"perf sim executes every dynamic instruction" seed_arb
+    (fun seed ->
+      let k = kernel_of_seed ~size:4 seed in
+      let ctx = Alloc.Context.create k in
+      let traffic = Sim.Traffic.run ~warps:4 ~seed ctx Sim.Traffic.Baseline in
+      let perf =
+        Sim.Perf.run ~warps:4 ~seed ~scheduler:Sim.Perf.Single_level
+          ~policy:Sim.Perf.On_dependence ctx
+      in
+      perf.Sim.Perf.instructions = traffic.Sim.Traffic.dynamic_instrs)
+
+let prop_occupancy_no_double_booking =
+  QCheck.Test.make ~count:100 ~name:"occupancy never double-books" seed_arb (fun seed ->
+      let prng = Util.Prng.create seed in
+      let o = Alloc.Occupancy.create ~entries:4 in
+      let reserved = ref [] in
+      for _ = 1 to 30 do
+        let first = Util.Prng.int prng 40 in
+        let last = first + 1 + Util.Prng.int prng 10 in
+        match Alloc.Occupancy.find_free o ~width:1 ~first ~last with
+        | Some e ->
+          Alloc.Occupancy.reserve o ~entry:e ~first ~last;
+          reserved := (e, first, last) :: !reserved
+        | None -> ()
+      done;
+      (* No two reservations on the same entry overlap. *)
+      List.for_all
+        (fun (e1, f1, l1) ->
+          List.for_all
+            (fun (e2, f2, l2) ->
+              (e1, f1, l1) = (e2, f2, l2) || e1 <> e2 || f1 >= l2 || f2 >= l1)
+            !reserved)
+        !reserved)
+
+let prop_limit_relaxations_monotone =
+  QCheck.Test.make ~count:25 ~name:"relaxed strand boundaries never add strands" seed_arb
+    (fun seed ->
+      let k = kernel_of_seed ~size:8 seed in
+      let cfg = Analysis.Cfg.of_kernel k in
+      let reaching = Analysis.Reaching.compute k cfg in
+      let full = Strand.Partition.compute k cfg reaching in
+      let relaxed =
+        Strand.Partition.compute
+          ~kinds:{ Strand.Partition.long_latency = false; backward = true; merge = false }
+          k cfg reaching
+      in
+      Strand.Partition.num_strands relaxed <= Strand.Partition.num_strands full)
+
+let prop_simt_matches_cf_when_uniform =
+  QCheck.Test.make ~count:40 ~name:"SIMT executor = warp-uniform walker on uniform kernels"
+    seed_arb
+    (fun seed ->
+      let k = Workloads.Generator.kernel ~size:6 ~prob_branches:false ~seed () in
+      let cf_count =
+        let cf = Sim.Cf.create k ~warp:1 ~seed in
+        let rec go n =
+          match Sim.Cf.peek cf with None -> n | Some _ -> Sim.Cf.advance cf; go (n + 1)
+        in
+        go 0
+      in
+      let simt = Sim.Simt.run_warp k ~warp:1 ~seed ~on_instr:(fun _ ~active:_ ~clusters:_ -> ()) in
+      simt.Sim.Simt.warp_instructions = cf_count
+      && simt.Sim.Simt.divergent_branches = 0
+      && simt.Sim.Simt.simd_efficiency = 1.0)
+
+let dynamic_work k =
+  (* Count non-control dynamic instructions across a few warps. *)
+  let total = ref 0 in
+  for w = 0 to 2 do
+    let cf = Sim.Cf.create k ~warp:w ~seed:77 in
+    let rec go () =
+      match Sim.Cf.peek cf with
+      | None -> ()
+      | Some i ->
+        (match i.Ir.Instr.op with Ir.Op.Bra | Ir.Op.Setp -> () | _ -> incr total);
+        Sim.Cf.advance cf;
+        go ()
+    in
+    go ()
+  done;
+  !total
+
+let prop_transforms_preserve_work =
+  QCheck.Test.make ~count:40 ~name:"reschedule/unroll preserve dynamic work" seed_arb
+    (fun seed ->
+      let k = kernel_of_seed ~size:6 seed in
+      let w = dynamic_work k in
+      dynamic_work (Workloads.Generator.kernel ~size:6 ~seed () |> Transform.Reschedule.kernel) = w
+      && dynamic_work (Transform.Unroll.kernel ~factor:2 k) = w)
+
+let prop_transformed_kernels_verify =
+  QCheck.Test.make ~count:60 ~name:"transformed random kernels still verify" seed_arb
+    (fun seed ->
+      let k =
+        Transform.Reschedule.kernel
+          (Transform.Unroll.kernel ~factor:2 (kernel_of_seed ~size:6 seed))
+      in
+      let ctx = Alloc.Context.create k in
+      let config = config_of_seed seed in
+      let placement = Alloc.Allocator.place config ctx in
+      match Alloc.Verify.check config ctx placement with
+      | Ok () -> true
+      | Error errs -> QCheck.Test.fail_reportf "seed %d: %s" seed (String.concat "; " errs))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_generator_valid;
+      prop_simt_matches_cf_when_uniform;
+      prop_transforms_preserve_work;
+      prop_transformed_kernels_verify;
+      prop_allocator_sound;
+      prop_strands_tile;
+      prop_sw_energy_never_worse;
+      prop_sw_preserves_read_count;
+      prop_hw_reads_at_least_baseline;
+      prop_traffic_deterministic;
+      prop_perf_conservation;
+      prop_occupancy_no_double_booking;
+      prop_limit_relaxations_monotone;
+    ]

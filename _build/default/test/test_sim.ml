@@ -1,0 +1,326 @@
+(* Simulator tests: the control-flow walker, traffic accounting with
+   hand-computed expected counts, the value tracer and the timing
+   simulator. *)
+
+let check = Alcotest.check
+
+module B = Ir.Builder
+module Op = Ir.Op
+
+(* --- Cf ----------------------------------------------------------- *)
+
+let loop_kernel trips =
+  let b = B.create "loop" in
+  let x = B.op0 b Op.Mov () in
+  let head = B.here b in
+  B.op2_into b Op.Iadd ~dst:x x x;
+  let p = B.op1 b Op.Setp x in
+  B.branch b ~pred:p ~target:head (Ir.Terminator.Loop trips);
+  let (_ : B.label) = B.here b in
+  B.store b Op.St_global ~addr:x ~value:x;
+  B.finalize b
+
+let drain cf =
+  let rec go acc =
+    match Sim.Cf.peek cf with
+    | None -> List.rev acc
+    | Some i ->
+      Sim.Cf.advance cf;
+      go (i.Ir.Instr.id :: acc)
+  in
+  go []
+
+let test_cf_loop_trips () =
+  let k = loop_kernel 4 in
+  let cf = Sim.Cf.create k ~warp:0 ~seed:1 in
+  let stream = drain cf in
+  (* mov + 4 * (add, setp, bra) + store = 14 dynamic instructions. *)
+  check Alcotest.int "dynamic length" 14 (List.length stream);
+  check Alcotest.int "count matches" 14 (Sim.Cf.dynamic_count cf);
+  check Alcotest.bool "finished" true (Sim.Cf.finished cf);
+  check Alcotest.bool "not capped" false (Sim.Cf.hit_cap cf)
+
+let test_cf_deterministic () =
+  let k = loop_kernel 3 in
+  let s1 = drain (Sim.Cf.create k ~warp:2 ~seed:9) in
+  let s2 = drain (Sim.Cf.create k ~warp:2 ~seed:9) in
+  check Alcotest.(list int) "same stream" s1 s2
+
+let test_cf_cap () =
+  let k = loop_kernel 1000 in
+  let cf = Sim.Cf.create ~max_dynamic:50 k ~warp:0 ~seed:1 in
+  ignore (drain cf);
+  check Alcotest.bool "capped" true (Sim.Cf.hit_cap cf);
+  check Alcotest.int "stopped at cap" 50 (Sim.Cf.dynamic_count cf)
+
+let test_cf_prob_branch_varies_by_warp () =
+  let b = B.create "p" in
+  let x = B.op0 b Op.Mov () in
+  let join = B.new_label b in
+  let p = B.op1 b Op.Setp x in
+  B.branch b ~pred:p ~target:join (Ir.Terminator.Taken_with_prob 0.5);
+  let (_ : B.label) = B.here b in
+  ignore (B.op0 b Op.Mov ());
+  B.start_block b join;
+  B.ret b;
+  let k = B.finalize b in
+  let lengths =
+    List.init 16 (fun w -> List.length (drain (Sim.Cf.create k ~warp:w ~seed:3)))
+  in
+  (* Some warps take the branch (3 instrs), some fall through (4). *)
+  check Alcotest.bool "warps diverge" true
+    (List.exists (fun l -> l = 3) lengths && List.exists (fun l -> l = 4) lengths)
+
+let test_cf_always_never () =
+  let mk behavior =
+    let b = B.create "t" in
+    let x = B.op0 b Op.Mov () in
+    let skip = B.new_label b in
+    let p = B.op1 b Op.Setp x in
+    B.branch b ~pred:p ~target:skip behavior;
+    let (_ : B.label) = B.here b in
+    ignore (B.op0 b Op.Mov ());
+    B.start_block b skip;
+    B.ret b;
+    B.finalize b
+  in
+  check Alcotest.int "always skips" 3
+    (List.length (drain (Sim.Cf.create (mk Ir.Terminator.Always_taken) ~warp:0 ~seed:1)));
+  check Alcotest.int "never falls through" 4
+    (List.length (drain (Sim.Cf.create (mk Ir.Terminator.Never_taken) ~warp:0 ~seed:1)))
+
+(* --- Traffic: exact baseline counts -------------------------------- *)
+
+let test_traffic_baseline_exact () =
+  (* Straight line: mov (0 reads, 1 write), add (2 reads, 1 write),
+     store (2 reads).  Per warp: 4 reads, 2 writes. *)
+  let b = B.create "t" in
+  let x = B.op0 b Op.Mov () in
+  let y = B.op2 b Op.Iadd x x in
+  B.store b Op.St_global ~addr:x ~value:y;
+  let k = B.finalize b in
+  let ctx = Alloc.Context.create k in
+  let r = Sim.Traffic.run ~warps:4 ctx Sim.Traffic.Baseline in
+  check Alcotest.int "reads" 16 (Energy.Counts.total_reads r.Sim.Traffic.counts);
+  check Alcotest.int "writes" 8 (Energy.Counts.total_writes r.Sim.Traffic.counts);
+  (* The store reads via the shared datapath. *)
+  check Alcotest.int "shared reads" 8
+    (Energy.Counts.reads_dp r.Sim.Traffic.counts Energy.Model.Mrf Energy.Model.Shared);
+  check Alcotest.int "dynamic instrs" 12 r.Sim.Traffic.dynamic_instrs
+
+let test_traffic_sw_counts_match_placement () =
+  let b = B.create "t" in
+  let a = B.fresh b in
+  let v = B.op2 b Op.Iadd a a in
+  let u = B.op1 b Op.Mov v in
+  B.store b Op.St_global ~addr:a ~value:u;
+  let k = B.finalize b in
+  let ctx = Alloc.Context.create k in
+  let config = Alloc.Config.make ~lrf:Alloc.Config.Unified () in
+  let placement = Alloc.Allocator.place config ctx in
+  let r = Sim.Traffic.run ~warps:1 ctx (Sim.Traffic.Sw { config; placement }) in
+  let c = r.Sim.Traffic.counts in
+  (* v -> LRF (read by mov), u -> ORF or MRF (read by store).  The two
+     reads of input a come from the MRF (or one fill + ORF read). *)
+  check Alcotest.int "lrf writes" 1 (Energy.Counts.writes c Energy.Model.Lrf);
+  check Alcotest.int "lrf reads" 1 (Energy.Counts.reads c Energy.Model.Lrf);
+  check Alcotest.int "total reads unchanged" 5 (Energy.Counts.total_reads c)
+
+(* HW RFC: hand-computed hit/miss/writeback behaviour. *)
+let test_traffic_hw_exact () =
+  (* mov x; mov y; add z = x + y; store x z
+     - x: miss-free write to RFC
+     - y: write to RFC
+     - add reads x, y: both RFC hits; writes z (RFC, 2-entry: evicts x,
+       which is still live (the store reads it) -> writeback
+     - store reads x (MRF, probe) and z (RFC hit). *)
+  let b = B.create "t" in
+  let x = B.op0 b Op.Mov () in
+  let y = B.op0 b Op.Mov () in
+  let z = B.op2 b Op.Iadd x y in
+  B.store b Op.St_global ~addr:x ~value:z;
+  let k = B.finalize b in
+  let ctx = Alloc.Context.create k in
+  let r =
+    Sim.Traffic.run ~warps:1 ctx (Sim.Traffic.Hw (Sim.Traffic.hw_defaults ~rfc_entries:2))
+  in
+  let c = r.Sim.Traffic.counts in
+  check Alcotest.int "rfc writes: x,y,z" 3 (Energy.Counts.writes c Energy.Model.Rfc);
+  (* reads: x,y at add (hits) + z at store (hit) + eviction read of x *)
+  check Alcotest.int "rfc reads" 4 (Energy.Counts.reads c Energy.Model.Rfc);
+  check Alcotest.int "mrf writes: writeback of x" 1 (Energy.Counts.writes c Energy.Model.Mrf);
+  check Alcotest.int "mrf reads: x at store" 1 (Energy.Counts.reads c Energy.Model.Mrf);
+  check Alcotest.int "probes: store's miss on x" 1 (Energy.Counts.rfc_probes c)
+
+let test_traffic_hw_dead_elision () =
+  (* The evicted value is dead: no writeback. *)
+  let b = B.create "t" in
+  let x = B.op0 b Op.Mov () in
+  let y = B.op0 b Op.Mov () in
+  let z = B.op2 b Op.Iadd x y in
+  B.store b Op.St_global ~addr:y ~value:z;
+  (* x dead after the add *)
+  let k = B.finalize b in
+  let ctx = Alloc.Context.create k in
+  let r =
+    Sim.Traffic.run ~warps:1 ctx (Sim.Traffic.Hw (Sim.Traffic.hw_defaults ~rfc_entries:2))
+  in
+  check Alcotest.int "no writebacks" 0
+    (Energy.Counts.writes r.Sim.Traffic.counts Energy.Model.Mrf)
+
+let test_traffic_hw_desched_flush () =
+  (* A load's consumer deschedules the warp and flushes live values. *)
+  let b = B.create "t" in
+  let a = B.op0 b Op.Mov () in
+  let x = B.op1 b Op.Ld_global a in
+  let v = B.op2 b Op.Iadd a a in
+  let w = B.op2 b Op.Fadd x v in
+  B.store b Op.St_global ~addr:a ~value:w;
+  let k = B.finalize b in
+  let ctx = Alloc.Context.create k in
+  let r =
+    Sim.Traffic.run ~warps:1 ctx (Sim.Traffic.Hw (Sim.Traffic.hw_defaults ~rfc_entries:4))
+  in
+  check Alcotest.int "one deschedule" 1 r.Sim.Traffic.desched_events;
+  (* Flush writes back a (live: read by fadd? no - a is read by store)
+     and v (read by fadd after the flush). *)
+  check Alcotest.bool "flush writebacks occurred" true
+    (Energy.Counts.writes r.Sim.Traffic.counts Energy.Model.Mrf >= 2)
+
+let test_traffic_sw_desched_events () =
+  let e = Option.get (Workloads.Registry.find "ScalarProd") in
+  let ctx = Alloc.Context.create (Lazy.force e.Workloads.Registry.kernel) in
+  let config = Alloc.Config.make () in
+  let placement = Alloc.Allocator.place config ctx in
+  let r = Sim.Traffic.run ~warps:2 ctx (Sim.Traffic.Sw { config; placement }) in
+  check Alcotest.bool "loads force deschedules" true (r.Sim.Traffic.desched_events > 0)
+
+let test_traffic_deterministic () =
+  let e = Option.get (Workloads.Registry.find "Mandelbrot") in
+  let ctx = Alloc.Context.create (Lazy.force e.Workloads.Registry.kernel) in
+  let r1 = Sim.Traffic.run ~warps:4 ~seed:7 ctx Sim.Traffic.Baseline in
+  let r2 = Sim.Traffic.run ~warps:4 ~seed:7 ctx Sim.Traffic.Baseline in
+  check Alcotest.int "same reads" (Energy.Counts.total_reads r1.Sim.Traffic.counts)
+    (Energy.Counts.total_reads r2.Sim.Traffic.counts);
+  check Alcotest.int "same instrs" r1.Sim.Traffic.dynamic_instrs r2.Sim.Traffic.dynamic_instrs
+
+let test_traffic_per_strand_sums () =
+  let e = Option.get (Workloads.Registry.find "MatrixMul") in
+  let ctx = Alloc.Context.create (Lazy.force e.Workloads.Registry.kernel) in
+  let r = Sim.Traffic.run ~warps:2 ctx Sim.Traffic.Baseline in
+  let sum =
+    Array.fold_left
+      (fun acc c -> acc + Energy.Counts.total_reads c)
+      0 r.Sim.Traffic.per_strand
+  in
+  check Alcotest.int "per-strand partitions totals" (Energy.Counts.total_reads r.Sim.Traffic.counts) sum
+
+(* --- Value trace --------------------------------------------------- *)
+
+let test_value_trace_exact () =
+  (* x read twice, y read once at distance 1, z never read. *)
+  let b = B.create "t" in
+  let x = B.op0 b Op.Mov () in
+  let y = B.op2 b Op.Iadd x x in
+  let _z = B.op1 b Op.Mov y in
+  let k = B.finalize b in
+  let s = Sim.Value_trace.collect ~warps:1 k in
+  check Alcotest.int "3 values" 3 s.Sim.Value_trace.values_produced;
+  check Alcotest.int "one read-0" 1 (Util.Stats.hcount s.Sim.Value_trace.read_counts 0);
+  check Alcotest.int "one read-1" 1 (Util.Stats.hcount s.Sim.Value_trace.read_counts 1);
+  check Alcotest.int "one read-2" 1 (Util.Stats.hcount s.Sim.Value_trace.read_counts 2);
+  check Alcotest.int "read-once lifetime 1" 1
+    (Util.Stats.hcount s.Sim.Value_trace.lifetimes_read_once 1)
+
+let test_value_trace_merge () =
+  let k = loop_kernel 2 in
+  let s1 = Sim.Value_trace.collect ~warps:1 k in
+  let s2 = Sim.Value_trace.collect ~warps:1 k in
+  let m = Sim.Value_trace.merge [ s1; s2 ] in
+  check Alcotest.int "values add up" (2 * s1.Sim.Value_trace.values_produced)
+    m.Sim.Value_trace.values_produced
+
+(* --- Perf ---------------------------------------------------------- *)
+
+let test_perf_single_warp_latency () =
+  (* One warp, dependent chain: cycles must reflect ALU latency. *)
+  let b = B.create "t" in
+  let x = B.op0 b Op.Mov () in
+  let y = B.op1 b Op.Mov x in
+  let z = B.op1 b Op.Mov y in
+  B.store b Op.St_global ~addr:z ~value:z;
+  let k = B.finalize b in
+  let ctx = Alloc.Context.create k in
+  let r =
+    Sim.Perf.run ~warps:1 ~scheduler:Sim.Perf.Single_level ~policy:Sim.Perf.On_dependence ctx
+  in
+  check Alcotest.int "instructions" 4 r.Sim.Perf.instructions;
+  (* 3 dependent ALU ops at 8 cycles each dominate. *)
+  check Alcotest.bool "latency-bound" true (r.Sim.Perf.cycles >= 24)
+
+let test_perf_more_warps_help () =
+  let e = Option.get (Workloads.Registry.find "VectorAdd") in
+  let ctx = Alloc.Context.create (Lazy.force e.Workloads.Registry.kernel) in
+  let ipc n =
+    (Sim.Perf.run ~warps:n ~scheduler:Sim.Perf.Single_level ~policy:Sim.Perf.On_dependence ctx)
+      .Sim.Perf.ipc
+  in
+  check Alcotest.bool "8 warps beat 1" true (ipc 8 > ipc 1)
+
+let test_perf_two_level_policies () =
+  let e = Option.get (Workloads.Registry.find "MatrixMul") in
+  let ctx = Alloc.Context.create (Lazy.force e.Workloads.Registry.kernel) in
+  List.iter
+    (fun policy ->
+      let r = Sim.Perf.run ~warps:16 ~scheduler:(Sim.Perf.Two_level 8) ~policy ctx in
+      check Alcotest.bool "completes all instructions" true (r.Sim.Perf.instructions > 0);
+      check Alcotest.bool "desched happened" true (r.Sim.Perf.desched_events > 0))
+    [ Sim.Perf.On_dependence; Sim.Perf.At_strand_boundaries ]
+
+let test_perf_bank_conflicts () =
+  (* A dependent chain whose adds read two same-bank registers: with
+     a 2-bank MRF, registers 0 and 2 collide, so each link pays an
+     extra fetch cycle and the run takes longer than the ideal model. *)
+  let b = B.create "t" in
+  let r0 = B.op0 b Op.Mov () in
+  let r1 = B.op0 b Op.Mov () in
+  let r2 = B.op1 b Op.Mov r0 in
+  ignore r1;
+  let rec chain v n = if n = 0 then v else chain (B.op2 b Op.Iadd r0 (B.op2 b Op.Iadd v r2)) (n - 1) in
+  let last = chain r2 6 in
+  B.store b Op.St_global ~addr:last ~value:last;
+  let k = B.finalize b in
+  let ctx = Alloc.Context.create k in
+  let run banks =
+    (Sim.Perf.run ~warps:1 ?mrf_banks:banks ~scheduler:Sim.Perf.Single_level
+       ~policy:Sim.Perf.On_dependence ctx)
+      .Sim.Perf.cycles
+  in
+  let ideal = run None in
+  let banked = run (Some 2) in
+  Alcotest.(check bool) "conflicts add cycles" true (banked > ideal);
+  let many_banks = run (Some 1024) in
+  Alcotest.(check int) "conflict-free banking = ideal" ideal many_banks
+
+let suite =
+  [
+    Alcotest.test_case "perf bank conflicts" `Quick test_perf_bank_conflicts;
+    Alcotest.test_case "cf loop trips" `Quick test_cf_loop_trips;
+    Alcotest.test_case "cf deterministic" `Quick test_cf_deterministic;
+    Alcotest.test_case "cf cap" `Quick test_cf_cap;
+    Alcotest.test_case "cf probabilistic divergence" `Quick test_cf_prob_branch_varies_by_warp;
+    Alcotest.test_case "cf always/never" `Quick test_cf_always_never;
+    Alcotest.test_case "traffic baseline exact" `Quick test_traffic_baseline_exact;
+    Alcotest.test_case "traffic sw matches placement" `Quick test_traffic_sw_counts_match_placement;
+    Alcotest.test_case "traffic hw exact" `Quick test_traffic_hw_exact;
+    Alcotest.test_case "traffic hw dead elision" `Quick test_traffic_hw_dead_elision;
+    Alcotest.test_case "traffic hw desched flush" `Quick test_traffic_hw_desched_flush;
+    Alcotest.test_case "traffic sw desched events" `Quick test_traffic_sw_desched_events;
+    Alcotest.test_case "traffic deterministic" `Quick test_traffic_deterministic;
+    Alcotest.test_case "traffic per-strand sums" `Quick test_traffic_per_strand_sums;
+    Alcotest.test_case "value trace exact" `Quick test_value_trace_exact;
+    Alcotest.test_case "value trace merge" `Quick test_value_trace_merge;
+    Alcotest.test_case "perf single warp latency" `Quick test_perf_single_warp_latency;
+    Alcotest.test_case "perf more warps help" `Quick test_perf_more_warps_help;
+    Alcotest.test_case "perf two-level policies" `Quick test_perf_two_level_policies;
+  ]

@@ -1,0 +1,109 @@
+(* Trace capture / replay / serialization tests (paper Sec. 5.1
+   methodology substrate). *)
+
+let check = Alcotest.check
+
+let live_stream k ~warp ~seed =
+  let cf = Sim.Cf.create k ~warp ~seed in
+  let acc = ref [] in
+  let rec go () =
+    match Sim.Cf.peek cf with
+    | None -> List.rev !acc
+    | Some i ->
+      acc := i.Ir.Instr.id :: !acc;
+      Sim.Cf.advance cf;
+      go ()
+  in
+  go ()
+
+let traced_stream trace k ~warp =
+  let acc = ref [] in
+  Sim.Trace.replay trace k ~warp (fun i -> acc := i.Ir.Instr.id :: !acc);
+  List.rev !acc
+
+let test_replay_matches_live () =
+  List.iter
+    (fun name ->
+      let k = Rfh.benchmark name in
+      let trace = Sim.Trace.capture ~warps:3 ~seed:9 k in
+      for w = 0 to 2 do
+        check Alcotest.(list int)
+          (Printf.sprintf "%s warp %d" name w)
+          (live_stream k ~warp:w ~seed:9)
+          (traced_stream trace k ~warp:w)
+      done)
+    [ "VectorAdd"; "Mandelbrot"; "MatrixMul"; "needle" ]
+
+let test_serialization_roundtrip () =
+  let k = Rfh.benchmark "EigenValues" in
+  let trace = Sim.Trace.capture ~warps:4 ~seed:5 k in
+  let text = Sim.Trace.to_string trace in
+  match Sim.Trace.of_string text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok trace2 ->
+    check Alcotest.int "warps preserved" (Sim.Trace.warps trace) (Sim.Trace.warps trace2);
+    for w = 0 to 3 do
+      check Alcotest.(list int) "sequence preserved"
+        (Sim.Trace.block_sequence trace ~warp:w)
+        (Sim.Trace.block_sequence trace2 ~warp:w)
+    done;
+    check Alcotest.string "fixpoint" text (Sim.Trace.to_string trace2)
+
+let test_of_string_errors () =
+  (match Sim.Trace.of_string "garbage" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "accepted garbage");
+  match Sim.Trace.of_string "trace v1 warps=1\nwarp 7: 0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted out-of-range warp"
+
+let test_edge_profile_loop () =
+  (* An 8-trip self loop: the backedge fires 7 times per warp. *)
+  let k = Workloads.Micro.loop_carried 8 in
+  let trace = Sim.Trace.capture ~warps:2 ~seed:1 k in
+  let profile = Sim.Trace.edge_profile trace in
+  let backedge_count =
+    List.fold_left
+      (fun acc ((a, b), n) -> if a = b && a >= 0 then acc + n else acc)
+      0 profile
+  in
+  check Alcotest.int "2 warps x 7 backedges" 14 backedge_count;
+  let starts = List.assoc_opt (-1, 0) profile in
+  check (Alcotest.option Alcotest.int) "2 warp starts" (Some 2) starts
+
+let test_synthesize_plausible () =
+  let k = Workloads.Micro.loop_carried 8 in
+  let trace = Sim.Trace.capture ~warps:4 ~seed:2 k in
+  let walk = Sim.Trace.synthesize trace k ~seed:3 in
+  (* The synthetic walk follows real CFG edges... *)
+  let nb = Ir.Kernel.block_count k in
+  let rec ok = function
+    | a :: (b :: _ as rest) ->
+      List.mem b (Ir.Terminator.successors k.Ir.Kernel.blocks.(a).Ir.Block.term ~at:a ~num_blocks:nb)
+      && ok rest
+    | [ _ ] | [] -> true
+  in
+  check Alcotest.bool "walk follows CFG" true (ok walk);
+  (* ...visits the loop (the dominant path) and stays within the edge
+     budget of the 4 captured warps. *)
+  let budget =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (Sim.Trace.edge_profile trace)
+  in
+  check Alcotest.bool "walk loops at least once" true (List.length walk >= 4);
+  check Alcotest.bool "walk within budget" true (List.length walk <= budget + 1)
+
+let test_capture_deterministic () =
+  let k = Rfh.benchmark "Mandelbrot" in
+  let t1 = Sim.Trace.capture ~warps:2 ~seed:4 k in
+  let t2 = Sim.Trace.capture ~warps:2 ~seed:4 k in
+  check Alcotest.string "same trace" (Sim.Trace.to_string t1) (Sim.Trace.to_string t2)
+
+let suite =
+  [
+    Alcotest.test_case "replay matches live" `Quick test_replay_matches_live;
+    Alcotest.test_case "serialization roundtrip" `Quick test_serialization_roundtrip;
+    Alcotest.test_case "of_string errors" `Quick test_of_string_errors;
+    Alcotest.test_case "edge profile loop" `Quick test_edge_profile_loop;
+    Alcotest.test_case "synthesize plausible" `Quick test_synthesize_plausible;
+    Alcotest.test_case "capture deterministic" `Quick test_capture_deterministic;
+  ]

@@ -1,0 +1,84 @@
+(* Every Table-1 benchmark must build, allocate and verify under every
+   hierarchy configuration, and produce sane dynamic behaviour. *)
+
+let configs =
+  [
+    ("2-level", Alloc.Config.make ~lrf:Alloc.Config.No_lrf ());
+    ("3-level unified", Alloc.Config.make ~lrf:Alloc.Config.Unified ());
+    ("3-level split", Alloc.Config.make ~lrf:Alloc.Config.Split ());
+    ("1-entry", Alloc.Config.make ~orf_entries:1 ~lrf:Alloc.Config.No_lrf ());
+    ("8-entry", Alloc.Config.make ~orf_entries:8 ~lrf:Alloc.Config.Split ());
+    ("no-opts", Alloc.Config.make ~partial_ranges:false ~read_operands:false ());
+  ]
+
+let test_benchmark (e : Workloads.Registry.entry) () =
+  List.iter
+    (fun k ->
+      let ctx = Alloc.Context.create k in
+      List.iter
+        (fun (cname, config) ->
+          let placement = Alloc.Allocator.place config ctx in
+          match Alloc.Verify.check config ctx placement with
+          | Ok () -> ()
+          | Error errs ->
+            Alcotest.failf "%s/%s under %s:\n%s" e.Workloads.Registry.name k.Ir.Kernel.name
+              cname
+              (String.concat "\n" (List.filteri (fun i _ -> i < 5) errs)))
+        configs;
+      (* The dynamic stream must terminate without hitting the cap. *)
+      let r = Sim.Traffic.run ~warps:2 ctx Sim.Traffic.Baseline in
+      Alcotest.(check int) "no capped warps" 0 r.Sim.Traffic.capped_warps;
+      Alcotest.(check bool) "executes instructions" true (r.Sim.Traffic.dynamic_instrs > 0))
+    (Lazy.force e.Workloads.Registry.kernels)
+
+let test_registry_complete () =
+  let all = Workloads.Registry.all () in
+  Alcotest.(check int) "36 benchmarks" 36 (List.length all);
+  Alcotest.(check int) "25 CUDA SDK" 25
+    (List.length (Workloads.Registry.by_suite Workloads.Suite.Cuda_sdk));
+  Alcotest.(check int) "5 Parboil" 5
+    (List.length (Workloads.Registry.by_suite Workloads.Suite.Parboil));
+  Alcotest.(check int) "6 Rodinia" 6
+    (List.length (Workloads.Registry.by_suite Workloads.Suite.Rodinia));
+  (* Unique names, and find works case-insensitively. *)
+  let names = Workloads.Registry.names () in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  Alcotest.(check bool) "find reduction" true
+    (Option.is_some (Workloads.Registry.find "reduction"));
+  (* Multi-kernel applications expose their secondary kernels. *)
+  let multi =
+    List.filter
+      (fun (e : Workloads.Registry.entry) ->
+        List.length (Lazy.force e.Workloads.Registry.kernels) > 1)
+      all
+  in
+  Alcotest.(check bool) "several multi-kernel apps" true (List.length multi >= 8);
+  let reduction = Option.get (Workloads.Registry.find "Reduction") in
+  Alcotest.(check int) "Reduction has 2 kernels" 2
+    (List.length (Lazy.force reduction.Workloads.Registry.kernels))
+
+let test_usage_patterns () =
+  (* Fig. 2's headline: a large share of values is read at most once,
+     and read-once values mostly die within a few instructions. *)
+  let stats =
+    Sim.Value_trace.merge
+      (List.map
+         (fun (e : Workloads.Registry.entry) ->
+           Sim.Value_trace.collect ~warps:2 (Lazy.force e.Workloads.Registry.kernel))
+         (Workloads.Registry.all ()))
+  in
+  let frac = Util.Stats.hfraction stats.Sim.Value_trace.read_counts in
+  let read01 = frac (fun n -> n <= 1) in
+  Alcotest.(check bool) "most values read <= 1 time (paper: up to ~70% read once)" true
+    (read01 > 0.5);
+  let lt = Util.Stats.hfraction stats.Sim.Value_trace.lifetimes_read_once in
+  Alcotest.(check bool) "read-once values are mostly short-lived" true (lt (fun d -> d <= 3) > 0.5)
+
+let suite =
+  Alcotest.test_case "registry complete" `Quick test_registry_complete
+  :: Alcotest.test_case "usage patterns (Fig 2)" `Quick test_usage_patterns
+  :: List.map
+       (fun (e : Workloads.Registry.entry) ->
+         Alcotest.test_case e.Workloads.Registry.name `Quick (test_benchmark e))
+       (Workloads.Registry.all ())
