@@ -1,0 +1,30 @@
+# Convenience targets; `make ci` is what the CI workflow runs.
+
+.PHONY: all build test bench fmt ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Format check. Gated: the check only runs where ocamlformat is
+# installed (dev boxes / CI); .ocamlformat currently disables
+# reformatting, so the check is a no-op scaffold for incremental
+# adoption.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+ci: fmt build test
+
+clean:
+	dune clean

@@ -8,7 +8,12 @@
    Test.make per paper table/figure (cold caches, a reduced workload
    subset so each sample stays sub-second) plus microbenchmarks of the
    pipeline stages (analysis, allocation, verification, traffic
-   accounting, timing simulation). *)
+   accounting, timing simulation).
+
+   Part 3 re-emits the timings machine-readably (BENCH_timings.json)
+   together with a wall-clock + IPC record per subset benchmark
+   (BENCH_perf.json), so the performance trajectory can be tracked
+   across PRs without scraping the text output. *)
 
 open Bechamel
 open Toolkit
@@ -90,9 +95,12 @@ let benchmark tests =
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"rfh" tests) in
   Analyze.all ols Instance.monotonic_clock raw
 
-let print_results results =
+let estimate_rows results =
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+
+let print_results results =
+  let rows = estimate_rows results in
   let t =
     Util.Table.create ~title:"Bechamel timings (monotonic clock per run)"
       ~columns:[ "Benchmark"; "Time per run" ]
@@ -112,6 +120,49 @@ let print_results results =
     rows;
   Util.Table.print t
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: machine-readable BENCH_*.json results.                      *)
+
+let write_json path json =
+  let oc = open_out path in
+  Obs.Json.to_channel oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let timings_json results =
+  Obs.Json.Arr
+    (List.filter_map
+       (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some (est :: _) ->
+           Some (Obs.Json.Obj [ ("benchmark", Obs.Json.Str name); ("ns_per_run", Obs.Json.Num est) ])
+         | Some [] | None -> None)
+       (estimate_rows results))
+
+(* Wall time, executed instructions and IPC of one two-level-scheduler
+   timing simulation per subset benchmark. *)
+let perf_json () =
+  Obs.Json.Arr
+    (List.map
+       (fun name ->
+         let e = Option.get (Workloads.Registry.find name) in
+         let ctx = Alloc.Context.create (Lazy.force e.Workloads.Registry.kernel) in
+         let t0 = Obs.Clock.now_ns () in
+         let r =
+           Sim.Perf.run ~warps:8 ~max_dynamic_per_warp:300 ~scheduler:(Sim.Perf.Two_level 8)
+             ~policy:Sim.Perf.On_dependence ctx
+         in
+         let wall_s = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) t0) /. 1e3 in
+         Obs.Json.Obj
+           [
+             ("benchmark", Obs.Json.Str name);
+             ("wall_time_s", Obs.Json.Num wall_s);
+             ("instructions", Obs.Json.int r.Sim.Perf.instructions);
+             ("ipc", Obs.Json.Num r.Sim.Perf.ipc);
+           ])
+       bench_subset)
+
 let () =
   print_reproduction ();
   print_endline "==================================================================";
@@ -121,4 +172,7 @@ let () =
     (String.concat ", " bench_subset);
   print_endline "==================================================================";
   print_newline ();
-  print_results (benchmark (artefact_tests @ stage_tests))
+  let results = benchmark (artefact_tests @ stage_tests) in
+  print_results results;
+  write_json "BENCH_timings.json" (timings_json results);
+  write_json "BENCH_perf.json" (perf_json ())

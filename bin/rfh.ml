@@ -26,12 +26,22 @@ let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc)
 
 let verbose_arg =
-  let doc = "Log allocator decisions to stderr." in
+  let doc = "Print allocator/simulator audit events to stderr (human-readable)." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
-let setup_logging verbose =
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+let metrics_arg =
+  let doc = "Append a metrics-registry summary after the command's output." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* [-v] is an alias for installing the human-readable audit printer:
+   allocator and simulator decisions flow through Obs.Audit, not a
+   logging framework, so nothing is installed (or paid for) without
+   it. *)
+let setup_verbosity verbose =
+  if verbose then Obs.Audit.set_sink (Obs.Audit.printer_sink Format.err_formatter)
+
+let print_metrics_if metrics =
+  if metrics then Util.Table.print (Experiments.Report.metrics_table ())
 
 let print_tables csv tables =
   List.iter
@@ -59,23 +69,25 @@ let artefact_cmd (name, artefact) =
     | "tables" -> "Echo the configuration tables 2-4."
     | _ -> "Experiment."
   in
-  let run warps seed benchmarks csv =
+  let run warps seed benchmarks csv metrics =
     let opts = opts_of ~warps ~seed ~benchmarks in
-    print_tables csv (Experiments.Report.tables_of opts artefact)
+    print_tables csv (Experiments.Report.tables_of opts artefact);
+    print_metrics_if metrics
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ warps_arg $ seed_arg $ benchmarks_arg $ csv_arg)
+    Term.(const run $ warps_arg $ seed_arg $ benchmarks_arg $ csv_arg $ metrics_arg)
 
 let all_cmd =
   let doc = "Regenerate every table and figure." in
-  let run warps seed benchmarks csv =
+  let run warps seed benchmarks csv metrics =
     let opts = opts_of ~warps ~seed ~benchmarks in
     List.iter
       (fun (_, a) -> print_tables csv (Experiments.Report.tables_of opts a))
-      Experiments.Report.artefact_names
+      Experiments.Report.artefact_names;
+    print_metrics_if metrics
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run $ warps_arg $ seed_arg $ benchmarks_arg $ csv_arg)
+    Term.(const run $ warps_arg $ seed_arg $ benchmarks_arg $ csv_arg $ metrics_arg)
 
 let kernels_cmd =
   let doc = "List the benchmarks, or print one kernel's PTX-like code." in
@@ -135,7 +147,7 @@ let allocate_cmd =
     Arg.(value & opt lrf_conv Alloc.Config.Split & info [ "lrf" ] ~docv:"MODE" ~doc:"LRF mode.")
   in
   let run name entries lrf verbose =
-    setup_logging verbose;
+    setup_verbosity verbose;
     match Workloads.Registry.find name with
     | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
     | Some e ->
@@ -273,7 +285,7 @@ let compile_cmd =
     Arg.(value & opt lrf_conv Alloc.Config.Split & info [ "lrf" ] ~docv:"MODE" ~doc:"LRF mode.")
   in
   let run file entries lrf warps seed verbose =
-    setup_logging verbose;
+    setup_verbosity verbose;
     let ic = open_in file in
     let len = in_channel_length ic in
     let source = really_input_string ic len in
@@ -333,11 +345,226 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(const run $ file_arg $ entries_arg $ lrf_arg $ warps_arg $ seed_arg $ verbose_arg)
 
+(* ------------------------------------------------------------------ *)
+(* profile: run the full pipeline under spans + audit and report where
+   time and register-file traffic go.                                  *)
+
+let profile_default_benchmarks =
+  [ "VectorAdd"; "MatrixMul"; "Mandelbrot"; "Reduction"; "cp"; "hotspot" ]
+
+let profile_cmd =
+  let doc =
+    "Run benchmarks through the full pipeline (analysis, strand partitioning, allocation, \
+     verification, traffic accounting, timing simulation, energy model) with phase spans and \
+     the audit sink enabled; print per-phase timings and counter totals.  $(b,--trace-out) \
+     additionally writes a Chrome trace-event JSON file; $(b,--audit-out) writes the \
+     structured audit log as JSONL."
+  in
+  let trace_out_arg =
+    let doc = "Write phase spans as Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)." in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let audit_out_arg =
+    let doc = "Write the allocator/simulator audit log as JSON Lines." in
+    Arg.(value & opt (some string) None & info [ "audit-out" ] ~docv:"FILE" ~doc)
+  in
+  let entries_arg =
+    Arg.(value & opt int 3 & info [ "entries" ] ~docv:"N" ~doc:"ORF entries per thread (1-8).")
+  in
+  let lrf_arg =
+    Arg.(value & opt lrf_conv Alloc.Config.Split & info [ "lrf" ] ~docv:"MODE" ~doc:"LRF mode.")
+  in
+  let run warps seed benchmarks entries lrf trace_out audit_out verbose =
+    let names = if benchmarks = [] then profile_default_benchmarks else benchmarks in
+    let entries_of_name n =
+      match Workloads.Registry.find n with
+      | Some e -> e
+      | None -> prerr_endline ("unknown benchmark: " ^ n); exit 1
+    in
+    let selected = List.map entries_of_name names in
+    (* Recording setup: spans on, metrics zeroed, audit tee of a
+       tallying sink + optional JSONL writer + optional -v printer. *)
+    Obs.Span.reset ();
+    Obs.Span.set_enabled true;
+    Obs.Metrics.reset ();
+    let place_tally = Array.make 4 0 in
+    let level_idx = function
+      | Obs.Audit.Lrf -> 0 | Obs.Audit.Orf -> 1 | Obs.Audit.Mrf -> 2 | Obs.Audit.Rfc -> 3
+    in
+    let event_count = ref 0 in
+    let alloc_events = ref 0 in
+    let desched_tally = ref 0 in
+    let evict_tally = ref 0 in
+    let tally ev =
+      incr event_count;
+      match ev with
+      | Obs.Audit.Place { level; _ } ->
+        place_tally.(level_idx level) <- place_tally.(level_idx level) + 1
+      | Obs.Audit.Alloc _ -> incr alloc_events
+      | Obs.Audit.Desched _ -> incr desched_tally
+      | Obs.Audit.Evict _ -> incr evict_tally
+      | Obs.Audit.Fill _ | Obs.Audit.Strand_boundary _ -> ()
+    in
+    let open_out_or_die path =
+      try open_out path
+      with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1
+    in
+    let audit_oc = Option.map open_out_or_die audit_out in
+    let sinks =
+      [ tally ]
+      @ (match audit_oc with Some oc -> [ Obs.Audit.jsonl_sink oc ] | None -> [])
+      @ (if verbose then [ Obs.Audit.printer_sink Format.err_formatter ] else [])
+    in
+    Obs.Audit.set_sink (Obs.Audit.tee sinks);
+    (* Expected write totals, accumulated from every traffic run so the
+       audit log can be cross-checked against Energy.Counts. *)
+    let expected = Energy.Counts.create () in
+    let params = Energy.Params.default in
+    let results = ref [] in
+    let wall_start = Obs.Clock.now_ns () in
+    List.iter
+      (fun (e : Workloads.Registry.entry) ->
+        let name = e.Workloads.Registry.name in
+        Obs.Span.with_span ("benchmark:" ^ name) (fun () ->
+            let k = Lazy.force e.Workloads.Registry.kernel in
+            let ctx = Alloc.Context.create k in
+            let config = Alloc.Config.make ~orf_entries:entries ~lrf ~params () in
+            let placement, stats = Alloc.Allocator.run config ctx in
+            (match
+               Obs.Span.with_span "verify" (fun () -> Alloc.Verify.check config ctx placement)
+             with
+             | Ok () -> ()
+             | Error errs ->
+               Printf.eprintf "%s: PLACEMENT FAILED VERIFICATION:\n  %s\n" name
+                 (String.concat "\n  " errs));
+            let sw =
+              Sim.Traffic.run ~warps ~seed ctx (Sim.Traffic.Sw { config; placement })
+            in
+            let baseline = Sim.Traffic.run ~warps ~seed ctx Sim.Traffic.Baseline in
+            Energy.Counts.merge_into ~dst:expected sw.Sim.Traffic.counts;
+            Energy.Counts.merge_into ~dst:expected baseline.Sim.Traffic.counts;
+            let e_sw, e_base =
+              Obs.Span.with_span "energy" (fun () ->
+                  ( (Energy.Counts.energy params ~orf_entries:entries sw.Sim.Traffic.counts)
+                      .Energy.Counts.total,
+                    (Energy.Counts.energy params ~orf_entries:entries
+                       baseline.Sim.Traffic.counts)
+                      .Energy.Counts.total ))
+            in
+            let perf =
+              Sim.Perf.run ~warps ~seed ~scheduler:(Sim.Perf.Two_level 8)
+                ~policy:Sim.Perf.On_dependence ctx
+            in
+            results :=
+              ( name,
+                Strand.Partition.num_strands ctx.Alloc.Context.partition,
+                stats,
+                Util.Stats.ratio e_sw e_base,
+                perf.Sim.Perf.ipc,
+                sw.Sim.Traffic.dynamic_instrs,
+                sw.Sim.Traffic.desched_events )
+              :: !results))
+      selected;
+    let wall_ms = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) wall_start) in
+    (* Per-benchmark results. *)
+    let t =
+      Util.Table.create ~title:"Profile: pipeline results"
+        ~columns:
+          [ "Benchmark"; "Strands"; "LRF allocs"; "ORF allocs"; "Norm energy"; "IPC";
+            "Dyn instrs"; "Descheds" ]
+    in
+    List.iter
+      (fun (name, strands, stats, ratio, ipc, dyn, desched) ->
+        Util.Table.add_row t
+          [
+            name;
+            string_of_int strands;
+            string_of_int stats.Alloc.Allocator.lrf_allocated;
+            string_of_int stats.Alloc.Allocator.orf_allocated;
+            Printf.sprintf "%.3f" ratio;
+            Printf.sprintf "%.2f" ipc;
+            string_of_int dyn;
+            string_of_int desched;
+          ])
+      (List.rev !results);
+    Util.Table.print t;
+    (* Per-phase timing. *)
+    let pt =
+      Util.Table.create ~title:"Profile: per-phase time (inclusive)"
+        ~columns:[ "Phase"; "Calls"; "Total ms"; "% of wall" ]
+    in
+    List.iter
+      (fun (phase, (calls, total_ms)) ->
+        Util.Table.add_row pt
+          [
+            phase;
+            string_of_int calls;
+            Printf.sprintf "%.3f" total_ms;
+            Printf.sprintf "%.1f" (Util.Stats.percent total_ms wall_ms);
+          ])
+      (Obs.Span.totals ());
+    Util.Table.print pt;
+    Util.Table.print (Experiments.Report.metrics_table ());
+    (* Audit cross-check: Place events per level must reproduce the
+       Energy.Counts write totals of the runs above. *)
+    let expected_of level = Energy.Counts.writes expected level in
+    let audit_summary =
+      Util.Table.create ~title:"Audit log summary"
+        ~columns:[ "Events"; "Count"; "Cross-check (Energy.Counts writes)" ]
+    in
+    let check level name idx =
+      Util.Table.add_row audit_summary
+        [
+          "place." ^ name;
+          string_of_int place_tally.(idx);
+          Printf.sprintf "%d (%s)" (expected_of level)
+            (if place_tally.(idx) = expected_of level then "ok" else "MISMATCH");
+        ]
+    in
+    check Energy.Model.Lrf "lrf" 0;
+    check Energy.Model.Orf "orf" 1;
+    check Energy.Model.Mrf "mrf" 2;
+    check Energy.Model.Rfc "rfc" 3;
+    Util.Table.add_row audit_summary [ "alloc"; string_of_int !alloc_events; "" ];
+    Util.Table.add_row audit_summary [ "desched"; string_of_int !desched_tally; "" ];
+    Util.Table.add_row audit_summary [ "evict"; string_of_int !evict_tally; "" ];
+    Util.Table.add_row audit_summary [ "total"; string_of_int !event_count; "" ];
+    Util.Table.print audit_summary;
+    let parity_ok =
+      place_tally.(0) = expected_of Energy.Model.Lrf
+      && place_tally.(1) = expected_of Energy.Model.Orf
+      && place_tally.(2) = expected_of Energy.Model.Mrf
+      && place_tally.(3) = expected_of Energy.Model.Rfc
+    in
+    (match trace_out with
+     | None -> ()
+     | Some path ->
+       let spans = Obs.Span.spans () in
+       (try Obs.Trace_export.write_file ~path ~process_name:"rfh profile" spans
+        with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+       Printf.printf "trace: %d spans -> %s\n" (List.length spans) path);
+    (match audit_oc with
+     | None -> ()
+     | Some oc ->
+       close_out oc;
+       Printf.printf "audit: %d events -> %s\n" !event_count (Option.get audit_out));
+    Obs.Audit.disable ();
+    Obs.Span.set_enabled false;
+    if not parity_ok then begin
+      prerr_endline "profile: audit/Energy.Counts write totals disagree";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ warps_arg $ seed_arg $ benchmarks_arg $ entries_arg $ lrf_arg $ trace_out_arg
+      $ audit_out_arg $ verbose_arg)
+
 let () =
   let doc = "compile-time managed multi-level register file hierarchy (MICRO 2011) reproduction" in
   let info = Cmd.info "rfh" ~version:"1.0.0" ~doc in
   let cmds =
     List.map artefact_cmd Experiments.Report.artefact_names
-    @ [ all_cmd; kernels_cmd; allocate_cmd; compile_cmd; selfcheck_cmd; trace_cmd ]
+    @ [ all_cmd; kernels_cmd; allocate_cmd; compile_cmd; selfcheck_cmd; trace_cmd; profile_cmd ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

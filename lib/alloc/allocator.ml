@@ -1,6 +1,10 @@
-let log_src = Logs.Src.create "rfh.alloc" ~doc:"register-hierarchy allocator decisions"
-
-module Log = (val Logs.src_log log_src : Logs.LOG)
+let m_runs = Obs.Metrics.counter "alloc.runs"
+let m_write_units = Obs.Metrics.counter "alloc.write_units"
+let m_read_units = Obs.Metrics.counter "alloc.read_units"
+let m_lrf_allocated = Obs.Metrics.counter "alloc.lrf_allocated"
+let m_orf_allocated = Obs.Metrics.counter "alloc.orf_allocated"
+let m_partial_allocated = Obs.Metrics.counter "alloc.partial_allocated"
+let m_unit_savings = Obs.Metrics.histogram "alloc.unit_savings"
 
 type stats = {
   write_units : int;
@@ -246,7 +250,34 @@ let build_read_units (ctx : Context.t) =
     table []
   |> List.sort (fun a b -> compare (interval_of a) (interval_of b))
 
-let run config (ctx : Context.t) =
+(* Report one allocation decision to the metrics registry and the
+   audit sink (Obs.Audit). *)
+let audit_alloc config k target c ~slot ~partial =
+  let savings = savings_of config k target c in
+  Obs.Metrics.observe m_unit_savings savings;
+  if Obs.Audit.is_enabled () then begin
+    let first, last = interval_of c in
+    Obs.Audit.emit
+      (Obs.Audit.Alloc
+         {
+           reg = Ir.Reg.to_string c.reg;
+           kind =
+             (match c.kind with
+              | Write_unit _ -> Obs.Audit.Write_unit
+              | Read_unit -> Obs.Audit.Read_unit);
+           strand = c.strand;
+           level = (match target with `Lrf -> Obs.Audit.Lrf | `Orf -> Obs.Audit.Orf);
+           slot;
+           first;
+           last;
+           reads = List.length c.covered;
+           savings;
+           partial;
+           mrf_copy = c.mrf_write_required;
+         })
+  end
+
+let run_inner config (ctx : Context.t) =
   let k = ctx.Context.kernel in
   let placement = Placement.baseline k in
   let duchain = ctx.Context.duchain in
@@ -302,10 +333,7 @@ let run config (ctx : Context.t) =
          Occupancy.reserve lrf_occ.(c.strand) ~entry:b ~first ~last;
          lrf_allocs := (c, b) :: !lrf_allocs;
          lrf_done := c :: !lrf_done;
-         Log.debug (fun m ->
-             m "%s -> LRF[%d] strand %d [%d, %d) (%d reads%s)" (Ir.Reg.to_string c.reg) b
-               c.strand first last (List.length c.covered)
-               (if c.mrf_write_required then ", +MRF" else ""));
+         audit_alloc config k `Lrf c ~slot:b ~partial:false;
          stats := { !stats with lrf_allocated = !stats.lrf_allocated + 1 }
        | None -> ());
       drain_lrf ()
@@ -339,12 +367,7 @@ let run config (ctx : Context.t) =
           | Some e ->
             Occupancy.reserve_range orf_occ.(c.strand) ~entry:e ~width:c.width ~first ~last;
             orf_allocs := (c, e) :: !orf_allocs;
-            Log.debug (fun m ->
-                m "%s -> ORF[%d] strand %d [%d, %d)%s (%d reads%s)" (Ir.Reg.to_string c.reg) e
-                  c.strand first last
-                  (match c.kind with Read_unit -> " (read operand)" | Write_unit _ -> "")
-                  (List.length c.covered)
-                  (if shortened then ", partial range" else ""));
+            audit_alloc config k `Orf c ~slot:e ~partial:shortened;
             stats :=
               { !stats with
                 orf_allocated = !stats.orf_allocated + 1;
@@ -399,6 +422,15 @@ let run config (ctx : Context.t) =
                  ~pos:r.Analysis.Duchain.slot (Placement.From_orf entry))
              rest))
     !orf_allocs;
-  (placement, !stats)
+  let s = !stats in
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.incr ~by:s.write_units m_write_units;
+  Obs.Metrics.incr ~by:s.read_units m_read_units;
+  Obs.Metrics.incr ~by:s.lrf_allocated m_lrf_allocated;
+  Obs.Metrics.incr ~by:s.orf_allocated m_orf_allocated;
+  Obs.Metrics.incr ~by:s.partial_allocated m_partial_allocated;
+  (placement, s)
+
+let run config ctx = Obs.Span.with_span "allocate" (fun () -> run_inner config ctx)
 
 let place config ctx = fst (run config ctx)

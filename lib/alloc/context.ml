@@ -10,11 +10,16 @@ type t = {
 }
 
 let create ?boundary_kinds kernel =
-  let cfg = Analysis.Cfg.of_kernel kernel in
-  let dominance = Analysis.Dominance.compute cfg in
-  let liveness = Analysis.Liveness.compute kernel cfg in
-  let reaching = Analysis.Reaching.compute kernel cfg in
-  let duchain = Analysis.Duchain.compute kernel reaching in
-  let partition = Strand.Partition.compute ?kinds:boundary_kinds kernel cfg reaching in
-  let must_defined = Strand.Must_defined.compute kernel cfg partition in
+  let span = Obs.Span.with_span in
+  let cfg = span "cfg" (fun () -> Analysis.Cfg.of_kernel kernel) in
+  let dominance = span "dominance" (fun () -> Analysis.Dominance.compute cfg) in
+  let liveness = span "liveness" (fun () -> Analysis.Liveness.compute kernel cfg) in
+  let reaching = span "reaching" (fun () -> Analysis.Reaching.compute kernel cfg) in
+  let duchain = span "duchain" (fun () -> Analysis.Duchain.compute kernel reaching) in
+  let partition =
+    span "partition" (fun () -> Strand.Partition.compute ?kinds:boundary_kinds kernel cfg reaching)
+  in
+  let must_defined =
+    span "must_defined" (fun () -> Strand.Must_defined.compute kernel cfg partition)
+  in
   { kernel; cfg; dominance; liveness; reaching; duchain; partition; must_defined }

@@ -10,23 +10,30 @@ let artefact_names =
     ("scheduling", Scheduling); ("tables", Tables);
   ]
 
-let tables_of opts = function
-  | Fig2 -> Fig2.tables opts
-  | Fig11 -> Access_breakdown.fig11_tables opts
-  | Fig12 -> Access_breakdown.fig12_tables opts
-  | Fig13 -> [ Energy_sweep.table opts ]
-  | Fig14 -> [ Energy_breakdown.table opts ]
-  | Fig15 -> [ Per_benchmark.table opts ]
-  | Perf -> [ Perf_study.table opts ]
-  | Encoding -> [ Encoding.table opts ]
-  | Limit -> [ Limit.table opts ]
-  | Ablation -> [ Ablation.table opts ]
-  | Divergence -> [ Divergence.table opts ]
-  | Pressure -> [ Pressure_study.table opts ]
-  | Scheduling -> [ Scheduling.table opts ]
-  | Tables ->
-    [ Config_tables.table2 (); Config_tables.table3 opts.Options.params;
-      Config_tables.table4 opts.Options.params ]
+let name_of a =
+  match List.find_opt (fun (_, x) -> x = a) artefact_names with
+  | Some (name, _) -> name
+  | None -> "artefact"
+
+let tables_of opts a =
+  Obs.Span.with_span ("artefact:" ^ name_of a) (fun () ->
+      match a with
+      | Fig2 -> Fig2.tables opts
+      | Fig11 -> Access_breakdown.fig11_tables opts
+      | Fig12 -> Access_breakdown.fig12_tables opts
+      | Fig13 -> [ Energy_sweep.table opts ]
+      | Fig14 -> [ Energy_breakdown.table opts ]
+      | Fig15 -> [ Per_benchmark.table opts ]
+      | Perf -> [ Perf_study.table opts ]
+      | Encoding -> [ Encoding.table opts ]
+      | Limit -> [ Limit.table opts ]
+      | Ablation -> [ Ablation.table opts ]
+      | Divergence -> [ Divergence.table opts ]
+      | Pressure -> [ Pressure_study.table opts ]
+      | Scheduling -> [ Scheduling.table opts ]
+      | Tables ->
+        [ Config_tables.table2 (); Config_tables.table3 opts.Options.params;
+          Config_tables.table4 opts.Options.params ])
 
 let run opts artefacts =
   List.iter (fun a -> List.iter Util.Table.print (tables_of opts a)) artefacts
@@ -36,3 +43,5 @@ let run_all opts = run opts (List.map snd artefact_names)
 let clear_caches () =
   Sweep.clear_caches ();
   Perf_study.clear_cache ()
+
+let metrics_table () = Obs.Metrics.to_table (Obs.Metrics.snapshot ())

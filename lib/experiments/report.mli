@@ -17,3 +17,10 @@ val run_all : Options.t -> unit
 
 val clear_caches : unit -> unit
 (** Reset every experiment memo table (cold-regeneration timing). *)
+
+val name_of : artefact -> string
+(** CLI-facing name of one artefact (reverse of {!artefact_names}). *)
+
+val metrics_table : unit -> Util.Table.t
+(** Snapshot of the global {!Obs.Metrics} registry as a table — what
+    the [--metrics] flag appends after an artefact's output. *)

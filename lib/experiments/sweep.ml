@@ -93,7 +93,11 @@ let run (opts : Options.t) (e : Workloads.Registry.entry) scheme ~entries =
                (sim_scheme opts ctx scheme ~entries))
            (contexts e))
     in
-    let energy = Energy.Counts.energy opts.Options.params ~orf_entries:entries traffic.Sim.Traffic.counts in
+    let energy =
+      Obs.Span.with_span "energy" (fun () ->
+          Energy.Counts.energy opts.Options.params ~orf_entries:entries
+            traffic.Sim.Traffic.counts)
+    in
     let r = { traffic; energy } in
     Hashtbl.add run_cache key r;
     r

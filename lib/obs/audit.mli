@@ -1,0 +1,87 @@
+(** Allocator / scheduler audit log: a structured event sink.
+
+    The allocator, the strand partitioner and both simulators report
+    decisions here instead of formatting ad-hoc debug text.  The sink
+    is a plain function behind a flag: when disabled (the default),
+    instrumented call sites see [is_enabled () = false] and skip event
+    construction entirely, so the simulator hot path neither allocates
+    nor calls anything.
+
+    Event semantics:
+    - [Alloc]: the allocator placed a value (write unit) or a read
+      range (read unit) at an upper level, with the estimated energy
+      savings that justified it.
+    - [Place]: a dynamic register-file write observed by the traffic
+      simulator — one event per counted write, so summing [Place]
+      events per level reproduces {!Energy.Counts} write totals
+      exactly.
+    - [Fill]: an MRF-served read whose value is simultaneously written
+      into an ORF entry (read-operand allocation, paper Sec. 4.4).
+    - [Evict]: a hardware register-file-cache or HW-LRF eviction;
+      [writeback] tells whether the value was live and written back.
+    - [Strand_boundary]: a static strand start in the compiled kernel.
+    - [Desched]: a warp deschedule event (compiler-scheduled at strand
+      boundaries, hardware long-latency dependence, or the two-level
+      scheduler's backing store). *)
+
+type level = Lrf | Orf | Mrf | Rfc
+
+type cause = Sw_boundary | Hw_dependence | Scheduler
+
+type unit_kind = Write_unit | Read_unit
+
+type event =
+  | Alloc of {
+      reg : string;
+      kind : unit_kind;
+      strand : int;
+      level : level;  (** [Lrf] or [Orf] *)
+      slot : int;     (** LRF bank or ORF entry *)
+      first : int;    (** occupancy interval, instr ids *)
+      last : int;
+      reads : int;    (** covered reads *)
+      savings : float;
+      partial : bool; (** range was iteratively shortened *)
+      mrf_copy : bool;
+    }
+  | Place of { warp : int; instr : int; level : level }
+  | Fill of { warp : int; instr : int; pos : int; entry : int }
+  | Evict of { warp : int; instr : int; level : level; writeback : bool }
+  | Strand_boundary of { instr : int; strand : int }
+  | Desched of { warp : int; instr : int; cause : cause }
+
+val is_enabled : unit -> bool
+(** Cheap flag read — call sites guard event construction with it. *)
+
+val emit : event -> unit
+(** Forward to the installed sink; a no-op when disabled. *)
+
+val set_sink : (event -> unit) -> unit
+(** Install a sink and enable emission. *)
+
+val set_enabled : bool -> unit
+(** Toggle emission without replacing the sink. *)
+
+val disable : unit -> unit
+(** Stop emitting and drop the installed sink. *)
+
+(** {1 Sinks} *)
+
+val memory_sink : unit -> (event -> unit) * (unit -> event list)
+(** Collecting sink; the getter returns events in emission order. *)
+
+val jsonl_sink : out_channel -> event -> unit
+(** One compact JSON object per line. *)
+
+val printer_sink : Format.formatter -> event -> unit
+(** Human-readable one-line-per-event rendering (the [-v] output). *)
+
+val tee : (event -> unit) list -> event -> unit
+
+(** {1 Encoding} *)
+
+val level_name : level -> string
+val cause_name : cause -> string
+val to_json : event -> Json.t
+val of_json : Json.t -> (event, string) result
+val pp : Format.formatter -> event -> unit

@@ -1,0 +1,13 @@
+(** Monotonic wall clock backing every span and timer in {!Span}.
+
+    Thin wrapper over the CLOCK_MONOTONIC stub that Bechamel already
+    ships, so timestamps are immune to NTP slew and cost one C call. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary (but fixed) origin. *)
+
+val ns_to_us : int64 -> float
+(** Nanoseconds to fractional microseconds (the unit Chrome's trace
+    viewer expects in [ts]/[dur] fields). *)
+
+val ns_to_ms : int64 -> float

@@ -1,0 +1,195 @@
+type hist = {
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+  bins : Util.Stats.histogram;  (* observations truncated to int *)
+}
+
+type registry = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create_registry () =
+  { counters = Hashtbl.create 32; gauges = Hashtbl.create 8; hists = Hashtbl.create 8 }
+
+let default = create_registry ()
+
+type counter = int ref
+type gauge = float ref
+type histogram = hist
+
+let intern table name make =
+  match Hashtbl.find_opt table name with
+  | Some x -> x
+  | None ->
+    let x = make () in
+    Hashtbl.add table name x;
+    x
+
+let counter ?(registry = default) name = intern registry.counters name (fun () -> ref 0)
+
+let incr ?(by = 1) c = c := !c + by
+
+let counter_value c = !c
+
+let gauge ?(registry = default) name = intern registry.gauges name (fun () -> ref 0.0)
+
+let set_gauge g v = g := v
+
+let histogram ?(registry = default) name =
+  intern registry.hists name (fun () ->
+      { hcount = 0; hsum = 0.0; hmin = infinity; hmax = neg_infinity; bins = Util.Stats.histogram () })
+
+let observe h v =
+  h.hcount <- h.hcount + 1;
+  h.hsum <- h.hsum +. v;
+  if v < h.hmin then h.hmin <- v;
+  if v > h.hmax then h.hmax <- v;
+  Util.Stats.hincr h.bins (int_of_float v)
+
+type hist_summary = {
+  count : int;
+  sum : float;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_summary) list;
+}
+
+let percentile_of_bins bins total q =
+  if total = 0 then 0.0
+  else begin
+    let want = max 1 (int_of_float (ceil (q *. float_of_int total))) in
+    let seen = ref 0 in
+    let result = ref 0.0 in
+    (try
+       List.iter
+         (fun (k, n) ->
+           seen := !seen + n;
+           if !seen >= want then begin
+             result := float_of_int k;
+             raise Exit
+           end)
+         (Util.Stats.hbins bins)
+     with Exit -> ());
+    !result
+  end
+
+let summarize h =
+  let count = h.hcount in
+  {
+    count;
+    sum = h.hsum;
+    mean = (if count = 0 then 0.0 else h.hsum /. float_of_int count);
+    min = (if count = 0 then 0.0 else h.hmin);
+    max = (if count = 0 then 0.0 else h.hmax);
+    p50 = percentile_of_bins h.bins count 0.50;
+    p95 = percentile_of_bins h.bins count 0.95;
+  }
+
+let sorted_bindings table f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot ?(registry = default) () =
+  {
+    counters = sorted_bindings registry.counters ( ! );
+    gauges = sorted_bindings registry.gauges ( ! );
+    histograms = sorted_bindings registry.hists summarize;
+  }
+
+let diff later earlier =
+  let find name xs = List.assoc_opt name xs in
+  let counters =
+    List.map
+      (fun (name, v) ->
+        (name, v - Option.value ~default:0 (find name earlier.counters)))
+      later.counters
+  in
+  let histograms =
+    List.map
+      (fun (name, (s : hist_summary)) ->
+        match find name earlier.histograms with
+        | None -> (name, s)
+        | Some e ->
+          let count = s.count - e.count in
+          let sum = s.sum -. e.sum in
+          ( name,
+            { s with count; sum; mean = (if count = 0 then 0.0 else sum /. float_of_int count) } ))
+      later.histograms
+  in
+  { counters; gauges = later.gauges; histograms }
+
+let reset ?(registry = default) () =
+  Hashtbl.iter (fun _ c -> c := 0) registry.counters;
+  Hashtbl.iter (fun _ g -> g := 0.0) registry.gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      h.hcount <- 0;
+      h.hsum <- 0.0;
+      h.hmin <- infinity;
+      h.hmax <- neg_infinity;
+      Util.Stats.hreset h.bins)
+    registry.hists
+
+let is_empty s =
+  List.for_all (fun (_, v) -> v = 0) s.counters
+  && s.gauges = []
+  && List.for_all (fun (_, (h : hist_summary)) -> h.count = 0) s.histograms
+
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e12 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.3f" x
+
+let to_table ?(title = "Metrics") s =
+  let t = Util.Table.create ~title ~columns:[ "Metric"; "Value"; "Detail" ] in
+  List.iter
+    (fun (name, v) -> Util.Table.add_row t [ name; string_of_int v; "counter" ])
+    s.counters;
+  List.iter
+    (fun (name, v) -> Util.Table.add_row t [ name; fmt_float v; "gauge" ])
+    s.gauges;
+  List.iter
+    (fun (name, (h : hist_summary)) ->
+      Util.Table.add_row t
+        [
+          name;
+          string_of_int h.count;
+          Printf.sprintf "mean %s  min %s  p50 %s  p95 %s  max %s" (fmt_float h.mean)
+            (fmt_float h.min) (fmt_float h.p50) (fmt_float h.p95) (fmt_float h.max);
+        ])
+    s.histograms;
+  t
+
+let to_json s =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.int v)) s.counters));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) s.gauges));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, (h : hist_summary)) ->
+               ( k,
+                 Json.Obj
+                   [
+                     ("count", Json.int h.count);
+                     ("sum", Json.Num h.sum);
+                     ("mean", Json.Num h.mean);
+                     ("min", Json.Num h.min);
+                     ("max", Json.Num h.max);
+                     ("p50", Json.Num h.p50);
+                     ("p95", Json.Num h.p95);
+                   ] ))
+             s.histograms) );
+    ]

@@ -1,0 +1,39 @@
+type span = { name : string; ts_ns : int64; dur_ns : int64; depth : int }
+
+let on = ref false
+let completed : span list ref = ref []
+let depth = ref 0
+
+let set_enabled b = on := b
+
+let enabled () = !on
+
+let with_span name f =
+  if not !on then f ()
+  else begin
+    let ts = Clock.now_ns () in
+    let d = !depth in
+    incr depth;
+    Fun.protect
+      ~finally:(fun () ->
+        decr depth;
+        let dur = Int64.sub (Clock.now_ns ()) ts in
+        completed := { name; ts_ns = ts; dur_ns = dur; depth = d } :: !completed)
+      f
+  end
+
+let spans () = List.sort (fun a b -> Int64.compare a.ts_ns b.ts_ns) !completed
+
+let reset () =
+  completed := [];
+  depth := 0
+
+let totals () =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let calls, total = Option.value ~default:(0, 0.0) (Hashtbl.find_opt table s.name) in
+      Hashtbl.replace table s.name (calls + 1, total +. Clock.ns_to_ms s.dur_ns))
+    !completed;
+  Hashtbl.fold (fun name agg acc -> (name, agg) :: acc) table []
+  |> List.sort (fun (_, (_, a)) (_, (_, b)) -> compare b a)

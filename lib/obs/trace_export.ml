@@ -1,0 +1,45 @@
+let json_of_spans ?(process_name = "rfh") spans =
+  let base =
+    List.fold_left
+      (fun acc (s : Span.span) -> if Int64.compare s.Span.ts_ns acc < 0 then s.Span.ts_ns else acc)
+      (match spans with [] -> 0L | s :: _ -> s.Span.ts_ns)
+      spans
+  in
+  let metadata =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.int 1);
+        ("tid", Json.int 1);
+        ("args", Json.Obj [ ("name", Json.Str process_name) ]);
+      ]
+  in
+  let events =
+    List.map
+      (fun (s : Span.span) ->
+        Json.Obj
+          [
+            ("name", Json.Str s.Span.name);
+            ("cat", Json.Str "rfh");
+            ("ph", Json.Str "X");
+            ("ts", Json.Num (Clock.ns_to_us (Int64.sub s.Span.ts_ns base)));
+            ("dur", Json.Num (Clock.ns_to_us s.Span.dur_ns));
+            ("pid", Json.int 1);
+            ("tid", Json.int 1);
+            ("args", Json.Obj [ ("depth", Json.int s.Span.depth) ]);
+          ])
+      spans
+  in
+  Json.Obj
+    [ ("traceEvents", Json.Arr (metadata :: events)); ("displayTimeUnit", Json.Str "ms") ]
+
+let to_string ?process_name spans = Json.to_string (json_of_spans ?process_name spans)
+
+let write_file ~path ?process_name spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel oc (json_of_spans ?process_name spans);
+      output_char oc '\n')

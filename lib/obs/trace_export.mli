@@ -1,0 +1,14 @@
+(** Chrome trace-event export for {!Span} recordings.
+
+    Produces the JSON object format understood by [chrome://tracing]
+    and [https://ui.perfetto.dev]: a [traceEvents] array of complete
+    ("X") events with microsecond [ts]/[dur], one per recorded span.
+    Timestamps are rebased to the earliest span so traces start near
+    zero. *)
+
+val json_of_spans : ?process_name:string -> Span.span list -> Json.t
+
+val to_string : ?process_name:string -> Span.span list -> string
+
+val write_file : path:string -> ?process_name:string -> Span.span list -> unit
+(** @raise Sys_error on I/O failure. *)

@@ -9,6 +9,11 @@ type result = {
   desched_events : int;
 }
 
+let m_runs = Obs.Metrics.counter "sim.perf.runs"
+let m_cycles = Obs.Metrics.counter "sim.perf.cycles"
+let m_instructions = Obs.Metrics.counter "sim.perf.instructions"
+let m_desched = Obs.Metrics.counter "sim.perf.desched_events"
+
 type warp_state = {
   cf : Cf.t;
   ready : int array;                       (* per register: cycle its value is ready *)
@@ -19,9 +24,10 @@ type warp_state = {
 let unit_index op =
   match Ir.Op.unit_class op with Ir.Op.Alu -> 0 | Ir.Op.Sfu -> 1 | Ir.Op.Mem -> 2 | Ir.Op.Tex -> 3
 
-let run ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
+let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
     ?(max_cycles = 10_000_000) ?mrf_banks ~scheduler ~policy (ctx : Alloc.Context.t) =
   let k = ctx.Alloc.Context.kernel in
+  let au = Obs.Audit.is_enabled () in
   let partition = ctx.Alloc.Context.partition in
   let nr = max 1 k.Ir.Kernel.num_regs in
   let states =
@@ -66,6 +72,11 @@ let run ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
     incr desched_events;
     refill_active ()
   in
+  let audit_desched w (i : Ir.Instr.t) =
+    if au then
+      Obs.Audit.emit
+        (Obs.Audit.Desched { warp = w; instr = i.Ir.Instr.id; cause = Obs.Audit.Scheduler })
+  in
   let try_issue w =
     let st = states.(w) in
     match Cf.peek st.cf with
@@ -75,6 +86,7 @@ let run ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
       (match policy with
        | At_strand_boundaries
          when Strand.Partition.starts_strand partition i.Ir.Instr.id && outstanding_ll st now ->
+         audit_desched w i;
          `Deschedule (List.fold_left max now st.long_latency_until)
        | At_strand_boundaries | On_dependence ->
          let blocked_regs = List.filter (fun r -> st.ready.(r) > now) i.Ir.Instr.srcs in
@@ -85,7 +97,9 @@ let run ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
                blocked_regs
            in
            match policy, scheduler with
-           | On_dependence, Two_level _ when blocked_on_ll -> `Deschedule wait
+           | On_dependence, Two_level _ when blocked_on_ll ->
+             audit_desched w i;
+             `Deschedule wait
            | (On_dependence | At_strand_boundaries), _ -> `Stall
          end
          else if unit_free.(unit_index i.Ir.Instr.op) > now then `Stall
@@ -145,9 +159,17 @@ let run ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
     attempt !active;
     incr cycle
   done;
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.incr ~by:!cycle m_cycles;
+  Obs.Metrics.incr ~by:!instructions m_instructions;
+  Obs.Metrics.incr ~by:!desched_events m_desched;
   {
     cycles = !cycle;
     instructions = !instructions;
     ipc = (if !cycle = 0 then 0.0 else float_of_int !instructions /. float_of_int !cycle);
     desched_events = !desched_events;
   }
+
+let run ?warps ?seed ?max_dynamic_per_warp ?max_cycles ?mrf_banks ~scheduler ~policy ctx =
+  Obs.Span.with_span "simulate.perf" (fun () ->
+      run_inner ?warps ?seed ?max_dynamic_per_warp ?max_cycles ?mrf_banks ~scheduler ~policy ctx)

@@ -21,6 +21,17 @@ type result = {
   capped_warps : int;
 }
 
+let m_runs = Obs.Metrics.counter "sim.traffic.runs"
+let m_dynamic = Obs.Metrics.counter "sim.traffic.dynamic_instrs"
+let m_desched = Obs.Metrics.counter "sim.traffic.desched_events"
+let m_capped = Obs.Metrics.counter "sim.traffic.capped_warps"
+
+let audit_level = function
+  | Energy.Model.Mrf -> Obs.Audit.Mrf
+  | Energy.Model.Orf -> Obs.Audit.Orf
+  | Energy.Model.Lrf -> Obs.Audit.Lrf
+  | Energy.Model.Rfc -> Obs.Audit.Rfc
+
 let datapath_of_op op =
   if Ir.Op.is_shared_datapath op then Energy.Model.Shared else Energy.Model.Private
 
@@ -58,7 +69,7 @@ module Outstanding = struct
   let clear t = t.pending <- []
 end
 
-let run ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shadow = 50)
+let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shadow = 50)
     (ctx : Alloc.Context.t) scheme =
   let k = ctx.Alloc.Context.kernel in
   let partition = ctx.Alloc.Context.partition in
@@ -67,6 +78,9 @@ let run ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shad
   let desched_events = ref 0 in
   let dynamic_instrs = ref 0 in
   let capped_warps = ref 0 in
+  (* Audit enablement is sampled once per run: the sink never changes
+     mid-run, and the hot path must not pay for a closure per access. *)
+  let au = Obs.Audit.is_enabled () in
   (* Precomputed static facts for the hardware scheme. *)
   let shared_consumer =
     let a = Array.make (Ir.Kernel.instr_count k) false in
@@ -103,18 +117,42 @@ let run ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shad
     let counts_for (i : Ir.Instr.t) =
       per_strand.(Strand.Partition.strand_of_instr partition i.Ir.Instr.id)
     in
+    (* Every Energy.Counts.add_write below is mirrored by an audit
+       placement event (guarded on [au] so the common disabled path
+       keeps the seed's direct calls): summing Place events per level
+       therefore reproduces the Energy.Counts write totals exactly. *)
+    let emit_place level ~instr =
+      Obs.Audit.emit (Obs.Audit.Place { warp; instr; level = audit_level level })
+    in
+    let place c level dp ~instr =
+      Energy.Counts.add_write c level dp ();
+      if au then emit_place level ~instr
+    in
+    let desched ~instr cause =
+      incr desched_events;
+      if au then Obs.Audit.emit (Obs.Audit.Desched { warp; instr; cause })
+    in
+    let evict ~instr level ~writeback =
+      if au then
+        Obs.Audit.emit (Obs.Audit.Evict { warp; instr; level = audit_level level; writeback })
+    in
     (* Writeback one evicted RFC value if still live at the eviction point. *)
-    let writeback_rfc_evict c ~liveness_check reg =
+    let writeback_rfc_evict c ~liveness_check ~instr reg =
       if liveness_check reg then begin
         Energy.Counts.add_read c Energy.Model.Rfc Energy.Model.Private ();
-        Energy.Counts.add_write c Energy.Model.Mrf Energy.Model.Private ()
+        evict ~instr Energy.Model.Rfc ~writeback:true;
+        place c Energy.Model.Mrf Energy.Model.Private ~instr
       end
+      else evict ~instr Energy.Model.Rfc ~writeback:false
     in
-    let insert_rfc c cache ~liveness_check reg =
-      Option.iter (writeback_rfc_evict c ~liveness_check) (Machine.Tagged_cache.insert cache reg);
-      Energy.Counts.add_write c Energy.Model.Rfc Energy.Model.Private ()
+    let insert_rfc c cache ~liveness_check ~instr reg =
+      Option.iter
+        (writeback_rfc_evict c ~liveness_check ~instr)
+        (Machine.Tagged_cache.insert cache reg);
+      place c Energy.Model.Rfc Energy.Model.Private ~instr
     in
     let flush_caches c (i : Ir.Instr.t) =
+      let instr = i.Ir.Instr.id in
       let liveness_check = live_before ctx i in
       Option.iter
         (fun lrf ->
@@ -122,8 +160,10 @@ let run ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shad
             (fun r ->
               if liveness_check r then begin
                 Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ();
-                Energy.Counts.add_write c Energy.Model.Mrf Energy.Model.Private ()
-              end)
+                evict ~instr Energy.Model.Lrf ~writeback:true;
+                place c Energy.Model.Mrf Energy.Model.Private ~instr
+              end
+              else evict ~instr Energy.Model.Lrf ~writeback:false)
             (Machine.Tagged_cache.flush lrf))
         hw_lrf;
       Option.iter
@@ -132,8 +172,10 @@ let run ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shad
             (fun r ->
               if liveness_check r then begin
                 Energy.Counts.add_read c Energy.Model.Rfc Energy.Model.Private ();
-                Energy.Counts.add_write c Energy.Model.Mrf Energy.Model.Private ()
-              end)
+                evict ~instr Energy.Model.Rfc ~writeback:true;
+                place c Energy.Model.Mrf Energy.Model.Private ~instr
+              end
+              else evict ~instr Energy.Model.Rfc ~writeback:false)
             (Machine.Tagged_cache.flush cache))
         rfc
     in
@@ -150,13 +192,15 @@ let run ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shad
            List.iter
              (fun _ -> Energy.Counts.add_read c Energy.Model.Mrf consumer_dp ())
              i.Ir.Instr.srcs;
-           if Option.is_some i.Ir.Instr.dst then
-             Energy.Counts.add_write c Energy.Model.Mrf consumer_dp ()
+           if Option.is_some i.Ir.Instr.dst then begin
+             Energy.Counts.add_write c Energy.Model.Mrf consumer_dp ();
+             if au then emit_place Energy.Model.Mrf ~instr:id
+           end
          | Sw { placement; _ } ->
            (* Compiler-scheduled deschedule point. *)
            if Strand.Partition.starts_strand partition id && Outstanding.any outstanding ~now
            then begin
-             incr desched_events;
+             desched ~instr:id Obs.Audit.Sw_boundary;
              Outstanding.clear outstanding
            end;
            List.iteri
@@ -170,16 +214,27 @@ let run ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shad
                  Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ())
              i.Ir.Instr.srcs;
            List.iter
-             (fun (_pos, _entry) -> Energy.Counts.add_write c Energy.Model.Orf consumer_dp ())
+             (fun (pos, entry) ->
+               Energy.Counts.add_write c Energy.Model.Orf consumer_dp ();
+               if au then begin
+                 emit_place Energy.Model.Orf ~instr:id;
+                 Obs.Audit.emit (Obs.Audit.Fill { warp; instr = id; pos; entry })
+               end)
              (Alloc.Placement.fills_of placement ~instr:id);
            (match i.Ir.Instr.dst, Alloc.Placement.dest placement ~instr:id with
             | Some d, Some dest ->
-              if dest.Alloc.Placement.to_mrf then
+              if dest.Alloc.Placement.to_mrf then begin
                 Energy.Counts.add_write c Energy.Model.Mrf consumer_dp ();
-              if Option.is_some dest.Alloc.Placement.to_orf then
+                if au then emit_place Energy.Model.Mrf ~instr:id
+              end;
+              if Option.is_some dest.Alloc.Placement.to_orf then begin
                 Energy.Counts.add_write c Energy.Model.Orf consumer_dp ();
-              if Option.is_some dest.Alloc.Placement.to_lrf then
+                if au then emit_place Energy.Model.Orf ~instr:id
+              end;
+              if Option.is_some dest.Alloc.Placement.to_lrf then begin
                 Energy.Counts.add_write c Energy.Model.Lrf Energy.Model.Private ();
+                if au then emit_place Energy.Model.Lrf ~instr:id
+              end;
               if Ir.Instr.is_long_latency i then Outstanding.add outstanding d ~now
             | _, _ -> ())
          | Hw opts ->
@@ -189,7 +244,7 @@ let run ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shad
              List.exists (fun r -> Outstanding.blocks_on outstanding r ~now) i.Ir.Instr.srcs
            in
            if blocks then begin
-             incr desched_events;
+             desched ~instr:id Obs.Audit.Hw_dependence;
              if not opts.never_flush then flush_caches c i;
              Outstanding.clear outstanding
            end;
@@ -218,7 +273,7 @@ let run ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shad
               in
               if Ir.Instr.is_long_latency i then begin
                 (* Long-latency results bypass the hierarchy (Sec. 2.2). *)
-                Energy.Counts.add_write c Energy.Model.Mrf consumer_dp ();
+                place c Energy.Model.Mrf consumer_dp ~instr:id;
                 Machine.Tagged_cache.remove cache d;
                 Option.iter (fun lrf -> Machine.Tagged_cache.remove lrf d) hw_lrf;
                 Outstanding.add outstanding d ~now
@@ -232,13 +287,15 @@ let run ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shad
                     (fun evicted ->
                       if liveness_check evicted then begin
                         Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ();
-                        insert_rfc c cache ~liveness_check evicted
-                      end)
+                        evict ~instr:id Energy.Model.Lrf ~writeback:true;
+                        insert_rfc c cache ~liveness_check ~instr:id evicted
+                      end
+                      else evict ~instr:id Energy.Model.Lrf ~writeback:false)
                     (Machine.Tagged_cache.insert lrf d);
-                  Energy.Counts.add_write c Energy.Model.Lrf Energy.Model.Private ();
+                  place c Energy.Model.Lrf Energy.Model.Private ~instr:id;
                   Machine.Tagged_cache.remove cache d
                 | Some _ | None ->
-                  insert_rfc c cache ~liveness_check d;
+                  insert_rfc c cache ~liveness_check ~instr:id d;
                   Option.iter (fun lrf -> Machine.Tagged_cache.remove lrf d) hw_lrf
               end);
            if opts.flush_on_backward_branch && Hashtbl.mem backward_block_last_instr id then
@@ -254,6 +311,10 @@ let run ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shad
   done;
   let counts = Energy.Counts.create () in
   Array.iter (fun c -> Energy.Counts.merge_into ~dst:counts c) per_strand;
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.incr ~by:!dynamic_instrs m_dynamic;
+  Obs.Metrics.incr ~by:!desched_events m_desched;
+  Obs.Metrics.incr ~by:!capped_warps m_capped;
   {
     counts;
     per_strand;
@@ -261,3 +322,7 @@ let run ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shad
     desched_events = !desched_events;
     capped_warps = !capped_warps;
   }
+
+let run ?warps ?seed ?max_dynamic_per_warp ?long_latency_shadow ctx scheme =
+  Obs.Span.with_span "simulate" (fun () ->
+      run_inner ?warps ?seed ?max_dynamic_per_warp ?long_latency_shadow ctx scheme)

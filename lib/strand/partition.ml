@@ -4,6 +4,10 @@ type t = {
   intervals : (int * int) array;  (* strand id -> first, last instr id *)
 }
 
+let m_partitions = Obs.Metrics.counter "strand.partitions"
+let m_strands = Obs.Metrics.counter "strand.strands"
+let m_strand_len = Obs.Metrics.histogram "strand.instrs_per_strand"
+
 type boundary_kinds = {
   long_latency : bool;
   backward : bool;
@@ -109,6 +113,16 @@ let compute ?(kinds = all_boundaries) (k : Ir.Kernel.t) (cfg : Analysis.Cfg.t)
     let first = if last < 0 then id else first in
     intervals.(s) <- (first, id)
   done;
+  Obs.Metrics.incr m_partitions;
+  Obs.Metrics.incr ~by:num m_strands;
+  Array.iter
+    (fun (first, last) -> Obs.Metrics.observe m_strand_len (float_of_int (last - first + 1)))
+    intervals;
+  if Obs.Audit.is_enabled () then
+    Array.iteri
+      (fun id strand ->
+        if starts.(id) then Obs.Audit.emit (Obs.Audit.Strand_boundary { instr = id; strand }))
+      strand_of_instr;
   { strand_of_instr; starts; intervals }
 
 let num_strands t = Array.length t.intervals

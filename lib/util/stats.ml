@@ -37,6 +37,8 @@ let hbins h =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) h []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let hreset h = Hashtbl.reset h
+
 let hfraction h pred =
   let total = htotal h in
   if total = 0 then 0.0

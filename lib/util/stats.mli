@@ -29,5 +29,8 @@ val htotal : histogram -> int
 val hbins : histogram -> (int * int) list
 (** Sorted (key, count) pairs. *)
 
+val hreset : histogram -> unit
+(** Drop every bin. *)
+
 val hfraction : histogram -> (int -> bool) -> float
 (** Fraction of total mass whose key satisfies the predicate. *)

@@ -10,8 +10,23 @@ let all () = Cuda_sdk.benchmarks @ Parboil.benchmarks @ Rodinia.benchmarks
 
 let by_suite s = List.filter (fun e -> e.suite = s) (all ())
 
+(* Short aliases accepted wherever a benchmark name is (e.g. `-b mm`). *)
+let aliases =
+  [
+    ("mm", "MatrixMul");
+    ("vadd", "VectorAdd");
+    ("reduce", "Reduction");
+    ("mandel", "Mandelbrot");
+    ("conv", "ConvolutionSeparable");
+  ]
+
 let find name =
   let lower = String.lowercase_ascii name in
-  List.find_opt (fun e -> String.lowercase_ascii e.name = lower) (all ())
+  let canonical =
+    match List.assoc_opt lower aliases with
+    | Some target -> String.lowercase_ascii target
+    | None -> lower
+  in
+  List.find_opt (fun e -> String.lowercase_ascii e.name = canonical) (all ())
 
 let names () = List.map (fun e -> e.name) (all ())

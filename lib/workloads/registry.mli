@@ -15,6 +15,9 @@ val all : unit -> entry list
 val by_suite : Suite.t -> entry list
 
 val find : string -> entry option
-(** Case-insensitive lookup by name. *)
+(** Case-insensitive lookup by name or short alias ({!aliases}). *)
+
+val aliases : (string * string) list
+(** Lower-case short aliases, e.g. [("mm", "MatrixMul")]. *)
 
 val names : unit -> string list

@@ -19,5 +19,6 @@ let () =
       ("micro", Test_micro.suite);
       ("transform", Test_transform.suite);
       ("experiments", Test_experiments.suite);
+      ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
     ]

@@ -1,0 +1,333 @@
+(* Tests for the observability subsystem: metrics registry arithmetic,
+   span recording and Chrome-trace export, audit event encoding, and
+   the zero-cost-when-disabled contract. *)
+
+let check = Alcotest.check
+
+(* Every obs test runs against the global recorders, so leave them
+   clean for whoever runs next. *)
+let isolated f () =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Audit.disable ();
+      Obs.Span.set_enabled false;
+      Obs.Span.reset ())
+    f
+
+(* --- Metrics ------------------------------------------------------ *)
+
+let test_counter_arithmetic () =
+  let r = Obs.Metrics.create_registry () in
+  let c = Obs.Metrics.counter ~registry:r "test.counter" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:41 c;
+  check Alcotest.int "accumulates" 42 (Obs.Metrics.counter_value c);
+  check Alcotest.bool "interned" true (c == Obs.Metrics.counter ~registry:r "test.counter");
+  let s = Obs.Metrics.snapshot ~registry:r () in
+  check Alcotest.(list (pair string int)) "snapshot" [ ("test.counter", 42) ] s.Obs.Metrics.counters;
+  Obs.Metrics.incr ~by:8 c;
+  let s' = Obs.Metrics.snapshot ~registry:r () in
+  let d = Obs.Metrics.diff s' s in
+  check Alcotest.(list (pair string int)) "diff" [ ("test.counter", 8) ] d.Obs.Metrics.counters;
+  Obs.Metrics.reset ~registry:r ();
+  check Alcotest.int "reset zeroes" 0 (Obs.Metrics.counter_value c);
+  check Alcotest.bool "empty after reset" true
+    (Obs.Metrics.is_empty (Obs.Metrics.snapshot ~registry:r ()))
+
+let test_histogram_summary () =
+  let r = Obs.Metrics.create_registry () in
+  let h = Obs.Metrics.histogram ~registry:r "test.hist" in
+  List.iter (Obs.Metrics.observe h) [ 1.0; 2.0; 3.0; 4.0; 100.0 ];
+  match (Obs.Metrics.snapshot ~registry:r ()).Obs.Metrics.histograms with
+  | [ (name, s) ] ->
+    check Alcotest.string "name" "test.hist" name;
+    check Alcotest.int "count" 5 s.Obs.Metrics.count;
+    check (Alcotest.float 1e-9) "sum" 110.0 s.Obs.Metrics.sum;
+    check (Alcotest.float 1e-9) "mean" 22.0 s.Obs.Metrics.mean;
+    check (Alcotest.float 1e-9) "min" 1.0 s.Obs.Metrics.min;
+    check (Alcotest.float 1e-9) "max" 100.0 s.Obs.Metrics.max;
+    check (Alcotest.float 1e-9) "p50" 3.0 s.Obs.Metrics.p50;
+    check (Alcotest.float 1e-9) "p95" 100.0 s.Obs.Metrics.p95
+  | other -> Alcotest.failf "expected one histogram, got %d" (List.length other)
+
+let test_gauge () =
+  let r = Obs.Metrics.create_registry () in
+  let g = Obs.Metrics.gauge ~registry:r "test.gauge" in
+  Obs.Metrics.set_gauge g 2.5;
+  check Alcotest.(list (pair string (float 0.0))) "gauge" [ ("test.gauge", 2.5) ]
+    (Obs.Metrics.snapshot ~registry:r ()).Obs.Metrics.gauges
+
+let test_metrics_json () =
+  let r = Obs.Metrics.create_registry () in
+  Obs.Metrics.incr ~by:7 (Obs.Metrics.counter ~registry:r "a");
+  let j = Obs.Metrics.to_json (Obs.Metrics.snapshot ~registry:r ()) in
+  match Obs.Json.parse (Obs.Json.to_string j) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+    let v = Option.bind (Obs.Json.member "counters" parsed) (Obs.Json.member "a") in
+    check Alcotest.(option int) "counter survives JSON" (Some 7) (Option.bind v Obs.Json.to_int)
+
+(* --- Json --------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let j =
+    Obs.Json.Obj
+      [
+        ("s", Obs.Json.Str "a \"quoted\"\nline");
+        ("n", Obs.Json.Num 1.5);
+        ("i", Obs.Json.int (-42));
+        ("b", Obs.Json.Bool true);
+        ("z", Obs.Json.Null);
+        ("l", Obs.Json.Arr [ Obs.Json.int 1; Obs.Json.int 2 ]);
+      ]
+  in
+  match Obs.Json.parse (Obs.Json.to_string j) with
+  | Ok parsed -> check Alcotest.bool "round-trips" true (parsed = j)
+  | Error e -> Alcotest.fail e
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+(* --- Span / Chrome trace ------------------------------------------ *)
+
+let test_span_disabled_is_free () =
+  Obs.Span.reset ();
+  Obs.Span.set_enabled false;
+  let x = Obs.Span.with_span "phase" (fun () -> 17) in
+  check Alcotest.int "result passes through" 17 x;
+  check Alcotest.int "nothing recorded" 0 (List.length (Obs.Span.spans ()))
+
+let test_span_nesting_chrome_trace () =
+  Obs.Span.reset ();
+  Obs.Span.set_enabled true;
+  let result =
+    Obs.Span.with_span "outer" (fun () ->
+        Obs.Span.with_span "inner" (fun () -> ignore (Sys.opaque_identity 1));
+        Obs.Span.with_span "inner" (fun () -> ());
+        "done")
+  in
+  check Alcotest.string "value" "done" result;
+  let spans = Obs.Span.spans () in
+  check Alcotest.int "three spans" 3 (List.length spans);
+  (* Export and validate the Chrome trace shape. *)
+  match Obs.Json.parse (Obs.Trace_export.to_string spans) with
+  | Error e -> Alcotest.fail e
+  | Ok trace ->
+    let events =
+      Option.value ~default:[] (Option.bind (Obs.Json.member "traceEvents" trace) Obs.Json.to_list)
+    in
+    let xs =
+      List.filter
+        (fun e -> Option.bind (Obs.Json.member "ph" e) Obs.Json.to_str = Some "X")
+        events
+    in
+    check Alcotest.int "one complete event per span" 3 (List.length xs);
+    let field name conv e = Option.bind (Obs.Json.member name e) conv in
+    List.iter
+      (fun e ->
+        check Alcotest.bool "has name" true (field "name" Obs.Json.to_str e <> None);
+        let ts = field "ts" Obs.Json.to_num e and dur = field "dur" Obs.Json.to_num e in
+        check Alcotest.bool "has numeric ts" true (ts <> None);
+        check Alcotest.bool "has numeric dur" true (dur <> None);
+        check Alcotest.bool "ts >= 0" true (Option.get ts >= 0.0);
+        check Alcotest.bool "dur >= 0" true (Option.get dur >= 0.0))
+      xs;
+    (* The inner spans must nest inside the outer one. *)
+    let bounds name =
+      List.filter_map
+        (fun e ->
+          if field "name" Obs.Json.to_str e = Some name then
+            Some (Option.get (field "ts" Obs.Json.to_num e), Option.get (field "dur" Obs.Json.to_num e))
+          else None)
+        xs
+    in
+    let outer_ts, outer_dur = List.hd (bounds "outer") in
+    List.iter
+      (fun (ts, dur) ->
+        check Alcotest.bool "inner starts after outer" true (ts >= outer_ts);
+        check Alcotest.bool "inner ends before outer" true
+          (ts +. dur <= outer_ts +. outer_dur +. 1e-3))
+      (bounds "inner");
+    (* Depths recorded: outer at 0, inners at 1. *)
+    let depths =
+      List.filter_map
+        (fun (s : Obs.Span.span) -> Some (s.Obs.Span.name, s.Obs.Span.depth))
+        spans
+    in
+    check Alcotest.bool "outer depth 0" true (List.mem ("outer", 0) depths);
+    check Alcotest.bool "inner depth 1" true (List.mem ("inner", 1) depths)
+
+let test_span_survives_exception () =
+  Obs.Span.reset ();
+  Obs.Span.set_enabled true;
+  (try Obs.Span.with_span "raises" (fun () -> failwith "boom") with Failure _ -> ());
+  let recorded = Obs.Span.spans () in
+  check Alcotest.int "span recorded despite raise" 1 (List.length recorded);
+  (* Depth restored: a following span sits at depth 0 again. *)
+  Obs.Span.with_span "after" (fun () -> ());
+  let after = List.find (fun (s : Obs.Span.span) -> s.Obs.Span.name = "after") (Obs.Span.spans ()) in
+  check Alcotest.int "depth restored" 0 after.Obs.Span.depth
+
+(* --- Audit -------------------------------------------------------- *)
+
+let sample_events =
+  [
+    Obs.Audit.Alloc
+      {
+        reg = "%r7";
+        kind = Obs.Audit.Write_unit;
+        strand = 2;
+        level = Obs.Audit.Lrf;
+        slot = 1;
+        first = 10;
+        last = 14;
+        reads = 3;
+        savings = 27.5;
+        partial = false;
+        mrf_copy = true;
+      };
+    Obs.Audit.Alloc
+      {
+        reg = "%r9";
+        kind = Obs.Audit.Read_unit;
+        strand = 0;
+        level = Obs.Audit.Orf;
+        slot = 2;
+        first = 3;
+        last = 9;
+        reads = 2;
+        savings = 4.25;
+        partial = true;
+        mrf_copy = true;
+      };
+    Obs.Audit.Place { warp = 3; instr = 12; level = Obs.Audit.Orf };
+    Obs.Audit.Fill { warp = 1; instr = 4; pos = 0; entry = 2 };
+    Obs.Audit.Evict { warp = 0; instr = 9; level = Obs.Audit.Rfc; writeback = true };
+    Obs.Audit.Strand_boundary { instr = 17; strand = 4 };
+    Obs.Audit.Desched { warp = 5; instr = 21; cause = Obs.Audit.Sw_boundary };
+    Obs.Audit.Desched { warp = 6; instr = 22; cause = Obs.Audit.Scheduler };
+  ]
+
+let test_audit_jsonl_roundtrip () =
+  (* Serialize as JSONL (via a sink into a buffer), parse each line
+     back, decode, compare. *)
+  let path = Filename.temp_file "rfh_audit" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      List.iter (Obs.Audit.jsonl_sink oc) sample_events;
+      close_out oc;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      check Alcotest.int "one line per event" (List.length sample_events) (List.length lines);
+      let decoded =
+        List.map
+          (fun line ->
+            match Obs.Json.parse line with
+            | Error e -> Alcotest.failf "bad JSONL line %S: %s" line e
+            | Ok j ->
+              (match Obs.Audit.of_json j with
+               | Ok ev -> ev
+               | Error e -> Alcotest.failf "undecodable event %S: %s" line e))
+          lines
+      in
+      check Alcotest.bool "round-trips" true (decoded = sample_events))
+
+let test_audit_of_json_rejects () =
+  List.iter
+    (fun s ->
+      let j = Result.get_ok (Obs.Json.parse s) in
+      match Obs.Audit.of_json j with
+      | Ok _ -> Alcotest.failf "accepted %s" s
+      | Error _ -> ())
+    [
+      {|{"ev":"bogus"}|};
+      {|{"ev":"place","warp":0}|};
+      {|{"ev":"place","warp":0,"instr":1,"level":"l2"}|};
+      {|{"warp":0,"instr":1,"level":"lrf"}|};
+    ]
+
+let vectoradd_ctx () =
+  let e = Option.get (Workloads.Registry.find "VectorAdd") in
+  Alloc.Context.create (Lazy.force e.Workloads.Registry.kernel)
+
+let run_pipeline () =
+  let ctx = vectoradd_ctx () in
+  let config = Alloc.Config.make () in
+  let placement = Alloc.Allocator.place config ctx in
+  let sw = Sim.Traffic.run ~warps:4 ctx (Sim.Traffic.Sw { config; placement }) in
+  let baseline = Sim.Traffic.run ~warps:4 ctx Sim.Traffic.Baseline in
+  (sw, baseline)
+
+let test_noop_sink_records_nothing () =
+  let sink, events = Obs.Audit.memory_sink () in
+  Obs.Audit.set_sink sink;
+  Obs.Audit.set_enabled false;
+  let _ = run_pipeline () in
+  check Alcotest.int "no events recorded when disabled" 0 (List.length (events ()));
+  (* emit itself is a no-op while disabled. *)
+  Obs.Audit.emit (Obs.Audit.Place { warp = 0; instr = 0; level = Obs.Audit.Mrf });
+  check Alcotest.int "emit is a no-op" 0 (List.length (events ()))
+
+let test_place_events_match_counts () =
+  let sink, events = Obs.Audit.memory_sink () in
+  Obs.Audit.set_sink sink;
+  let sw, baseline = run_pipeline () in
+  Obs.Audit.disable ();
+  let expected = Energy.Counts.create () in
+  Energy.Counts.merge_into ~dst:expected sw.Sim.Traffic.counts;
+  Energy.Counts.merge_into ~dst:expected baseline.Sim.Traffic.counts;
+  let placed level =
+    List.length
+      (List.filter
+         (function Obs.Audit.Place { level = l; _ } -> l = level | _ -> false)
+         (events ()))
+  in
+  check Alcotest.int "LRF placements = LRF writes" (Energy.Counts.writes expected Energy.Model.Lrf)
+    (placed Obs.Audit.Lrf);
+  check Alcotest.int "ORF placements = ORF writes" (Energy.Counts.writes expected Energy.Model.Orf)
+    (placed Obs.Audit.Orf);
+  check Alcotest.int "MRF placements = MRF writes" (Energy.Counts.writes expected Energy.Model.Mrf)
+    (placed Obs.Audit.Mrf);
+  check Alcotest.bool "some placements happened" true (placed Obs.Audit.Mrf > 0)
+
+let test_audit_events_from_allocator () =
+  let sink, events = Obs.Audit.memory_sink () in
+  Obs.Audit.set_sink sink;
+  let ctx = vectoradd_ctx () in
+  let _ = Alloc.Allocator.run (Alloc.Config.make ()) ctx in
+  Obs.Audit.disable ();
+  let allocs =
+    List.filter (function Obs.Audit.Alloc _ -> true | _ -> false) (events ())
+  in
+  check Alcotest.bool "allocator reports decisions" true (List.length allocs > 0)
+
+let suite =
+  [
+    Alcotest.test_case "counter arithmetic" `Quick (isolated test_counter_arithmetic);
+    Alcotest.test_case "histogram summary" `Quick (isolated test_histogram_summary);
+    Alcotest.test_case "gauge" `Quick (isolated test_gauge);
+    Alcotest.test_case "metrics to JSON" `Quick (isolated test_metrics_json);
+    Alcotest.test_case "json round-trip" `Quick (isolated test_json_roundtrip);
+    Alcotest.test_case "json rejects garbage" `Quick (isolated test_json_rejects_garbage);
+    Alcotest.test_case "disabled spans are free" `Quick (isolated test_span_disabled_is_free);
+    Alcotest.test_case "span nesting -> Chrome trace" `Quick (isolated test_span_nesting_chrome_trace);
+    Alcotest.test_case "span survives exception" `Quick (isolated test_span_survives_exception);
+    Alcotest.test_case "audit JSONL round-trip" `Quick (isolated test_audit_jsonl_roundtrip);
+    Alcotest.test_case "audit rejects bad JSON" `Quick (isolated test_audit_of_json_rejects);
+    Alcotest.test_case "no-op sink records nothing" `Quick (isolated test_noop_sink_records_nothing);
+    Alcotest.test_case "place events match Energy.Counts" `Quick (isolated test_place_events_match_counts);
+    Alcotest.test_case "allocator reports into audit" `Quick (isolated test_audit_events_from_allocator);
+  ]
