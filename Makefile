@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench fmt ci clean
+.PHONY: all build test bench fmt parity ci clean
 
 all: build
 
@@ -24,7 +24,15 @@ fmt:
 	  echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-ci: fmt build test
+# Multicore smoke: the same artefact rendered serially and on 2
+# domains must be byte-identical (see docs/parallelism.md).
+parity: build
+	dune exec bin/rfh.exe -- fig13 --warps 8 --jobs 1 > _build/parity-serial.txt
+	dune exec bin/rfh.exe -- fig13 --warps 8 --jobs 2 > _build/parity-jobs2.txt
+	diff -u _build/parity-serial.txt _build/parity-jobs2.txt
+	@echo "parity OK: fig13 --jobs 2 is byte-identical to serial"
+
+ci: fmt build test parity
 
 clean:
 	dune clean

@@ -10,18 +10,38 @@
    pipeline stages (analysis, allocation, verification, traffic
    accounting, timing simulation).
 
-   Part 3 re-emits the timings machine-readably (BENCH_timings.json)
-   together with a wall-clock + IPC record per subset benchmark
-   (BENCH_perf.json), so the performance trajectory can be tracked
-   across PRs without scraping the text output. *)
+   Part 3 times the full artefact regeneration serially and on the
+   worker pool (--jobs N / -j N; default: one domain per recommended
+   core), checks the two outputs are byte-identical, and re-emits
+   everything machine-readably: the timings (BENCH_timings.json) plus a
+   wall-clock + IPC record per subset benchmark and the
+   serial-vs-parallel run_all comparison (BENCH_perf.json), so the
+   performance trajectory can be tracked across PRs without scraping
+   the text output. *)
 
 open Bechamel
 open Toolkit
 
+(* Worker-domain count for the fan-out comparison (Part 3) and the
+   headline reproduction.  Not wired through Bechamel, so a plain argv
+   scan suffices. *)
+let jobs =
+  let rec scan = function
+    | ("--jobs" | "-j") :: v :: _ -> (try int_of_string v with Failure _ -> 0)
+    | _ :: rest -> scan rest
+    | [] -> 0
+  in
+  match scan (Array.to_list Sys.argv) with
+  | n when n >= 1 -> n
+  | _ -> Util.Pool.default_jobs ()
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate the paper's evaluation.                          *)
 
-let report_options = { (Experiments.Options.default ()) with Experiments.Options.warps = 8 }
+let report_options =
+  Experiments.Options.with_jobs
+    { (Experiments.Options.default ()) with Experiments.Options.warps = 8 }
+    jobs
 
 let print_reproduction () =
   print_endline "==================================================================";
@@ -142,7 +162,7 @@ let timings_json results =
 
 (* Wall time, executed instructions and IPC of one two-level-scheduler
    timing simulation per subset benchmark. *)
-let perf_json () =
+let per_benchmark_perf_json () =
   Obs.Json.Arr
     (List.map
        (fun name ->
@@ -163,6 +183,45 @@ let perf_json () =
            ])
        bench_subset)
 
+(* Serial vs. parallel regeneration of every artefact, cold caches both
+   times, over the bench subset.  The rendered tables must match
+   byte-for-byte — the pool's ordering contract — and the two wall
+   clocks land in BENCH_perf.json so the speedup is tracked across
+   PRs. *)
+let timed_run_all ~jobs =
+  Experiments.Report.clear_caches ();
+  let opts = Experiments.Options.with_jobs (bench_options ()) jobs in
+  let t0 = Obs.Clock.now_ns () in
+  let rendered =
+    List.concat_map
+      (fun (_, a) -> List.map Util.Table.render (Experiments.Report.tables_of opts a))
+      Experiments.Report.artefact_names
+  in
+  let wall_s = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) t0) /. 1e3 in
+  (String.concat "\n" rendered, wall_s)
+
+let run_all_comparison () =
+  let serial_out, serial_s = timed_run_all ~jobs:1 in
+  let parallel_out, parallel_s = timed_run_all ~jobs in
+  let parity = String.equal serial_out parallel_out in
+  Printf.printf
+    "run_all (subset, cold caches): serial %.2fs, %d jobs %.2fs — %.2fx, output %s\n"
+    serial_s jobs parallel_s
+    (serial_s /. parallel_s)
+    (if parity then "byte-identical" else "DIFFERS");
+  if not parity then begin
+    prerr_endline "bench: parallel run_all output differs from serial";
+    exit 1
+  end;
+  Obs.Json.Obj
+    [
+      ("jobs", Obs.Json.int jobs);
+      ("serial_s", Obs.Json.Num serial_s);
+      ("parallel_s", Obs.Json.Num parallel_s);
+      ("speedup", Obs.Json.Num (serial_s /. parallel_s));
+      ("parity", Obs.Json.Bool parity);
+    ]
+
 let () =
   print_reproduction ();
   print_endline "==================================================================";
@@ -174,5 +233,8 @@ let () =
   print_newline ();
   let results = benchmark (artefact_tests @ stage_tests) in
   print_results results;
+  let run_all = run_all_comparison () in
   write_json "BENCH_timings.json" (timings_json results);
-  write_json "BENCH_perf.json" (perf_json ())
+  write_json "BENCH_perf.json"
+    (Obs.Json.Obj
+       [ ("benchmarks", per_benchmark_perf_json ()); ("run_all", run_all) ])

@@ -3,8 +3,9 @@
 
 open Cmdliner
 
-let opts_of ~warps ~seed ~benchmarks =
+let opts_of ~warps ~seed ~benchmarks ~jobs =
   let base = { (Experiments.Options.default ()) with Experiments.Options.warps; seed } in
+  let base = Experiments.Options.with_jobs base jobs in
   match benchmarks with
   | [] -> base
   | names -> Experiments.Options.with_benchmarks base names
@@ -20,6 +21,13 @@ let seed_arg =
 let benchmarks_arg =
   let doc = "Restrict to the named benchmarks (default: all 36)." in
   Arg.(value & opt (list string) [] & info [ "benchmarks"; "b" ] ~docv:"NAMES" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the per-benchmark fan-out.  1 (the default) is the exact serial \
+     path; 0 means one per recommended core.  Output is byte-identical at any setting."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let csv_arg =
   let doc = "Emit CSV instead of aligned text tables." in
@@ -69,25 +77,25 @@ let artefact_cmd (name, artefact) =
     | "tables" -> "Echo the configuration tables 2-4."
     | _ -> "Experiment."
   in
-  let run warps seed benchmarks csv metrics =
-    let opts = opts_of ~warps ~seed ~benchmarks in
+  let run warps seed benchmarks jobs csv metrics =
+    let opts = opts_of ~warps ~seed ~benchmarks ~jobs in
     print_tables csv (Experiments.Report.tables_of opts artefact);
     print_metrics_if metrics
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ warps_arg $ seed_arg $ benchmarks_arg $ csv_arg $ metrics_arg)
+    Term.(const run $ warps_arg $ seed_arg $ benchmarks_arg $ jobs_arg $ csv_arg $ metrics_arg)
 
 let all_cmd =
   let doc = "Regenerate every table and figure." in
-  let run warps seed benchmarks csv metrics =
-    let opts = opts_of ~warps ~seed ~benchmarks in
+  let run warps seed benchmarks jobs csv metrics =
+    let opts = opts_of ~warps ~seed ~benchmarks ~jobs in
     List.iter
       (fun (_, a) -> print_tables csv (Experiments.Report.tables_of opts a))
       Experiments.Report.artefact_names;
     print_metrics_if metrics
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run $ warps_arg $ seed_arg $ benchmarks_arg $ csv_arg $ metrics_arg)
+    Term.(const run $ warps_arg $ seed_arg $ benchmarks_arg $ jobs_arg $ csv_arg $ metrics_arg)
 
 let kernels_cmd =
   let doc = "List the benchmarks, or print one kernel's PTX-like code." in
@@ -374,7 +382,7 @@ let profile_cmd =
   let lrf_arg =
     Arg.(value & opt lrf_conv Alloc.Config.Split & info [ "lrf" ] ~docv:"MODE" ~doc:"LRF mode.")
   in
-  let run warps seed benchmarks entries lrf trace_out audit_out verbose =
+  let run warps seed benchmarks jobs entries lrf trace_out audit_out verbose =
     let names = if benchmarks = [] then profile_default_benchmarks else benchmarks in
     let entries_of_name n =
       match Workloads.Registry.find n with
@@ -420,51 +428,58 @@ let profile_cmd =
        audit log can be cross-checked against Energy.Counts. *)
     let expected = Energy.Counts.create () in
     let params = Energy.Params.default in
-    let results = ref [] in
     let wall_start = Obs.Clock.now_ns () in
+    (* The per-benchmark pipeline fans out over [--jobs] domains; rows
+       come back in selection order and the Energy.Counts accumulation
+       for the audit cross-check happens serially afterwards. *)
+    let rows =
+      Util.Pool.parallel_map ~jobs
+        (fun (e : Workloads.Registry.entry) ->
+          let name = e.Workloads.Registry.name in
+          Obs.Span.with_span ("benchmark:" ^ name) (fun () ->
+              let k = Lazy.force e.Workloads.Registry.kernel in
+              let ctx = Alloc.Context.create k in
+              let config = Alloc.Config.make ~orf_entries:entries ~lrf ~params () in
+              let placement, stats = Alloc.Allocator.run config ctx in
+              (match
+                 Obs.Span.with_span "verify" (fun () -> Alloc.Verify.check config ctx placement)
+               with
+               | Ok () -> ()
+               | Error errs ->
+                 Printf.eprintf "%s: PLACEMENT FAILED VERIFICATION:\n  %s\n" name
+                   (String.concat "\n  " errs));
+              let sw =
+                Sim.Traffic.run ~warps ~seed ctx (Sim.Traffic.Sw { config; placement })
+              in
+              let baseline = Sim.Traffic.run ~warps ~seed ctx Sim.Traffic.Baseline in
+              let e_sw, e_base =
+                Obs.Span.with_span "energy" (fun () ->
+                    ( (Energy.Counts.energy params ~orf_entries:entries sw.Sim.Traffic.counts)
+                        .Energy.Counts.total,
+                      (Energy.Counts.energy params ~orf_entries:entries
+                         baseline.Sim.Traffic.counts)
+                        .Energy.Counts.total ))
+              in
+              let perf =
+                Sim.Perf.run ~warps ~seed ~scheduler:(Sim.Perf.Two_level 8)
+                  ~policy:Sim.Perf.On_dependence ctx
+              in
+              ( ( name,
+                  Strand.Partition.num_strands ctx.Alloc.Context.partition,
+                  stats,
+                  Util.Stats.ratio e_sw e_base,
+                  perf.Sim.Perf.ipc,
+                  sw.Sim.Traffic.dynamic_instrs,
+                  sw.Sim.Traffic.desched_events ),
+                (sw.Sim.Traffic.counts, baseline.Sim.Traffic.counts) )))
+        selected
+    in
     List.iter
-      (fun (e : Workloads.Registry.entry) ->
-        let name = e.Workloads.Registry.name in
-        Obs.Span.with_span ("benchmark:" ^ name) (fun () ->
-            let k = Lazy.force e.Workloads.Registry.kernel in
-            let ctx = Alloc.Context.create k in
-            let config = Alloc.Config.make ~orf_entries:entries ~lrf ~params () in
-            let placement, stats = Alloc.Allocator.run config ctx in
-            (match
-               Obs.Span.with_span "verify" (fun () -> Alloc.Verify.check config ctx placement)
-             with
-             | Ok () -> ()
-             | Error errs ->
-               Printf.eprintf "%s: PLACEMENT FAILED VERIFICATION:\n  %s\n" name
-                 (String.concat "\n  " errs));
-            let sw =
-              Sim.Traffic.run ~warps ~seed ctx (Sim.Traffic.Sw { config; placement })
-            in
-            let baseline = Sim.Traffic.run ~warps ~seed ctx Sim.Traffic.Baseline in
-            Energy.Counts.merge_into ~dst:expected sw.Sim.Traffic.counts;
-            Energy.Counts.merge_into ~dst:expected baseline.Sim.Traffic.counts;
-            let e_sw, e_base =
-              Obs.Span.with_span "energy" (fun () ->
-                  ( (Energy.Counts.energy params ~orf_entries:entries sw.Sim.Traffic.counts)
-                      .Energy.Counts.total,
-                    (Energy.Counts.energy params ~orf_entries:entries
-                       baseline.Sim.Traffic.counts)
-                      .Energy.Counts.total ))
-            in
-            let perf =
-              Sim.Perf.run ~warps ~seed ~scheduler:(Sim.Perf.Two_level 8)
-                ~policy:Sim.Perf.On_dependence ctx
-            in
-            results :=
-              ( name,
-                Strand.Partition.num_strands ctx.Alloc.Context.partition,
-                stats,
-                Util.Stats.ratio e_sw e_base,
-                perf.Sim.Perf.ipc,
-                sw.Sim.Traffic.dynamic_instrs,
-                sw.Sim.Traffic.desched_events )
-              :: !results))
-      selected;
+      (fun (_, (sw_counts, base_counts)) ->
+        Energy.Counts.merge_into ~dst:expected sw_counts;
+        Energy.Counts.merge_into ~dst:expected base_counts)
+      rows;
+    let results = List.map fst rows in
     let wall_ms = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) wall_start) in
     (* Per-benchmark results. *)
     let t =
@@ -486,7 +501,7 @@ let profile_cmd =
             string_of_int dyn;
             string_of_int desched;
           ])
-      (List.rev !results);
+      results;
     Util.Table.print t;
     (* Per-phase timing. *)
     let pt =
@@ -557,8 +572,8 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
-      const run $ warps_arg $ seed_arg $ benchmarks_arg $ entries_arg $ lrf_arg $ trace_out_arg
-      $ audit_out_arg $ verbose_arg)
+      const run $ warps_arg $ seed_arg $ benchmarks_arg $ jobs_arg $ entries_arg $ lrf_arg
+      $ trace_out_arg $ audit_out_arg $ verbose_arg)
 
 let () =
   let doc = "compile-time managed multi-level register file hierarchy (MICRO 2011) reproduction" in

@@ -57,6 +57,10 @@ let compute (k : Ir.Kernel.t) (cfg : Cfg.t) =
     k.Ir.Kernel.blocks;
   { block_live_in = live_in; block_live_out = live_out; after_instr }
 
+let live_in_bits t b = t.block_live_in.(b)
+let live_out_bits t b = t.block_live_out.(b)
+let live_after_bits t ~instr_id = t.after_instr.(instr_id)
+
 let set_of_bitset bs =
   let acc = ref Ir.Reg.Set.empty in
   Util.Bitset.iter bs (fun r -> acc := Ir.Reg.Set.add r !acc);

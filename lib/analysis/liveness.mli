@@ -9,11 +9,25 @@ type t
 
 val compute : Ir.Kernel.t -> Cfg.t -> t
 
+val live_in_bits : t -> int -> Util.Bitset.t
+(** Live registers at block entry, as the analysis's own bitset — no
+    materialisation.  Treat as read-only: it is the stored dataflow
+    fact, not a copy. *)
+
+val live_out_bits : t -> int -> Util.Bitset.t
+(** Live registers at block exit; same aliasing caveat. *)
+
+val live_after_bits : t -> instr_id:int -> Util.Bitset.t
+(** Registers live immediately after the instruction; same aliasing
+    caveat.  [Util.Bitset.count] of this is the register pressure at
+    that point. *)
+
 val live_in : t -> int -> Ir.Reg.Set.t
-(** Live registers at block entry. *)
+(** Live registers at block entry.  Materialises a fresh set per call —
+    prefer {!live_in_bits} on hot paths. *)
 
 val live_out : t -> int -> Ir.Reg.Set.t
-(** Live registers at block exit. *)
+(** Live registers at block exit (materialising; see {!live_out_bits}). *)
 
 val live_after_instr : t -> instr_id:int -> Ir.Reg.t -> bool
 (** Is the register live immediately after the given instruction

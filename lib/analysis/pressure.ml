@@ -13,13 +13,11 @@ let compute (k : Ir.Kernel.t) (cfg : Cfg.t) (liveness : Liveness.t) =
   let max_live = ref 0 in
   let max_at = ref 0 in
   Ir.Kernel.iter_instrs k (fun _ i ->
-      (* Count registers live just after each instruction. *)
-      let n = ref 0 in
-      for r = 0 to k.Ir.Kernel.num_regs - 1 do
-        if Liveness.live_after_instr liveness ~instr_id:i.Ir.Instr.id r then incr n
-      done;
-      if !n > !max_live then begin
-        max_live := !n;
+      (* Registers live just after each instruction: a popcount of the
+         precomputed live-after bitset, not a per-register probe loop. *)
+      let n = Util.Bitset.count (Liveness.live_after_bits liveness ~instr_id:i.Ir.Instr.id) in
+      if n > !max_live then begin
+        max_live := n;
         max_at := i.Ir.Instr.id
       end);
   { registers_used = Hashtbl.length used; max_live = !max_live; max_live_instr = !max_at }

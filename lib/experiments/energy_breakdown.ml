@@ -9,7 +9,7 @@ let components ?(entries = 3) (opts : Options.t) =
          Util.Stats.ratio le.Energy.Counts.wire base))
       bd.Energy.Counts.levels
   in
-  let rows = List.map per_bench opts.Options.benchmarks in
+  let rows = Sweep.per_bench opts per_bench in
   match rows with
   | [] -> []
   | first :: _ ->

@@ -1,15 +1,21 @@
-let suite_stats (opts : Options.t) suite =
-  let entries =
-    List.filter (fun (e : Workloads.Registry.entry) -> e.Workloads.Registry.suite = suite)
-      opts.Options.benchmarks
-  in
+(* Value traces are collected per benchmark on the option's worker
+   pool; each task forces only its own entry's kernels, and the merge
+   runs serially in entry order, so the merged statistics — and the
+   rendered tables — match the serial run exactly. *)
+let collect_stats (opts : Options.t) entries =
   Sim.Value_trace.merge
-    (List.concat_map
-       (fun (e : Workloads.Registry.entry) ->
-         List.map
-           (Sim.Value_trace.collect ~warps:(min 4 opts.Options.warps) ~seed:opts.Options.seed)
-           (Lazy.force e.Workloads.Registry.kernels))
-       entries)
+    (List.concat
+       (Util.Pool.parallel_map ~jobs:opts.Options.jobs
+          (fun (e : Workloads.Registry.entry) ->
+            List.map
+              (Sim.Value_trace.collect ~warps:(min 4 opts.Options.warps) ~seed:opts.Options.seed)
+              (Lazy.force e.Workloads.Registry.kernels))
+          entries))
+
+let suite_stats (opts : Options.t) suite =
+  collect_stats opts
+    (List.filter (fun (e : Workloads.Registry.entry) -> e.Workloads.Registry.suite = suite)
+       opts.Options.benchmarks)
 
 let suites_of (opts : Options.t) =
   List.filter
@@ -23,22 +29,22 @@ let percent_row stats bucket_of buckets =
   List.map (fun pred -> 100.0 *. Util.Stats.hfraction h pred) buckets
 
 let tables opts =
-  let suites = suites_of opts in
+  (* One trace collection per suite feeds both tables. *)
+  let stats_by_suite = List.map (fun s -> (s, suite_stats opts s)) (suites_of opts) in
   let reads_table =
     let t =
       Util.Table.create ~title:"Figure 2(a): percent of all values, by times read"
         ~columns:[ "Suite"; "Read 0"; "Read 1"; "Read 2"; "Read >2" ]
     in
     List.iter
-      (fun s ->
-        let stats = suite_stats opts s in
+      (fun (s, stats) ->
         let row =
           percent_row stats
             (fun st -> st.Sim.Value_trace.read_counts)
             [ (fun n -> n = 0); (fun n -> n = 1); (fun n -> n = 2); (fun n -> n > 2) ]
         in
         Util.Table.add_float_row t (Workloads.Suite.name s) ~decimals:1 row)
-      suites;
+      stats_by_suite;
     t
   in
   let lifetime_table =
@@ -48,27 +54,18 @@ let tables opts =
         ~columns:[ "Suite"; "Lifetime 1"; "Lifetime 2"; "Lifetime 3"; "Lifetime >3" ]
     in
     List.iter
-      (fun s ->
-        let stats = suite_stats opts s in
+      (fun (s, stats) ->
         let row =
           percent_row stats
             (fun st -> st.Sim.Value_trace.lifetimes_read_once)
             [ (fun n -> n = 1); (fun n -> n = 2); (fun n -> n = 3); (fun n -> n > 3) ]
         in
         Util.Table.add_float_row t (Workloads.Suite.name s) ~decimals:1 row)
-      suites;
+      stats_by_suite;
     t
   in
   [ reads_table; lifetime_table ]
 
 let read_once_fraction (opts : Options.t) =
-  let stats =
-    Sim.Value_trace.merge
-      (List.concat_map
-         (fun (e : Workloads.Registry.entry) ->
-           List.map
-             (Sim.Value_trace.collect ~warps:(min 4 opts.Options.warps) ~seed:opts.Options.seed)
-             (Lazy.force e.Workloads.Registry.kernels))
-         opts.Options.benchmarks)
-  in
+  let stats = collect_stats opts opts.Options.benchmarks in
   Util.Stats.hfraction stats.Sim.Value_trace.read_counts (fun n -> n = 1)

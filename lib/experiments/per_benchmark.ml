@@ -1,7 +1,6 @@
 let ratios ?(entries = 3) (opts : Options.t) =
-  opts.Options.benchmarks
-  |> List.map (fun (e : Workloads.Registry.entry) ->
-         (e.Workloads.Registry.name, Sweep.energy_ratio opts e Sweep.Sw_three_split ~entries))
+  Sweep.per_bench opts (fun (e : Workloads.Registry.entry) ->
+      (e.Workloads.Registry.name, Sweep.energy_ratio opts e Sweep.Sw_three_split ~entries))
   |> List.sort (fun (_, a) (_, b) -> compare a b)
 
 let table ?entries opts =

@@ -1,27 +1,22 @@
 let active_range = [ 1; 2; 4; 6; 8; 16; 32 ]
 
-let ipc_cache : (string * int * Sim.Perf.policy * int, float) Hashtbl.t = Hashtbl.create 64
+let ipc_cache : (string * int * Sim.Perf.policy * int, float) Util.Memo.t = Util.Memo.create 64
 
 let ipc (opts : Options.t) (e : Workloads.Registry.entry) ~policy ~active =
   let key = (e.Workloads.Registry.name, active, policy, opts.Options.seed) in
-  match Hashtbl.find_opt ipc_cache key with
-  | Some v -> v
-  | None ->
-    let scheduler = if active >= 32 then Sim.Perf.Single_level else Sim.Perf.Two_level active in
-    let r =
-      Sim.Perf.run ~warps:32 ~seed:opts.Options.seed ~max_dynamic_per_warp:600 ~scheduler ~policy
-        (Sweep.context e)
-    in
-    Hashtbl.add ipc_cache key r.Sim.Perf.ipc;
-    r.Sim.Perf.ipc
+  Util.Memo.find_or_compute ipc_cache key (fun () ->
+      let scheduler = if active >= 32 then Sim.Perf.Single_level else Sim.Perf.Two_level active in
+      let r =
+        Sim.Perf.run ~warps:32 ~seed:opts.Options.seed ~max_dynamic_per_warp:600 ~scheduler
+          ~policy (Sweep.context e)
+      in
+      r.Sim.Perf.ipc)
 
 let relative_ipc (opts : Options.t) ~policy ~active =
   Util.Stats.mean
-    (List.map
-       (fun e ->
+    (Sweep.per_bench opts (fun e ->
          let single = ipc opts e ~policy:Sim.Perf.On_dependence ~active:32 in
-         Util.Stats.ratio (ipc opts e ~policy ~active) single)
-       opts.Options.benchmarks)
+         Util.Stats.ratio (ipc opts e ~policy ~active) single))
 
 let table opts =
   let t =
@@ -39,4 +34,4 @@ let table opts =
     active_range;
   t
 
-let clear_cache () = Hashtbl.reset ipc_cache
+let clear_cache () = Util.Memo.reset ipc_cache

@@ -10,10 +10,23 @@ let artefact_names =
     ("scheduling", Scheduling); ("tables", Tables);
   ]
 
-let name_of a =
-  match List.find_opt (fun (_, x) -> x = a) artefact_names with
-  | Some (name, _) -> name
-  | None -> "artefact"
+(* Direct match, not a list scan: [name_of] runs per span label on the
+   artefact hot path. *)
+let name_of = function
+  | Fig2 -> "fig2"
+  | Fig11 -> "fig11"
+  | Fig12 -> "fig12"
+  | Fig13 -> "fig13"
+  | Fig14 -> "fig14"
+  | Fig15 -> "fig15"
+  | Perf -> "perf"
+  | Encoding -> "encoding"
+  | Limit -> "limit"
+  | Ablation -> "ablation"
+  | Divergence -> "divergence"
+  | Pressure -> "pressure"
+  | Scheduling -> "scheduling"
+  | Tables -> "tables"
 
 let tables_of opts a =
   Obs.Span.with_span ("artefact:" ^ name_of a) (fun () ->

@@ -21,17 +21,21 @@ type run = {
   energy : Energy.Counts.breakdown;
 }
 
-let context_cache : (string, Alloc.Context.t list) Hashtbl.t = Hashtbl.create 64
+(* Memo tables are domain-safe with in-flight dedup: when the figures
+   fan out per benchmark, two domains wanting the same compiled context
+   or (benchmark, scheme, entries) run compute it once and share it.
+   The in-flight claim also means each entry's kernel lazies are forced
+   by exactly one domain. *)
+let context_cache : (string, Alloc.Context.t list) Util.Memo.t = Util.Memo.create 64
 
 let contexts (e : Workloads.Registry.entry) =
-  match Hashtbl.find_opt context_cache e.Workloads.Registry.name with
-  | Some ctxs -> ctxs
-  | None ->
-    let ctxs = List.map Alloc.Context.create (Lazy.force e.Workloads.Registry.kernels) in
-    Hashtbl.add context_cache e.Workloads.Registry.name ctxs;
-    ctxs
+  Util.Memo.find_or_compute context_cache e.Workloads.Registry.name (fun () ->
+      List.map Alloc.Context.create (Lazy.force e.Workloads.Registry.kernels))
 
 let context e = List.hd (contexts e)
+
+let per_bench (opts : Options.t) f =
+  Util.Pool.parallel_map ~jobs:opts.Options.jobs f opts.Options.benchmarks
 
 (* Aggregate the per-kernel traffic results of one application. *)
 let merge_traffic (results : Sim.Traffic.result list) =
@@ -54,11 +58,8 @@ let merge_traffic (results : Sim.Traffic.result list) =
         List.fold_left (fun acc (r : Sim.Traffic.result) -> acc + r.Sim.Traffic.capped_warps) 0 results;
     }
 
-let run_cache : (string * scheme * int * int * int * string, run) Hashtbl.t = Hashtbl.create 256
-
-(* Full-fidelity fingerprint of the energy parameters: Hashtbl.hash
-   truncates deep structures and would alias distinct wire models. *)
-let params_fingerprint (p : Energy.Params.t) = Marshal.to_string p []
+let run_cache : (string * scheme * int * int * int * string, run) Util.Memo.t =
+  Util.Memo.create 256
 
 let sim_scheme (opts : Options.t) ctx scheme ~entries =
   match scheme with
@@ -80,27 +81,23 @@ let sim_scheme (opts : Options.t) ctx scheme ~entries =
 let run (opts : Options.t) (e : Workloads.Registry.entry) scheme ~entries =
   let key =
     ( e.Workloads.Registry.name, scheme, entries, opts.Options.warps, opts.Options.seed,
-      params_fingerprint opts.Options.params )
+      opts.Options.params_fp )
   in
-  match Hashtbl.find_opt run_cache key with
-  | Some r -> r
-  | None ->
-    let traffic =
-      merge_traffic
-        (List.map
-           (fun ctx ->
-             Sim.Traffic.run ~warps:opts.Options.warps ~seed:opts.Options.seed ctx
-               (sim_scheme opts ctx scheme ~entries))
-           (contexts e))
-    in
-    let energy =
-      Obs.Span.with_span "energy" (fun () ->
-          Energy.Counts.energy opts.Options.params ~orf_entries:entries
-            traffic.Sim.Traffic.counts)
-    in
-    let r = { traffic; energy } in
-    Hashtbl.add run_cache key r;
-    r
+  Util.Memo.find_or_compute run_cache key (fun () ->
+      let traffic =
+        merge_traffic
+          (List.map
+             (fun ctx ->
+               Sim.Traffic.run ~warps:opts.Options.warps ~seed:opts.Options.seed ctx
+                 (sim_scheme opts ctx scheme ~entries))
+             (contexts e))
+      in
+      let energy =
+        Obs.Span.with_span "energy" (fun () ->
+            Energy.Counts.energy opts.Options.params ~orf_entries:entries
+              traffic.Sim.Traffic.counts)
+      in
+      { traffic; energy })
 
 let energy_ratio opts e scheme ~entries =
   let base = (run opts e Baseline ~entries:1).energy.Energy.Counts.total in
@@ -108,12 +105,11 @@ let energy_ratio opts e scheme ~entries =
   Util.Stats.ratio this base
 
 let mean_energy_ratio (opts : Options.t) scheme ~entries =
-  Util.Stats.mean
-    (List.map (fun e -> energy_ratio opts e scheme ~entries) opts.Options.benchmarks)
+  Util.Stats.mean (per_bench opts (fun e -> energy_ratio opts e scheme ~entries))
 
 let mean_access_ratio (opts : Options.t) scheme ~entries direction =
   let levels = [ Energy.Model.Lrf; Energy.Model.Rfc; Energy.Model.Orf; Energy.Model.Mrf ] in
-  let per_bench (e : Workloads.Registry.entry) =
+  let per_bench_row (e : Workloads.Registry.entry) =
     let base = (run opts e Baseline ~entries:1).traffic.Sim.Traffic.counts in
     let this = (run opts e scheme ~entries).traffic.Sim.Traffic.counts in
     let total_base =
@@ -132,11 +128,11 @@ let mean_access_ratio (opts : Options.t) scheme ~entries direction =
         Util.Stats.ratio (float_of_int n) total_base)
       levels
   in
-  let rows = List.map per_bench opts.Options.benchmarks in
+  let rows = per_bench opts per_bench_row in
   List.mapi
     (fun i level -> (level, Util.Stats.mean (List.map (fun row -> List.nth row i) rows)))
     levels
 
 let clear_caches () =
-  Hashtbl.reset context_cache;
-  Hashtbl.reset run_cache
+  Util.Memo.reset context_cache;
+  Util.Memo.reset run_cache

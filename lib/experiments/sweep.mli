@@ -33,6 +33,13 @@ val contexts : Workloads.Registry.entry -> Alloc.Context.t list
 (** Contexts for every kernel of the application, dominant first;
     the energy runs aggregate traffic across all of them. *)
 
+val per_bench : Options.t -> (Workloads.Registry.entry -> 'a) -> 'a list
+(** Map over the option's workload set on [opts.jobs] domains
+    ({!Util.Pool.parallel_map}); results are in benchmark order, so
+    downstream tables are identical to a serial run.  The memo tables
+    behind {!run} and {!context} are domain-safe with in-flight
+    deduplication. *)
+
 val clear_caches : unit -> unit
 (** Drop all memoized runs and contexts (used by the benchmark harness
     to time cold regeneration). *)

@@ -24,22 +24,37 @@ type event =
   | Strand_boundary of { instr : int; strand : int }
   | Desched of { warp : int; instr : int; cause : cause }
 
-let on = ref false
+(* Domain-safety: the enabled flag is atomic (the disabled fast path
+   stays a single load, no lock) and sink invocation is serialized by a
+   mutex, so one sink — a channel writer, a tallying closure — never
+   sees two events at once even when simulators run on worker
+   domains. *)
+
+let on = Atomic.make false
+let mu = Mutex.create ()
 let sink : (event -> unit) ref = ref ignore
 
-let is_enabled () = !on
+let is_enabled () = Atomic.get on
 
-let emit ev = if !on then !sink ev
+let emit ev =
+  if Atomic.get on then begin
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () -> !sink ev)
+  end
 
 let set_sink f =
+  Mutex.lock mu;
   sink := f;
-  on := true
+  Mutex.unlock mu;
+  Atomic.set on true
 
-let set_enabled b = on := b
+let set_enabled b = Atomic.set on b
 
 let disable () =
-  on := false;
-  sink := ignore
+  Atomic.set on false;
+  Mutex.lock mu;
+  sink := ignore;
+  Mutex.unlock mu
 
 let memory_sink () =
   let events = ref [] in

@@ -1,4 +1,11 @@
+(* Domain-safety: counters and gauges are atomics (a bump from a worker
+   domain is one fetch-and-add, no lock); histograms carry their own
+   mutex; each registry's intern tables are protected by the registry
+   mutex.  Snapshots lock the registry, then each histogram — always in
+   that order, so the two-level locking cannot deadlock. *)
+
 type hist = {
+  hmu : Mutex.t;
   mutable hcount : int;
   mutable hsum : float;
   mutable hmin : float;
@@ -7,48 +14,70 @@ type hist = {
 }
 
 type registry = {
-  counters : (string, int ref) Hashtbl.t;
-  gauges : (string, float ref) Hashtbl.t;
+  rmu : Mutex.t;
+  counters : (string, int Atomic.t) Hashtbl.t;
+  gauges : (string, float Atomic.t) Hashtbl.t;
   hists : (string, hist) Hashtbl.t;
 }
 
 let create_registry () =
-  { counters = Hashtbl.create 32; gauges = Hashtbl.create 8; hists = Hashtbl.create 8 }
+  {
+    rmu = Mutex.create ();
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 8;
+  }
 
 let default = create_registry ()
 
-type counter = int ref
-type gauge = float ref
+type counter = int Atomic.t
+type gauge = float Atomic.t
 type histogram = hist
 
-let intern table name make =
-  match Hashtbl.find_opt table name with
-  | Some x -> x
-  | None ->
-    let x = make () in
-    Hashtbl.add table name x;
-    x
+let intern registry table name make =
+  Mutex.lock registry.rmu;
+  let x =
+    match Hashtbl.find_opt table name with
+    | Some x -> x
+    | None ->
+      let x = make () in
+      Hashtbl.add table name x;
+      x
+  in
+  Mutex.unlock registry.rmu;
+  x
 
-let counter ?(registry = default) name = intern registry.counters name (fun () -> ref 0)
+let counter ?(registry = default) name =
+  intern registry registry.counters name (fun () -> Atomic.make 0)
 
-let incr ?(by = 1) c = c := !c + by
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by : int)
 
-let counter_value c = !c
+let counter_value c = Atomic.get c
 
-let gauge ?(registry = default) name = intern registry.gauges name (fun () -> ref 0.0)
+let gauge ?(registry = default) name =
+  intern registry registry.gauges name (fun () -> Atomic.make 0.0)
 
-let set_gauge g v = g := v
+let set_gauge g v = Atomic.set g v
 
 let histogram ?(registry = default) name =
-  intern registry.hists name (fun () ->
-      { hcount = 0; hsum = 0.0; hmin = infinity; hmax = neg_infinity; bins = Util.Stats.histogram () })
+  intern registry registry.hists name (fun () ->
+      {
+        hmu = Mutex.create ();
+        hcount = 0;
+        hsum = 0.0;
+        hmin = infinity;
+        hmax = neg_infinity;
+        bins = Util.Stats.histogram ();
+      })
 
 let observe h v =
+  Mutex.lock h.hmu;
   h.hcount <- h.hcount + 1;
   h.hsum <- h.hsum +. v;
   if v < h.hmin then h.hmin <- v;
   if v > h.hmax then h.hmax <- v;
-  Util.Stats.hincr h.bins (int_of_float v)
+  Util.Stats.hincr h.bins (int_of_float v);
+  Mutex.unlock h.hmu
 
 type hist_summary = {
   count : int;
@@ -86,27 +115,37 @@ let percentile_of_bins bins total q =
   end
 
 let summarize h =
+  Mutex.lock h.hmu;
   let count = h.hcount in
-  {
-    count;
-    sum = h.hsum;
-    mean = (if count = 0 then 0.0 else h.hsum /. float_of_int count);
-    min = (if count = 0 then 0.0 else h.hmin);
-    max = (if count = 0 then 0.0 else h.hmax);
-    p50 = percentile_of_bins h.bins count 0.50;
-    p95 = percentile_of_bins h.bins count 0.95;
-  }
+  let s =
+    {
+      count;
+      sum = h.hsum;
+      mean = (if count = 0 then 0.0 else h.hsum /. float_of_int count);
+      min = (if count = 0 then 0.0 else h.hmin);
+      max = (if count = 0 then 0.0 else h.hmax);
+      p50 = percentile_of_bins h.bins count 0.50;
+      p95 = percentile_of_bins h.bins count 0.95;
+    }
+  in
+  Mutex.unlock h.hmu;
+  s
 
 let sorted_bindings table f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let snapshot ?(registry = default) () =
-  {
-    counters = sorted_bindings registry.counters ( ! );
-    gauges = sorted_bindings registry.gauges ( ! );
-    histograms = sorted_bindings registry.hists summarize;
-  }
+  Mutex.lock registry.rmu;
+  let s =
+    {
+      counters = sorted_bindings registry.counters Atomic.get;
+      gauges = sorted_bindings registry.gauges Atomic.get;
+      histograms = sorted_bindings registry.hists summarize;
+    }
+  in
+  Mutex.unlock registry.rmu;
+  s
 
 let diff later earlier =
   let find name xs = List.assoc_opt name xs in
@@ -131,16 +170,20 @@ let diff later earlier =
   { counters; gauges = later.gauges; histograms }
 
 let reset ?(registry = default) () =
-  Hashtbl.iter (fun _ c -> c := 0) registry.counters;
-  Hashtbl.iter (fun _ g -> g := 0.0) registry.gauges;
+  Mutex.lock registry.rmu;
+  Hashtbl.iter (fun _ c -> Atomic.set c 0) registry.counters;
+  Hashtbl.iter (fun _ g -> Atomic.set g 0.0) registry.gauges;
   Hashtbl.iter
     (fun _ h ->
+      Mutex.lock h.hmu;
       h.hcount <- 0;
       h.hsum <- 0.0;
       h.hmin <- infinity;
       h.hmax <- neg_infinity;
-      Util.Stats.hreset h.bins)
-    registry.hists
+      Util.Stats.hreset h.bins;
+      Mutex.unlock h.hmu)
+    registry.hists;
+  Mutex.unlock registry.rmu
 
 let is_empty s =
   List.for_all (fun (_, v) -> v = 0) s.counters

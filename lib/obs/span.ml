@@ -1,32 +1,50 @@
 type span = { name : string; ts_ns : int64; dur_ns : int64; depth : int }
 
-let on = ref false
+(* Domain-safety: the completed-span list is appended under a mutex;
+   nesting depth is domain-local (a worker's spans nest within that
+   worker's own stack, starting at depth 0), so spans recorded from a
+   parallel fan-out interleave in the list but keep sensible depths. *)
+
+let on = Atomic.make false
+let mu = Mutex.create ()
 let completed : span list ref = ref []
-let depth = ref 0
+let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
-let set_enabled b = on := b
+let set_enabled b = Atomic.set on b
 
-let enabled () = !on
+let enabled () = Atomic.get on
 
 let with_span name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     let ts = Clock.now_ns () in
+    let depth = Domain.DLS.get depth_key in
     let d = !depth in
     incr depth;
     Fun.protect
       ~finally:(fun () ->
         decr depth;
         let dur = Int64.sub (Clock.now_ns ()) ts in
-        completed := { name; ts_ns = ts; dur_ns = dur; depth = d } :: !completed)
+        let s = { name; ts_ns = ts; dur_ns = dur; depth = d } in
+        Mutex.lock mu;
+        completed := s :: !completed;
+        Mutex.unlock mu)
       f
   end
 
-let spans () = List.sort (fun a b -> Int64.compare a.ts_ns b.ts_ns) !completed
+let recorded () =
+  Mutex.lock mu;
+  let l = !completed in
+  Mutex.unlock mu;
+  l
+
+let spans () = List.sort (fun a b -> Int64.compare a.ts_ns b.ts_ns) (recorded ())
 
 let reset () =
+  Mutex.lock mu;
   completed := [];
-  depth := 0
+  Mutex.unlock mu;
+  Domain.DLS.get depth_key := 0
 
 let totals () =
   let table = Hashtbl.create 16 in
@@ -34,6 +52,6 @@ let totals () =
     (fun s ->
       let calls, total = Option.value ~default:(0, 0.0) (Hashtbl.find_opt table s.name) in
       Hashtbl.replace table s.name (calls + 1, total +. Clock.ns_to_ms s.dur_ns))
-    !completed;
+    (recorded ());
   Hashtbl.fold (fun name agg acc -> (name, agg) :: acc) table []
   |> List.sort (fun (_, (_, a)) (_, (_, b)) -> compare b a)

@@ -1,0 +1,74 @@
+type 'v state =
+  | In_flight
+  | Ready of 'v
+
+type ('k, 'v) t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  tbl : ('k, 'v state) Hashtbl.t;
+}
+
+let create n = { mu = Mutex.create (); cond = Condition.create (); tbl = Hashtbl.create n }
+
+let find_or_compute t key f =
+  Mutex.lock t.mu;
+  let rec claim () =
+    match Hashtbl.find_opt t.tbl key with
+    | Some (Ready v) ->
+      Mutex.unlock t.mu;
+      `Hit v
+    | Some In_flight ->
+      Condition.wait t.cond t.mu;
+      claim ()
+    | None ->
+      Hashtbl.replace t.tbl key In_flight;
+      Mutex.unlock t.mu;
+      `Compute
+  in
+  match claim () with
+  | `Hit v -> v
+  | `Compute ->
+    (match f () with
+     | v ->
+       Mutex.lock t.mu;
+       Hashtbl.replace t.tbl key (Ready v);
+       Condition.broadcast t.cond;
+       Mutex.unlock t.mu;
+       v
+     | exception e ->
+       let bt = Printexc.get_raw_backtrace () in
+       Mutex.lock t.mu;
+       (* Failures are not cached: drop the marker so a waiter (or a
+          later caller) recomputes. *)
+       Hashtbl.remove t.tbl key;
+       Condition.broadcast t.cond;
+       Mutex.unlock t.mu;
+       Printexc.raise_with_backtrace e bt)
+
+let find_opt t key =
+  Mutex.lock t.mu;
+  let r =
+    match Hashtbl.find_opt t.tbl key with
+    | Some (Ready v) -> Some v
+    | Some In_flight | None -> None
+  in
+  Mutex.unlock t.mu;
+  r
+
+let reset t =
+  Mutex.lock t.mu;
+  (* Keep in-flight markers: their computations will still publish and
+     wake waiters; only completed results are dropped. *)
+  let ready =
+    Hashtbl.fold (fun k s acc -> match s with Ready _ -> k :: acc | In_flight -> acc) t.tbl []
+  in
+  List.iter (Hashtbl.remove t.tbl) ready;
+  Mutex.unlock t.mu
+
+let length t =
+  Mutex.lock t.mu;
+  let n =
+    Hashtbl.fold (fun _ s acc -> match s with Ready _ -> acc + 1 | In_flight -> acc) t.tbl 0
+  in
+  Mutex.unlock t.mu;
+  n

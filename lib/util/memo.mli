@@ -1,0 +1,29 @@
+(** Domain-safe memo table with in-flight deduplication.
+
+    A [find_or_compute] that misses marks the key in-flight, releases
+    the lock, computes, then publishes.  A second domain asking for the
+    same key while it is being computed blocks on a condition variable
+    instead of duplicating the work — exactly the access pattern of the
+    experiment caches, where many benchmark tasks share one baseline
+    run.
+
+    If the computation raises, the in-flight marker is removed (the
+    failure is {e not} cached), every waiter is woken to retry or
+    recompute, and the exception propagates to the computing caller. *)
+
+type ('k, 'v) t
+
+val create : int -> ('k, 'v) t
+(** [create n]: initial capacity hint, as for [Hashtbl.create]. *)
+
+val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Completed entries only; never blocks on in-flight keys. *)
+
+val reset : ('k, 'v) t -> unit
+(** Drop completed entries.  In-flight computations finish and publish
+    normally; callers racing a reset may recompute. *)
+
+val length : ('k, 'v) t -> int
+(** Completed entries. *)

@@ -1,0 +1,56 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let resolve_jobs = function
+  | None -> default_jobs ()
+  | Some 0 -> default_jobs ()
+  | Some j when j < 0 -> 1
+  | Some j -> j
+
+(* Shared-counter work claiming: workers race on [next] and each index
+   is claimed exactly once.  Results (or captured exceptions) land in a
+   per-index slot, so collection order is input order regardless of
+   completion order. *)
+let run_team ~jobs f (arr : 'a array) : ('b, exn * Printexc.raw_backtrace) result array =
+  let n = Array.length arr in
+  let slots = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r =
+          match f arr.(i) with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        slots.(i) <- Some r;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  (* The calling domain is one of the team; spawn the other jobs-1
+     (never more than there are elements). *)
+  let spawned = List.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  Array.map (function Some r -> r | None -> assert false) slots
+
+let parallel_map ?jobs f xs =
+  let jobs = resolve_jobs jobs in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs <= 1 -> List.map f xs
+  | _ ->
+    let results = run_team ~jobs f (Array.of_list xs) in
+    (* Deterministic failure: the smallest failing input index wins,
+       whatever the interleaving was. *)
+    Array.iter
+      (function
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Ok _ -> ())
+      results;
+    Array.to_list (Array.map (function Ok v -> v | Error _ -> assert false) results)
+
+let parallel_iter ?jobs f xs = ignore (parallel_map ?jobs f xs : unit list)

@@ -1,0 +1,42 @@
+(** Domain fan-out for embarrassingly parallel work units.
+
+    [parallel_map] distributes list elements over a fixed-size team of
+    worker domains (stdlib [Domain]; no external dependency) and
+    collects results {e in input order}, so callers that print rows
+    afterwards produce output byte-identical to a serial run.
+
+    Contract with callers:
+
+    - [jobs <= 1] (or a singleton/empty input) takes today's exact
+      serial path: no domain is spawned and [f] runs in the calling
+      domain, in order.
+    - With [jobs > 1], [f] must be safe to run concurrently with
+      itself on {e distinct} elements.  Shared memo tables should go
+      through {!Memo}, which deduplicates in-flight computations.
+    - Each element is claimed by exactly one worker, so per-element
+      lazies (e.g. a benchmark's kernels) are forced by a single
+      domain.
+    - Exceptions are captured per element and re-raised in the caller
+      after all workers join; when several elements fail, the one with
+      the smallest input index wins, deterministically.
+
+    Worker teams are per call rather than a global persistent pool:
+    nested [parallel_map] calls then simply spawn their own (small)
+    teams instead of deadlocking on a shared fixed set of workers. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [~jobs:0] and absent
+    [?jobs] resolve to. *)
+
+val resolve_jobs : int option -> int
+(** [resolve_jobs None] and [resolve_jobs (Some 0)] are
+    [default_jobs ()]; negative values are clamped to [1]. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Like [List.map f xs], possibly computing elements on [jobs]
+    domains (the caller counts as one).  Results are in input order. *)
+
+val parallel_iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+(** [parallel_map] for effects only.  Same ordering guarantee for
+    exception reporting; no ordering guarantee for the effects
+    themselves when [jobs > 1]. *)

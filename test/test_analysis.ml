@@ -130,7 +130,15 @@ let test_liveness_loop_carried () =
   check Alcotest.bool "acc live into head" true
     (Ir.Reg.Set.mem acc (Analysis.Liveness.live_in live 1));
   check Alcotest.bool "acc live out of head" true
-    (Ir.Reg.Set.mem acc (Analysis.Liveness.live_out live 1))
+    (Ir.Reg.Set.mem acc (Analysis.Liveness.live_out live 1));
+  (* The zero-materialisation accessors expose the same facts. *)
+  check Alcotest.bool "bits accessor agrees (in)" true
+    (Util.Bitset.mem (Analysis.Liveness.live_in_bits live 1) acc);
+  check Alcotest.bool "bits accessor agrees (out)" true
+    (Util.Bitset.mem (Analysis.Liveness.live_out_bits live 1) acc);
+  check Alcotest.(list int) "set and bits enumerate identically"
+    (Ir.Reg.Set.elements (Analysis.Liveness.live_in live 1))
+    (Util.Bitset.elements (Analysis.Liveness.live_in_bits live 1))
 
 let test_reaching_multi_def () =
   (* Hammock writing r on both sides; the join read is reached by both. *)

@@ -215,6 +215,42 @@ let test_report_tables_exist () =
         tables)
     Experiments.Report.artefact_names
 
+(* The tentpole parallelism guarantee: every artefact's rendered tables
+   are byte-identical whether the per-benchmark fan-out runs serially
+   or on 4 domains. *)
+let test_run_all_parity () =
+  let base =
+    Experiments.Options.with_benchmarks (Lazy.force opts)
+      [ "VectorAdd"; "MatrixMul"; "Mandelbrot"; "Reduction"; "cp"; "hotspot" ]
+  in
+  let render_all opts =
+    Experiments.Report.clear_caches ();
+    Experiments.Report.artefact_names
+    |> List.concat_map (fun (_, a) ->
+           List.map Util.Table.render (Experiments.Report.tables_of opts a))
+    |> String.concat "\n"
+  in
+  let serial = render_all (Experiments.Options.with_jobs base 1) in
+  let parallel = render_all (Experiments.Options.with_jobs base 4) in
+  check Alcotest.string "jobs=4 output byte-identical to jobs=1" serial parallel
+
+let test_options_jobs () =
+  let o = Experiments.Options.default () in
+  check Alcotest.int "default serial" 1 o.Experiments.Options.jobs;
+  check Alcotest.int "explicit" 3 (Experiments.Options.with_jobs o 3).Experiments.Options.jobs;
+  check Alcotest.int "0 = auto" (Util.Pool.default_jobs ())
+    (Experiments.Options.with_jobs o 0).Experiments.Options.jobs;
+  check Alcotest.int "negative clamps" 1
+    (Experiments.Options.with_jobs o (-2)).Experiments.Options.jobs;
+  (* The params fingerprint is precomputed and tracks with_params. *)
+  check Alcotest.string "fingerprint precomputed"
+    (Experiments.Options.fingerprint o.Experiments.Options.params)
+    o.Experiments.Options.params_fp;
+  let o' = Experiments.Options.with_params o Energy.Params.default in
+  check Alcotest.string "with_params refreshes fingerprint"
+    (Experiments.Options.fingerprint Energy.Params.default)
+    o'.Experiments.Options.params_fp
+
 let test_options_unknown_benchmark () =
   Alcotest.check_raises "unknown" (Invalid_argument "unknown benchmark \"nope\"") (fun () ->
       ignore (Experiments.Options.with_benchmarks (Experiments.Options.default ()) [ "nope" ]))
@@ -236,5 +272,7 @@ let suite =
     Alcotest.test_case "variable ORF realistic loses" `Slow test_variable_orf_realistic_loses;
     Alcotest.test_case "pressure table" `Quick test_pressure_table;
     Alcotest.test_case "report tables exist" `Quick test_report_tables_exist;
+    Alcotest.test_case "run_all parity jobs=1 vs jobs=4" `Slow test_run_all_parity;
+    Alcotest.test_case "options jobs + fingerprint" `Quick test_options_jobs;
     Alcotest.test_case "options unknown benchmark" `Quick test_options_unknown_benchmark;
   ]

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "rfh"
     [
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("ir", Test_ir.suite);
       ("asm", Test_asm.suite);
       ("analysis", Test_analysis.suite);

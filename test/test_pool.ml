@@ -1,0 +1,124 @@
+(* Domain pool and memo-table tests: ordering, serial/parallel
+   equivalence, exception determinism, nesting, and in-flight
+   deduplication. *)
+
+let check = Alcotest.check
+
+let squares n = List.init n (fun i -> i * i)
+
+let test_ordering () =
+  let input = List.init 100 Fun.id in
+  check
+    Alcotest.(list int)
+    "results in input order" (squares 100)
+    (Util.Pool.parallel_map ~jobs:4 (fun i -> i * i) input);
+  check Alcotest.(list int) "empty" [] (Util.Pool.parallel_map ~jobs:4 Fun.id []);
+  check Alcotest.(list int) "singleton" [ 7 ] (Util.Pool.parallel_map ~jobs:4 Fun.id [ 7 ])
+
+let test_jobs_equivalence () =
+  let input = List.init 257 (fun i -> i - 128) in
+  let f x = (x * x * x) - (5 * x) in
+  let serial = List.map f input in
+  List.iter
+    (fun jobs ->
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "jobs=%d matches serial" jobs)
+        serial
+        (Util.Pool.parallel_map ~jobs f input))
+    [ 1; 2; 3; 8; 64 ]
+
+let test_exception_propagation () =
+  (* A failing element re-raises in the caller... *)
+  Alcotest.check_raises "raises" (Failure "boom-7") (fun () ->
+      ignore
+        (Util.Pool.parallel_map ~jobs:4
+           (fun i -> if i = 7 then failwith "boom-7" else i)
+           (List.init 20 Fun.id)));
+  (* ...and with several failures the smallest input index wins,
+     regardless of completion order. *)
+  for _ = 1 to 5 do
+    Alcotest.check_raises "smallest index deterministically" (Failure "boom-3") (fun () ->
+        ignore
+          (Util.Pool.parallel_map ~jobs:4
+             (fun i ->
+               if i >= 3 then failwith (Printf.sprintf "boom-%d" i);
+               i)
+             (List.init 16 Fun.id)))
+  done
+
+let test_parallel_iter () =
+  let total = Atomic.make 0 in
+  Util.Pool.parallel_iter ~jobs:4
+    (fun i -> ignore (Atomic.fetch_and_add total i : int))
+    (List.init 101 Fun.id);
+  check Alcotest.int "all effects ran" 5050 (Atomic.get total)
+
+let test_nested_map () =
+  let input = List.init 6 (fun i -> List.init 10 (fun j -> (10 * i) + j)) in
+  let expect = List.map (List.map (fun x -> x + 1)) input in
+  check
+    Alcotest.(list (list int))
+    "nested parallel maps" expect
+    (Util.Pool.parallel_map ~jobs:3
+       (fun xs -> Util.Pool.parallel_map ~jobs:2 (fun x -> x + 1) xs)
+       input)
+
+let test_resolve_jobs () =
+  check Alcotest.int "negative clamps to serial" 1 (Util.Pool.resolve_jobs (Some (-3)));
+  check Alcotest.int "explicit" 5 (Util.Pool.resolve_jobs (Some 5));
+  check Alcotest.int "zero is auto" (Util.Pool.default_jobs ()) (Util.Pool.resolve_jobs (Some 0));
+  check Alcotest.int "absent is auto" (Util.Pool.default_jobs ()) (Util.Pool.resolve_jobs None);
+  check Alcotest.bool "default_jobs positive" true (Util.Pool.default_jobs () >= 1)
+
+let test_memo_dedup () =
+  let memo : (int, int) Util.Memo.t = Util.Memo.create 8 in
+  let computed = Atomic.make 0 in
+  let get k =
+    Util.Memo.find_or_compute memo k (fun () ->
+        ignore (Atomic.fetch_and_add computed 1 : int);
+        (* Widen the in-flight window so concurrent callers actually
+           hit the dedup path. *)
+        ignore (Sys.opaque_identity (List.init 1000 Fun.id));
+        k * 2)
+  in
+  (* 64 concurrent lookups of 4 distinct keys: every result right, one
+     computation per key. *)
+  let results = Util.Pool.parallel_map ~jobs:8 (fun i -> get (i mod 4)) (List.init 64 Fun.id) in
+  List.iteri (fun i r -> check Alcotest.int "memoized value" ((i mod 4) * 2) r) results;
+  check Alcotest.int "computed once per key" 4 (Atomic.get computed);
+  check Alcotest.int "length counts completed" 4 (Util.Memo.length memo);
+  check Alcotest.(option int) "find_opt hit" (Some 6) (Util.Memo.find_opt memo 3);
+  check Alcotest.(option int) "find_opt miss" None (Util.Memo.find_opt memo 99);
+  Util.Memo.reset memo;
+  check Alcotest.int "reset empties" 0 (Util.Memo.length memo);
+  check Alcotest.int "recomputes after reset" 6 (get 3);
+  check Alcotest.int "one more computation" 5 (Atomic.get computed)
+
+let test_memo_failure_not_cached () =
+  let memo : (string, int) Util.Memo.t = Util.Memo.create 4 in
+  let attempts = ref 0 in
+  let flaky () =
+    incr attempts;
+    if !attempts = 1 then failwith "first attempt fails";
+    42
+  in
+  Alcotest.check_raises "first raises" (Failure "first attempt fails") (fun () ->
+      ignore (Util.Memo.find_or_compute memo "k" flaky));
+  check Alcotest.(option int) "failure left no entry" None (Util.Memo.find_opt memo "k");
+  check Alcotest.int "retry recomputes and caches" 42
+    (Util.Memo.find_or_compute memo "k" flaky);
+  check Alcotest.int "cached thereafter" 42
+    (Util.Memo.find_or_compute memo "k" (fun () -> Alcotest.fail "must not recompute"))
+
+let suite =
+  [
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "jobs=1 vs jobs=N equivalence" `Quick test_jobs_equivalence;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "parallel_iter" `Quick test_parallel_iter;
+    Alcotest.test_case "nested map" `Quick test_nested_map;
+    Alcotest.test_case "resolve_jobs" `Quick test_resolve_jobs;
+    Alcotest.test_case "memo in-flight dedup" `Quick test_memo_dedup;
+    Alcotest.test_case "memo failure not cached" `Quick test_memo_failure_not_cached;
+  ]
