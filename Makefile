@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench fmt parity ci clean
+.PHONY: all build test bench fmt parity regress ci clean
 
 all: build
 
@@ -32,7 +32,23 @@ parity: build
 	diff -u _build/parity-serial.txt _build/parity-jobs2.txt
 	@echo "parity OK: fig13 --jobs 2 is byte-identical to serial"
 
-ci: fmt build test parity
+# Regression gate (see docs/observability.md): check the fresh run
+# manifest against the committed golden one, recording it first if it
+# does not exist yet.  The check also leaves the manifest and the HTML
+# report under _build/ for CI to upload.
+regress: build
+	@if [ -f baselines/default.json ]; then \
+	  dune exec bin/rfh.exe -- baseline check \
+	    --manifest-out _build/run-manifest.json \
+	    --report-out _build/run-report.html; \
+	else \
+	  echo "no baseline recorded yet; recording baselines/default.json"; \
+	  dune exec bin/rfh.exe -- baseline record \
+	    --manifest-out _build/run-manifest.json \
+	    --report-out _build/run-report.html; \
+	fi
+
+ci: fmt build test parity regress
 
 clean:
 	dune clean

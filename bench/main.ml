@@ -237,4 +237,11 @@ let () =
   write_json "BENCH_timings.json" (timings_json results);
   write_json "BENCH_perf.json"
     (Obs.Json.Obj
-       [ ("benchmarks", per_benchmark_perf_json ()); ("run_all", run_all) ])
+       [ ("benchmarks", per_benchmark_perf_json ()); ("run_all", run_all) ]);
+  (* Full run manifest + HTML report over the headline options, so every
+     bench run leaves the same machine-readable record the regression
+     gate consumes. *)
+  let manifest = Experiments.Run_manifest.collect report_options in
+  write_json "BENCH_manifest.json" (Obs.Manifest.to_json manifest);
+  Obs.Html_report.write_file ~path:"BENCH_report.html" manifest;
+  Printf.printf "wrote BENCH_report.html\n"

@@ -41,6 +41,43 @@ let metrics_arg =
   let doc = "Append a metrics-registry summary after the command's output." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let manifest_out_arg =
+  let doc = "Write a machine-readable run manifest (schema-versioned JSON) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "manifest-out" ] ~docv:"FILE" ~doc)
+
+let report_out_arg =
+  let doc = "Write a self-contained HTML run report to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "report-out" ] ~docv:"FILE" ~doc)
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+let write_manifest_outputs ?compare m ~manifest_out ~report_out =
+  let emit what path write =
+    mkdirs (Filename.dirname path);
+    (try write path
+     with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+    Printf.printf "%s -> %s\n" what path
+  in
+  Option.iter
+    (fun path -> emit "manifest" path (fun path -> Obs.Manifest.write_file ~path m))
+    manifest_out;
+  Option.iter
+    (fun path -> emit "report" path (fun path -> Obs.Html_report.write_file ?compare ~path m))
+    report_out
+
+(* --manifest-out / --report-out ride on any figure command: the
+   manifest collection runs after the command's own output (it installs
+   its own audit sink, so it must not race the command's). *)
+let collect_outputs ?entries ?lrf opts ~manifest_out ~report_out =
+  if manifest_out <> None || report_out <> None then
+    write_manifest_outputs
+      (Experiments.Run_manifest.collect ?entries ?lrf opts)
+      ~manifest_out ~report_out
+
 (* [-v] is an alias for installing the human-readable audit printer:
    allocator and simulator decisions flow through Obs.Audit, not a
    logging framework, so nothing is installed (or paid for) without
@@ -77,25 +114,31 @@ let artefact_cmd (name, artefact) =
     | "tables" -> "Echo the configuration tables 2-4."
     | _ -> "Experiment."
   in
-  let run warps seed benchmarks jobs csv metrics =
+  let run warps seed benchmarks jobs csv metrics manifest_out report_out =
     let opts = opts_of ~warps ~seed ~benchmarks ~jobs in
     print_tables csv (Experiments.Report.tables_of opts artefact);
-    print_metrics_if metrics
+    print_metrics_if metrics;
+    collect_outputs opts ~manifest_out ~report_out
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ warps_arg $ seed_arg $ benchmarks_arg $ jobs_arg $ csv_arg $ metrics_arg)
+    Term.(
+      const run $ warps_arg $ seed_arg $ benchmarks_arg $ jobs_arg $ csv_arg $ metrics_arg
+      $ manifest_out_arg $ report_out_arg)
 
 let all_cmd =
   let doc = "Regenerate every table and figure." in
-  let run warps seed benchmarks jobs csv metrics =
+  let run warps seed benchmarks jobs csv metrics manifest_out report_out =
     let opts = opts_of ~warps ~seed ~benchmarks ~jobs in
     List.iter
       (fun (_, a) -> print_tables csv (Experiments.Report.tables_of opts a))
       Experiments.Report.artefact_names;
-    print_metrics_if metrics
+    print_metrics_if metrics;
+    collect_outputs opts ~manifest_out ~report_out
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run $ warps_arg $ seed_arg $ benchmarks_arg $ jobs_arg $ csv_arg $ metrics_arg)
+    Term.(
+      const run $ warps_arg $ seed_arg $ benchmarks_arg $ jobs_arg $ csv_arg $ metrics_arg
+      $ manifest_out_arg $ report_out_arg)
 
 let kernels_cmd =
   let doc = "List the benchmarks, or print one kernel's PTX-like code." in
@@ -382,7 +425,8 @@ let profile_cmd =
   let lrf_arg =
     Arg.(value & opt lrf_conv Alloc.Config.Split & info [ "lrf" ] ~docv:"MODE" ~doc:"LRF mode.")
   in
-  let run warps seed benchmarks jobs entries lrf trace_out audit_out verbose =
+  let run warps seed benchmarks jobs entries lrf trace_out audit_out manifest_out report_out
+      verbose =
     let names = if benchmarks = [] then profile_default_benchmarks else benchmarks in
     let entries_of_name n =
       match Workloads.Registry.find n with
@@ -565,6 +609,8 @@ let profile_cmd =
        Printf.printf "audit: %d events -> %s\n" !event_count (Option.get audit_out));
     Obs.Audit.disable ();
     Obs.Span.set_enabled false;
+    collect_outputs ~entries ~lrf (opts_of ~warps ~seed ~benchmarks:names ~jobs) ~manifest_out
+      ~report_out;
     if not parity_ok then begin
       prerr_endline "profile: audit/Energy.Counts write totals disagree";
       exit 1
@@ -573,13 +619,92 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const run $ warps_arg $ seed_arg $ benchmarks_arg $ jobs_arg $ entries_arg $ lrf_arg
-      $ trace_out_arg $ audit_out_arg $ verbose_arg)
+      $ trace_out_arg $ audit_out_arg $ manifest_out_arg $ report_out_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* baseline: record / check the regression-gate golden manifest.       *)
+
+let baseline_default_path = "baselines/default.json"
+
+let baseline_path_arg =
+  let doc = "Golden manifest file." in
+  Arg.(value & opt string baseline_default_path & info [ "baseline" ] ~docv:"FILE" ~doc)
+
+(* The gate runs in CI on every push, so its default working set is the
+   quick one: 8 warps reproduce the same normalized results for the
+   warp-uniform kernels at a fraction of the simulation time. *)
+let baseline_warps_arg =
+  let doc = "Machine-resident warps to simulate per kernel." in
+  Arg.(value & opt int 8 & info [ "warps" ] ~docv:"N" ~doc)
+
+let baseline_record_cmd =
+  let doc =
+    "Record the golden run manifest the regression gate compares against.  Deterministic \
+     fields (access counts, allocator stats, traffic, metric counters) are later compared \
+     exactly; record once and commit the file."
+  in
+  let run warps seed benchmarks jobs path manifest_out report_out =
+    let opts = opts_of ~warps ~seed ~benchmarks ~jobs in
+    let m = Experiments.Run_manifest.collect opts in
+    mkdirs (Filename.dirname path);
+    Obs.Manifest.write_file ~path m;
+    Printf.printf "baseline: %d benchmarks, mean normalized energy %.4f -> %s\n"
+      (List.length m.Obs.Manifest.benches)
+      (Obs.Manifest.mean_norm_energy m)
+      path;
+    write_manifest_outputs m ~manifest_out ~report_out
+  in
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(
+      const run $ baseline_warps_arg $ seed_arg $ benchmarks_arg $ jobs_arg $ baseline_path_arg
+      $ manifest_out_arg $ report_out_arg)
+
+let baseline_check_cmd =
+  let doc =
+    "Run fresh and diff against the golden manifest: exact comparison for deterministic \
+     counts, relative tolerance for other floats, timings only with $(b,--timing-tol).  \
+     Exits 1 on violations, 2 if the baseline is missing."
+  in
+  let float_tol_arg =
+    let doc = "Relative tolerance for non-integral numbers." in
+    Arg.(value & opt float 1e-9 & info [ "float-tol" ] ~docv:"TOL" ~doc)
+  in
+  let timing_tol_arg =
+    let doc =
+      "Also compare wall-clock timing fields (phase total_ms) with this relative tolerance; \
+       without it they are skipped."
+    in
+    Arg.(value & opt (some float) None & info [ "timing-tol" ] ~docv:"TOL" ~doc)
+  in
+  let run warps seed benchmarks jobs path float_tol timing_tol manifest_out report_out =
+    match Obs.Manifest.read_file ~path with
+    | Error msg ->
+      Printf.eprintf
+        "baseline check: cannot read %s (%s)\nRecord one first: rfh baseline record\n" path msg;
+      exit 2
+    | Ok baseline ->
+      let opts = opts_of ~warps ~seed ~benchmarks ~jobs in
+      let current = Experiments.Run_manifest.collect opts in
+      write_manifest_outputs ~compare:baseline current ~manifest_out ~report_out;
+      let report = Obs.Regress.diff ~float_tol ?timing_tol ~baseline ~current () in
+      Util.Table.print (Obs.Regress.to_table report);
+      if not (Obs.Regress.ok report) then exit 1
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const run $ baseline_warps_arg $ seed_arg $ benchmarks_arg $ jobs_arg $ baseline_path_arg
+      $ float_tol_arg $ timing_tol_arg $ manifest_out_arg $ report_out_arg)
+
+let baseline_cmd =
+  let doc = "Record or check the regression-gate golden manifest." in
+  Cmd.group (Cmd.info "baseline" ~doc) [ baseline_record_cmd; baseline_check_cmd ]
 
 let () =
   let doc = "compile-time managed multi-level register file hierarchy (MICRO 2011) reproduction" in
   let info = Cmd.info "rfh" ~version:"1.0.0" ~doc in
   let cmds =
     List.map artefact_cmd Experiments.Report.artefact_names
-    @ [ all_cmd; kernels_cmd; allocate_cmd; compile_cmd; selfcheck_cmd; trace_cmd; profile_cmd ]
+    @ [ all_cmd; kernels_cmd; allocate_cmd; compile_cmd; selfcheck_cmd; trace_cmd; profile_cmd;
+        baseline_cmd ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -42,4 +42,17 @@ type breakdown = {
 val energy : Params.t -> orf_entries:int -> t -> breakdown
 (** [orf_entries] selects the Table-3 row used for ORF/RFC accesses. *)
 
+val json_key : Model.level -> string
+(** Lowercase level name used as the JSON object key ("mrf", ...). *)
+
+val to_json : t -> Obs.Json.t
+(** Datapath-resolved counts per level, keyed by lowercase level name
+    in MRF, ORF, RFC, LRF order, plus ["rfc_probes"] — the shape run
+    manifests embed.  Field order is fixed, so encodings of equal
+    counts are byte-identical. *)
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Decode a {!to_json} rendering; [Error] names the first missing or
+    ill-typed field. *)
+
 val pp : Format.formatter -> t -> unit

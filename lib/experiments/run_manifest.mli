@@ -1,0 +1,29 @@
+(** Run-manifest collection: the data side of the regression gate.
+
+    {!collect} runs the paper's best configuration (3-entry ORF +
+    split LRF by default) and the single-level baseline over the
+    option's workload set and assembles an {!Obs.Manifest.t}: options
+    fingerprint, per-benchmark deterministic results (access counts,
+    allocator stats, traffic, IPC, normalized energy), the metrics
+    snapshot, span phase totals and an allocator audit digest.
+
+    Deterministic by construction: the allocator audit replay is
+    serial, the parallel fan-out is memo-deduplicated and order
+    preserving, and every stored value is an integer count or a float
+    computed in a fixed per-benchmark order — so manifests collected at
+    different [--jobs] agree on everything the regression gate compares
+    exactly.
+
+    Side effects: span recording is enabled for the duration (prior
+    enablement restored); any installed audit sink is replaced and then
+    dropped; metrics are read, not reset, so counts accumulated earlier
+    in the process (e.g. by the figure a [--manifest-out] rides on)
+    are included. *)
+
+val collect :
+  ?entries:int ->
+  ?lrf:Alloc.Config.lrf_mode ->
+  Options.t ->
+  Obs.Manifest.t
+(** Defaults: [entries = 3], [lrf = Split] — the paper's most
+    energy-efficient configuration. *)

@@ -1,0 +1,218 @@
+(* Self-contained HTML rendering of a run manifest: inline CSS, no
+   scripts, no external assets — the file must open from disk offline
+   and attach to CI runs as a single artifact. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&#39;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let style =
+  {|body { font: 14px/1.45 system-ui, sans-serif; color: #1c2330; margin: 2em auto; max-width: 72em; padding: 0 1em; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #1c2330; padding-bottom: .3em; }
+h2 { font-size: 1.15em; margin-top: 2em; }
+table { border-collapse: collapse; margin: .6em 0; }
+th, td { border: 1px solid #c8cdd6; padding: .25em .6em; text-align: right; }
+th { background: #eef1f5; }
+td.l, th.l { text-align: left; }
+.headline { font-size: 1.05em; background: #eef6ee; border: 1px solid #b8d4b8; padding: .6em .9em; display: inline-block; }
+.delta-up { color: #a02020; } .delta-down { color: #207020; }
+.bar { display: flex; height: 1.15em; background: #f2f3f6; border: 1px solid #c8cdd6; }
+.bar > span { display: block; height: 100%; }
+.seg-mrf { background: #5470c6; } .seg-orf { background: #91cc75; }
+.seg-rfc { background: #fac858; } .seg-lrf { background: #ee6666; }
+.bench-bar { margin: .25em 0; display: flex; align-items: center; gap: .6em; }
+.bench-bar .label { width: 11em; text-align: right; font-variant-numeric: tabular-nums; }
+.bench-bar .track { flex: 1; }
+.legend span { display: inline-block; margin-right: 1.2em; }
+.swatch { display: inline-block; width: .85em; height: .85em; vertical-align: -.1em; margin-right: .35em; border: 1px solid #99a; }
+.muted { color: #5b6472; }
+code { background: #f2f3f6; padding: 0 .25em; }|}
+
+let pf = Printf.bprintf
+let num = Printf.sprintf "%.4g"
+let seg_class level = "seg-" ^ String.lowercase_ascii level
+
+let levels_of (b : Manifest.bench) = List.map fst b.energy_pj
+
+(* ------------------------------------------------------------------ *)
+(* Sections.                                                           *)
+
+let options_section buf (o : Manifest.options) =
+  pf buf "<h2>Run options</h2><table>\n";
+  pf buf "<tr><th class=l>warps</th><th class=l>seed</th><th class=l>jobs</th>";
+  pf buf "<th class=l>ORF entries</th><th class=l>LRF</th><th class=l>params fp</th></tr>\n";
+  pf buf "<tr><td>%d</td><td>0x%x</td><td>%d</td><td>%d</td><td class=l>%s</td><td class=l><code>%s</code></td></tr>\n"
+    o.warps o.seed o.jobs o.orf_entries (escape o.lrf) (escape o.params_fp);
+  pf buf "</table>\n<p class=muted>benchmarks: %s</p>\n"
+    (escape (String.concat ", " o.benchmarks))
+
+let headline buf (m : Manifest.t) (compare : Manifest.t option) =
+  let mean = Manifest.mean_norm_energy m in
+  pf buf "<p class=headline>mean normalized RF energy: <strong>%s</strong>" (num mean);
+  (match compare with
+  | None -> ()
+  | Some base ->
+    let bmean = Manifest.mean_norm_energy base in
+    let delta = mean -. bmean in
+    let cls = if delta > 0.0 then "delta-up" else "delta-down" in
+    pf buf " &nbsp;(baseline %s, <span class=%s>%+0.4g</span>)" (num bmean) cls delta);
+  pf buf "</p>\n"
+
+let energy_bars buf (m : Manifest.t) =
+  pf buf "<h2>Energy breakdown per benchmark</h2>\n";
+  (match m.benches with
+  | [] -> pf buf "<p class=muted>no benchmarks</p>\n"
+  | b0 :: _ ->
+    pf buf "<p class=legend>";
+    List.iter
+      (fun level ->
+        pf buf "<span><span class=\"swatch %s\"></span>%s</span>" (seg_class level)
+          (escape (String.uppercase_ascii level)))
+      (levels_of b0);
+    pf buf "</p>\n";
+    let widest =
+      List.fold_left (fun acc b -> Float.max acc b.Manifest.norm_energy) 0.0 m.benches
+      |> Float.max 1e-9
+    in
+    List.iter
+      (fun (b : Manifest.bench) ->
+        (* Bar width is norm_energy relative to the worst benchmark;
+           segments split it by each level's share of total pJ. *)
+        let bar_pct = 100.0 *. b.norm_energy /. widest in
+        let total = Float.max b.total_pj 1e-9 in
+        pf buf "<div class=bench-bar><span class=label>%s &nbsp;%s</span>"
+          (escape b.bench) (num b.norm_energy);
+        pf buf "<span class=track><span class=bar style=\"width:%.2f%%\">" bar_pct;
+        List.iter
+          (fun (level, (access, wire)) ->
+            let pct = 100.0 *. (access +. wire) /. total in
+            if pct > 0.01 then
+              pf buf "<span class=\"%s\" style=\"width:%.2f%%\" title=\"%s: %s pJ\"></span>"
+                (seg_class level) pct
+                (escape (String.uppercase_ascii level))
+                (num (access +. wire)))
+          b.energy_pj;
+        pf buf "</span></span></div>\n")
+      m.benches)
+
+let bench_table buf (m : Manifest.t) (compare : Manifest.t option) =
+  pf buf "<h2>Benchmark results</h2><table>\n";
+  pf buf "<tr><th class=l>benchmark</th><th>strands</th><th>dyn. instrs</th><th>IPC</th>";
+  pf buf "<th>desched</th><th>capped</th><th>total pJ</th><th>baseline pJ</th><th>norm. energy</th>";
+  if compare <> None then pf buf "<th>&Delta; norm.</th>";
+  pf buf "</tr>\n";
+  List.iter
+    (fun (b : Manifest.bench) ->
+      pf buf
+        "<tr><td class=l>%s</td><td>%d</td><td>%d</td><td>%.3f</td><td>%d</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td>"
+        (escape b.bench) b.strands b.dynamic_instrs b.ipc b.desched_events b.capped_warps
+        (num b.total_pj) (num b.baseline_pj) (num b.norm_energy);
+      (match compare with
+      | None -> ()
+      | Some base -> (
+        match List.find_opt (fun c -> c.Manifest.bench = b.bench) base.benches with
+        | None -> pf buf "<td class=muted>new</td>"
+        | Some c ->
+          let d = b.norm_energy -. c.norm_energy in
+          let cls = if d > 0.0 then "delta-up" else "delta-down" in
+          pf buf "<td class=%s>%+0.4g</td>" cls d));
+      pf buf "</tr>\n")
+    m.benches;
+  pf buf "</table>\n"
+
+let phase_table buf (m : Manifest.t) =
+  pf buf "<h2>Phase times</h2><table>\n";
+  pf buf "<tr><th class=l>phase</th><th>calls</th><th>total ms</th></tr>\n";
+  List.iter
+    (fun (p : Manifest.phase) ->
+      pf buf "<tr><td class=l>%s</td><td>%d</td><td>%.3f</td></tr>\n" (escape p.phase)
+        p.calls p.total_ms)
+    m.phases;
+  pf buf "</table>\n"
+
+let metrics_section buf (m : Manifest.t) =
+  let s = m.metrics in
+  pf buf "<h2>Metrics</h2>\n";
+  if s.Metrics.counters <> [] then begin
+    pf buf "<table>\n<tr><th class=l>counter</th><th>value</th></tr>\n";
+    List.iter
+      (fun (name, v) -> pf buf "<tr><td class=l>%s</td><td>%d</td></tr>\n" (escape name) v)
+      s.Metrics.counters;
+    pf buf "</table>\n"
+  end;
+  if s.Metrics.gauges <> [] then begin
+    pf buf "<table>\n<tr><th class=l>gauge</th><th>value</th></tr>\n";
+    List.iter
+      (fun (name, v) ->
+        pf buf "<tr><td class=l>%s</td><td>%s</td></tr>\n" (escape name) (num v))
+      s.Metrics.gauges;
+    pf buf "</table>\n"
+  end;
+  if s.Metrics.histograms <> [] then begin
+    pf buf
+      "<table>\n<tr><th class=l>histogram</th><th>count</th><th>mean</th><th>p50</th><th>p95</th><th>p99</th><th>max</th></tr>\n";
+    List.iter
+      (fun (name, (h : Metrics.hist_summary)) ->
+        pf buf
+          "<tr><td class=l>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n"
+          (escape name) h.count (num h.mean) (num h.p50) (num h.p95) (num h.p99)
+          (num h.max))
+      s.Metrics.histograms;
+    pf buf "</table>\n"
+  end;
+  if s.Metrics.counters = [] && s.Metrics.gauges = [] && s.Metrics.histograms = [] then
+    pf buf "<p class=muted>no metrics recorded</p>\n"
+
+let audit_section buf (m : Manifest.t) =
+  pf buf "<h2>Allocator audit</h2>\n";
+  pf buf "<p class=muted>%d allocation events recorded</p>\n" m.audit.alloc_events;
+  if m.audit.top_allocs <> [] then begin
+    pf buf
+      "<table>\n<tr><th class=l>value</th><th class=l>level</th><th>accesses</th><th>saved pJ</th></tr>\n";
+    List.iter
+      (fun ev ->
+        let str name = Option.value ~default:"-" (Option.bind (Json.member name ev) Json.to_str) in
+        let intv name = Option.value ~default:0 (Option.bind (Json.member name ev) Json.to_int) in
+        let numv name = Option.value ~default:0.0 (Option.bind (Json.member name ev) Json.to_num) in
+        pf buf "<tr><td class=l>%s</td><td class=l>%s</td><td>%d</td><td>%s</td></tr>\n"
+          (escape (str "value")) (escape (str "level")) (intv "accesses")
+          (num (numv "saved_pj")))
+      m.audit.top_allocs;
+    pf buf "</table>\n"
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let render ?compare (m : Manifest.t) =
+  let buf = Buffer.create 16384 in
+  pf buf "<!DOCTYPE html>\n<html lang=en>\n<head>\n<meta charset=utf-8>\n";
+  pf buf "<title>rfh run report</title>\n<style>\n%s\n</style>\n</head>\n<body>\n" style;
+  pf buf "<h1>rfh run report</h1>\n";
+  pf buf "<p class=muted>schema v%d · %d benchmarks%s</p>\n" Manifest.schema_version
+    (List.length m.benches)
+    (if compare = None then "" else " · compared against baseline");
+  headline buf m compare;
+  options_section buf m.options;
+  energy_bars buf m;
+  bench_table buf m compare;
+  phase_table buf m;
+  metrics_section buf m;
+  audit_section buf m;
+  pf buf "</body>\n</html>\n";
+  Buffer.contents buf
+
+let write_file ?compare ~path m =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?compare m))

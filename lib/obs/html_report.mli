@@ -1,0 +1,17 @@
+(** Self-contained HTML rendering of a run manifest.
+
+    The output is a single file with inline CSS and no scripts or
+    external assets — it opens from disk offline and attaches to CI
+    runs as one artifact.  Sections: run options, headline mean
+    normalized energy, per-benchmark energy-breakdown bars (stacked by
+    register-file level, width proportional to normalized energy),
+    benchmark results table, phase-time table, metrics registry and the
+    top allocator audit events.
+
+    With [?compare] the report becomes an A/B diff: the headline and
+    the results table additionally show deltas against the baseline
+    manifest. *)
+
+val render : ?compare:Manifest.t -> Manifest.t -> string
+
+val write_file : ?compare:Manifest.t -> path:string -> Manifest.t -> unit

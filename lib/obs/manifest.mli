@@ -1,0 +1,72 @@
+(** Schema-versioned, machine-readable run manifest.
+
+    A manifest captures everything a regression gate needs to decide
+    whether a run changed: the options fingerprint, per-benchmark
+    deterministic results (access counts, allocator stats, traffic,
+    IPC, normalized energy), the full {!Metrics} snapshot, {!Span}
+    phase totals and a digest of the allocator audit stream.
+
+    Encoding is byte-stable: field order is fixed, numbers print
+    through {!Json} idempotently, so [to_string] after a
+    decode/re-encode round-trip reproduces the original bytes. *)
+
+val schema_version : int
+(** Current manifest schema version (bumped on incompatible change). *)
+
+type options = {
+  warps : int;
+  seed : int;
+  jobs : int;
+  orf_entries : int;
+  lrf : string;  (** allocator LRF mode, e.g. ["split"] *)
+  params_fp : string;  (** hex digest of [Options.params_fp] *)
+  benchmarks : string list;
+}
+
+type bench = {
+  bench : string;
+  strands : int;
+  write_units : int;
+  read_units : int;
+  lrf_allocs : int;
+  orf_allocs : int;
+  partial_allocs : int;
+  dynamic_instrs : int;
+  desched_events : int;
+  capped_warps : int;
+  norm_energy : float;
+  total_pj : float;
+  baseline_pj : float;
+  ipc : float;
+  counts : Json.t;  (** [Energy.Counts.to_json] shape, kept opaque here *)
+  energy_pj : (string * (float * float)) list;
+      (** per level: (access, wire) energy in pJ, MRF..LRF order *)
+}
+
+type phase = { phase : string; calls : int; total_ms : float }
+
+type audit = {
+  alloc_events : int;
+  top_allocs : Json.t list;  (** [Audit.to_json] of the top Alloc events *)
+}
+
+type t = {
+  options : options;
+  benches : bench list;
+  metrics : Metrics.snapshot;
+  phases : phase list;  (** sorted by phase name for stable diffs *)
+  audit : audit;
+}
+
+val to_json : t -> Json.t
+val to_string : t -> string
+val of_json : Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+
+val write_file : path:string -> t -> unit
+(** Writes [to_string] plus a trailing newline. *)
+
+val read_file : path:string -> (t, string) result
+
+val mean_norm_energy : t -> float
+(** Arithmetic mean of per-benchmark normalized energy (0 if empty). *)

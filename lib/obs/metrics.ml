@@ -87,6 +87,7 @@ type hist_summary = {
   max : float;
   p50 : float;
   p95 : float;
+  p99 : float;
 }
 
 type snapshot = {
@@ -126,6 +127,7 @@ let summarize h =
       max = (if count = 0 then 0.0 else h.hmax);
       p50 = percentile_of_bins h.bins count 0.50;
       p95 = percentile_of_bins h.bins count 0.95;
+      p99 = percentile_of_bins h.bins count 0.99;
     }
   in
   Mutex.unlock h.hmu;
@@ -208,8 +210,9 @@ let to_table ?(title = "Metrics") s =
         [
           name;
           string_of_int h.count;
-          Printf.sprintf "mean %s  min %s  p50 %s  p95 %s  max %s" (fmt_float h.mean)
-            (fmt_float h.min) (fmt_float h.p50) (fmt_float h.p95) (fmt_float h.max);
+          Printf.sprintf "mean %s  min %s  p50 %s  p95 %s  p99 %s  max %s" (fmt_float h.mean)
+            (fmt_float h.min) (fmt_float h.p50) (fmt_float h.p95) (fmt_float h.p99)
+            (fmt_float h.max);
         ])
     s.histograms;
   t
@@ -233,6 +236,42 @@ let to_json s =
                      ("max", Json.Num h.max);
                      ("p50", Json.Num h.p50);
                      ("p95", Json.Num h.p95);
+                     ("p99", Json.Num h.p99);
                    ] ))
              s.histograms) );
     ]
+
+let snapshot_of_json j =
+  let ( let* ) = Result.bind in
+  let obj_fields name =
+    match Json.member name j with
+    | Some (Json.Obj fields) -> Ok fields
+    | Some _ -> Error (Printf.sprintf "metrics snapshot: %S is not an object" name)
+    | None -> Error (Printf.sprintf "metrics snapshot: missing field %S" name)
+  in
+  let conv_all name conv fields =
+    List.fold_left
+      (fun acc (k, v) ->
+        let* acc = acc in
+        match conv v with
+        | Some x -> Ok ((k, x) :: acc)
+        | None -> Error (Printf.sprintf "metrics snapshot: ill-typed entry %S in %S" k name))
+      (Ok []) fields
+    |> Result.map List.rev
+  in
+  let summary_of v =
+    let num name = Option.bind (Json.member name v) Json.to_num in
+    match
+      ( Option.bind (Json.member "count" v) Json.to_int,
+        num "sum", num "mean", num "min", num "max", num "p50", num "p95", num "p99" )
+    with
+    | Some count, Some sum, Some mean, Some min, Some max, Some p50, Some p95, Some p99 ->
+      Some { count; sum; mean; min; max; p50; p95; p99 }
+    | _ -> None
+  in
+  let* counters = Result.bind (obj_fields "counters") (conv_all "counters" Json.to_int) in
+  let* gauges = Result.bind (obj_fields "gauges") (conv_all "gauges" Json.to_num) in
+  let* histograms =
+    Result.bind (obj_fields "histograms") (conv_all "histograms" summary_of)
+  in
+  Ok { counters; gauges; histograms }

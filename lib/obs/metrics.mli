@@ -43,6 +43,7 @@ type hist_summary = {
   max : float;
   p50 : float;  (** estimated from integer bins *)
   p95 : float;
+  p99 : float;
 }
 
 type snapshot = {
@@ -66,3 +67,9 @@ val is_empty : snapshot -> bool
 
 val to_table : ?title:string -> snapshot -> Util.Table.t
 val to_json : snapshot -> Json.t
+
+val snapshot_of_json : Json.t -> (snapshot, string) result
+(** Decode a {!to_json} rendering back into a snapshot (run manifests
+    embed one).  Entry ordering is preserved from the JSON, which
+    {!to_json} emits name-sorted, so a decode/re-encode round-trip is
+    byte-stable. *)

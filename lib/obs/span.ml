@@ -1,4 +1,4 @@
-type span = { name : string; ts_ns : int64; dur_ns : int64; depth : int }
+type span = { name : string; ts_ns : int64; dur_ns : int64; depth : int; domain : int }
 
 (* Domain-safety: the completed-span list is appended under a mutex;
    nesting depth is domain-local (a worker's spans nest within that
@@ -25,7 +25,15 @@ let with_span name f =
       ~finally:(fun () ->
         decr depth;
         let dur = Int64.sub (Clock.now_ns ()) ts in
-        let s = { name; ts_ns = ts; dur_ns = dur; depth = d } in
+        let s =
+          {
+            name;
+            ts_ns = ts;
+            dur_ns = dur;
+            depth = d;
+            domain = (Domain.self () :> int);
+          }
+        in
         Mutex.lock mu;
         completed := s :: !completed;
         Mutex.unlock mu)

@@ -12,6 +12,7 @@ type span = {
   ts_ns : int64;   (** start, monotonic *)
   dur_ns : int64;
   depth : int;     (** nesting depth at entry (0 = top level) *)
+  domain : int;    (** recording domain's id — one trace track each *)
 }
 
 val set_enabled : bool -> unit

@@ -5,15 +5,41 @@ let json_of_spans ?(process_name = "rfh") spans =
       (match spans with [] -> 0L | s :: _ -> s.Span.ts_ns)
       spans
   in
-  let metadata =
+  let process_metadata =
     Json.Obj
       [
         ("name", Json.Str "process_name");
         ("ph", Json.Str "M");
         ("pid", Json.int 1);
-        ("tid", Json.int 1);
+        ("tid", Json.int 0);
         ("args", Json.Obj [ ("name", Json.Str process_name) ]);
       ]
+  in
+  (* One trace track (tid) per recording domain: spans from a --jobs N
+     fan-out render as N parallel rows in Perfetto instead of
+     collapsing onto one.  Domain 0 is the main domain. *)
+  let domains =
+    List.sort_uniq compare (List.map (fun (s : Span.span) -> s.Span.domain) spans)
+  in
+  let thread_metadata =
+    List.map
+      (fun did ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.int 1);
+            ("tid", Json.int did);
+            ( "args",
+              Json.Obj
+                [
+                  ( "name",
+                    Json.Str
+                      (if did = 0 then "domain 0 (main)" else Printf.sprintf "domain %d" did)
+                  );
+                ] );
+          ])
+      domains
   in
   let events =
     List.map
@@ -26,13 +52,16 @@ let json_of_spans ?(process_name = "rfh") spans =
             ("ts", Json.Num (Clock.ns_to_us (Int64.sub s.Span.ts_ns base)));
             ("dur", Json.Num (Clock.ns_to_us s.Span.dur_ns));
             ("pid", Json.int 1);
-            ("tid", Json.int 1);
+            ("tid", Json.int s.Span.domain);
             ("args", Json.Obj [ ("depth", Json.int s.Span.depth) ]);
           ])
       spans
   in
   Json.Obj
-    [ ("traceEvents", Json.Arr (metadata :: events)); ("displayTimeUnit", Json.Str "ms") ]
+    [
+      ("traceEvents", Json.Arr ((process_metadata :: thread_metadata) @ events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
 
 let to_string ?process_name spans = Json.to_string (json_of_spans ?process_name spans)
 

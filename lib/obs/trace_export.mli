@@ -4,7 +4,9 @@
     and [https://ui.perfetto.dev]: a [traceEvents] array of complete
     ("X") events with microsecond [ts]/[dur], one per recorded span.
     Timestamps are rebased to the earliest span so traces start near
-    zero. *)
+    zero.  Each span carries its recording domain's id as the event
+    [tid] (plus a [thread_name] metadata row per domain), so a
+    [--jobs N] profile renders as N parallel tracks. *)
 
 val json_of_spans : ?process_name:string -> Span.span list -> Json.t
 

@@ -1,9 +1,14 @@
+let m_runs = Obs.Metrics.counter "sim.simt.runs"
+let m_divergent = Obs.Metrics.counter "sim.simt.divergent_branches"
+let m_reconvergences = Obs.Metrics.counter "sim.simt.reconvergences"
+
 type stats = {
   warp_instructions : int;
   thread_instructions : int;
   simd_efficiency : float;
   max_stack_depth : int;
   divergent_branches : int;
+  reconvergences : int;
 }
 
 type frame = {
@@ -39,6 +44,10 @@ let run_warp ?(threads_per_warp = 32) ?(max_dynamic = 100_000) (k : Ir.Kernel.t)
   let thread_instrs = ref 0 in
   let max_depth = ref 1 in
   let divergent = ref 0 in
+  let reconverged = ref 0 in
+  (* A frame created by a divergent branch (rpc >= 0) rejoining at its
+     reconvergence point; the initial frame (rpc = -1) never counts. *)
+  let pop_at_rpc rpc = if rpc >= 0 then incr reconverged in
   let thread_takes block visit lane =
     let h =
       Util.Prng.hash2
@@ -56,7 +65,10 @@ let run_warp ?(threads_per_warp = 32) ?(max_dynamic = 100_000) (k : Ir.Kernel.t)
     match !stack with
     | [] -> continue_run := false
     | top :: rest ->
-      if top.block = top.rpc then stack := rest
+      if top.block = top.rpc then begin
+        pop_at_rpc top.rpc;
+        stack := rest
+      end
       else begin
         let b = k.Ir.Kernel.blocks.(top.block) in
         (* Execute the block's instructions under the mask. *)
@@ -72,7 +84,11 @@ let run_warp ?(threads_per_warp = 32) ?(max_dynamic = 100_000) (k : Ir.Kernel.t)
           b.Ir.Block.instrs;
         if !continue_run then begin
           let uniform_goto nb_block =
-            if nb_block = top.rpc then stack := rest else top.block <- nb_block
+            if nb_block = top.rpc then begin
+              pop_at_rpc top.rpc;
+              stack := rest
+            end
+            else top.block <- nb_block
           in
           visit_counts.(top.block) <- visit_counts.(top.block) + 1;
           match b.Ir.Block.term with
@@ -134,6 +150,7 @@ let run_warp ?(threads_per_warp = 32) ?(max_dynamic = 100_000) (k : Ir.Kernel.t)
        else float_of_int !thread_instrs /. float_of_int (!executed * threads_per_warp));
     max_stack_depth = !max_depth;
     divergent_branches = !divergent;
+    reconvergences = !reconverged;
   }
 
 type traffic_result = {
@@ -152,9 +169,11 @@ let merge_stats a b =
        else float_of_int thread_instructions /. float_of_int (warp_instructions * 32));
     max_stack_depth = max a.max_stack_depth b.max_stack_depth;
     divergent_branches = a.divergent_branches + b.divergent_branches;
+    reconvergences = a.reconvergences + b.reconvergences;
   }
 
 let traffic ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp (ctx : Alloc.Context.t) ~scheme =
+  Obs.Span.with_span "simulate.simt" @@ fun () ->
   let k = ctx.Alloc.Context.kernel in
   let counts = Energy.Counts.create () in
   let datapath_of_op op =
@@ -208,6 +227,10 @@ let traffic ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp (ctx : Alloc.Co
           simd_efficiency = 1.0;
           max_stack_depth = 0;
           divergent_branches = 0;
+          reconvergences = 0;
         }
   in
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.incr ~by:stats.divergent_branches m_divergent;
+  Obs.Metrics.incr ~by:stats.reconvergences m_reconvergences;
   { counts; stats }

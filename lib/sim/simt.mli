@@ -25,6 +25,9 @@ type stats = {
   simd_efficiency : float;   (** thread_instructions / (warp_instructions * 32) *)
   max_stack_depth : int;     (** deepest reconvergence stack observed *)
   divergent_branches : int;  (** branch executions that split the mask *)
+  reconvergences : int;
+  (** divergence-created frames rejoining at their reconvergence
+      point (roughly two per divergent branch that runs to join) *)
 }
 
 val run_warp :
@@ -54,4 +57,6 @@ val traffic :
   scheme:[ `Baseline | `Sw of Alloc.Config.t * Alloc.Placement.t ] ->
   traffic_result
 (** Divergence-aware register-file traffic: each operand access is
-    weighted by the number of active clusters. *)
+    weighted by the number of active clusters.  Reports into
+    {!Obs.Metrics} ([sim.simt.runs], [sim.simt.divergent_branches],
+    [sim.simt.reconvergences]) and records a [simulate.simt] span. *)

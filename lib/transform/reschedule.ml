@@ -1,3 +1,7 @@
+let m_kernels = Obs.Metrics.counter "transform.reschedule.kernels"
+let m_blocks = Obs.Metrics.counter "transform.reschedule.blocks"
+let m_instrs_moved = Obs.Metrics.counter "transform.reschedule.instrs_moved"
+
 let block ?(hoist_loads = true) (b : Ir.Block.t) =
   let instrs = b.Ir.Block.instrs in
   let n = Array.length instrs in
@@ -62,11 +66,17 @@ let block ?(hoist_loads = true) (b : Ir.Block.t) =
   order
 
 let kernel ?hoist_loads (k : Ir.Kernel.t) =
+  Obs.Span.with_span "transform.reschedule" @@ fun () ->
+  Obs.Metrics.incr m_kernels;
   let next_id = ref 0 in
   let blocks =
     Array.map
       (fun (b : Ir.Block.t) ->
         let order = block ?hoist_loads b in
+        Obs.Metrics.incr m_blocks;
+        let moved = ref 0 in
+        Array.iteri (fun pos idx -> if idx <> pos then incr moved) order;
+        Obs.Metrics.incr ~by:!moved m_instrs_moved;
         let instrs =
           Array.map
             (fun idx ->

@@ -1,3 +1,7 @@
+let m_kernels = Obs.Metrics.counter "transform.unroll.kernels"
+let m_loops = Obs.Metrics.counter "transform.unroll.loops_unrolled"
+let m_copies = Obs.Metrics.counter "transform.unroll.copies_inserted"
+
 let self_loop (b : Ir.Block.t) =
   match b.Ir.Block.term with
   | Ir.Terminator.Branch { target; behavior = Ir.Terminator.Loop n }
@@ -42,6 +46,8 @@ let exit_test_indices (b : Ir.Block.t) =
 
 let kernel ~factor (k : Ir.Kernel.t) =
   if factor < 1 then invalid_arg "Unroll.kernel: factor < 1";
+  Obs.Span.with_span "transform.unroll" @@ fun () ->
+  Obs.Metrics.incr m_kernels;
   let next_id = ref 0 in
   let next_reg = ref k.Ir.Kernel.num_regs in
   let copy_instr (i : Ir.Instr.t) =
@@ -91,6 +97,10 @@ let kernel ~factor (k : Ir.Kernel.t) =
           let copies =
             List.concat (List.init factor (fun c -> body_copy ~final:(c = factor - 1)))
           in
+          Obs.Metrics.incr m_loops;
+          Obs.Metrics.incr
+            ~by:(List.length copies - Array.length b.Ir.Block.instrs)
+            m_copies;
           {
             b with
             Ir.Block.instrs = Array.of_list copies;

@@ -314,6 +314,245 @@ let test_audit_events_from_allocator () =
   in
   check Alcotest.bool "allocator reports decisions" true (List.length allocs > 0)
 
+(* --- p99 ---------------------------------------------------------- *)
+
+let test_histogram_p99 () =
+  let r = Obs.Metrics.create_registry () in
+  let h = Obs.Metrics.histogram ~registry:r "test.p99" in
+  for i = 1 to 100 do
+    Obs.Metrics.observe h (float_of_int i)
+  done;
+  match (Obs.Metrics.snapshot ~registry:r ()).Obs.Metrics.histograms with
+  | [ (_, s) ] ->
+    check Alcotest.bool "p50 <= p95" true (s.Obs.Metrics.p50 <= s.Obs.Metrics.p95);
+    check Alcotest.bool "p95 <= p99" true (s.Obs.Metrics.p95 <= s.Obs.Metrics.p99);
+    check Alcotest.bool "p99 <= max" true (s.Obs.Metrics.p99 <= s.Obs.Metrics.max);
+    check Alcotest.bool "p99 in the tail" true (s.Obs.Metrics.p99 >= 95.0);
+    (* p99 must survive the JSON snapshot codec too. *)
+    let j = Obs.Metrics.to_json (Obs.Metrics.snapshot ~registry:r ()) in
+    let p99 =
+      Option.bind (Obs.Json.member "histograms" j) (Obs.Json.member "test.p99")
+      |> Fun.flip Option.bind (Obs.Json.member "p99")
+      |> Fun.flip Option.bind Obs.Json.to_num
+    in
+    check Alcotest.(option (float 1e-9)) "p99 in JSON" (Some s.Obs.Metrics.p99) p99
+  | other -> Alcotest.failf "expected one histogram, got %d" (List.length other)
+
+(* --- Prng-driven audit round-trip --------------------------------- *)
+
+(* Random events covering every variant and every enum value; floats
+   are dyadic rationals so the JSON number printer is exact. *)
+let random_event g =
+  let levels = [| Obs.Audit.Lrf; Obs.Audit.Orf; Obs.Audit.Mrf; Obs.Audit.Rfc |] in
+  let causes = [| Obs.Audit.Sw_boundary; Obs.Audit.Hw_dependence; Obs.Audit.Scheduler |] in
+  let kinds = [| Obs.Audit.Write_unit; Obs.Audit.Read_unit |] in
+  match Util.Prng.int g 6 with
+  | 0 ->
+    let first = Util.Prng.int g 1000 in
+    Obs.Audit.Alloc
+      {
+        reg = Printf.sprintf "%%r%d" (Util.Prng.int g 64);
+        kind = Util.Prng.pick g kinds;
+        strand = Util.Prng.int g 16;
+        level = (if Util.Prng.bool g then Obs.Audit.Lrf else Obs.Audit.Orf);
+        slot = Util.Prng.int g 8;
+        first;
+        last = first + Util.Prng.int g 50;
+        reads = Util.Prng.int g 10;
+        savings = float_of_int (Util.Prng.int g 100_000) /. 16.0;
+        partial = Util.Prng.bool g;
+        mrf_copy = Util.Prng.bool g;
+      }
+  | 1 ->
+    Obs.Audit.Place
+      { warp = Util.Prng.int g 32; instr = Util.Prng.int g 2000; level = Util.Prng.pick g levels }
+  | 2 ->
+    Obs.Audit.Fill
+      {
+        warp = Util.Prng.int g 32;
+        instr = Util.Prng.int g 2000;
+        pos = Util.Prng.int g 3;
+        entry = Util.Prng.int g 8;
+      }
+  | 3 ->
+    Obs.Audit.Evict
+      {
+        warp = Util.Prng.int g 32;
+        instr = Util.Prng.int g 2000;
+        level = Util.Prng.pick g levels;
+        writeback = Util.Prng.bool g;
+      }
+  | 4 -> Obs.Audit.Strand_boundary { instr = Util.Prng.int g 2000; strand = Util.Prng.int g 16 }
+  | _ ->
+    Obs.Audit.Desched
+      { warp = Util.Prng.int g 32; instr = Util.Prng.int g 2000; cause = Util.Prng.pick g causes }
+
+let test_audit_prng_roundtrip () =
+  let g = Util.Prng.create 0xA0D17 in
+  for _ = 1 to 500 do
+    let ev = random_event g in
+    let encoded = Obs.Json.to_string (Obs.Audit.to_json ev) in
+    match Obs.Json.parse encoded with
+    | Error e -> Alcotest.failf "unparseable %s: %s" encoded e
+    | Ok j ->
+      (match Obs.Audit.of_json j with
+       | Error e -> Alcotest.failf "undecodable %s: %s" encoded e
+       | Ok ev' ->
+         if ev' <> ev then Alcotest.failf "round-trip changed event: %s" encoded)
+  done
+
+(* --- Per-domain trace tracks -------------------------------------- *)
+
+let test_trace_domain_tids () =
+  Obs.Span.reset ();
+  Obs.Span.set_enabled true;
+  Obs.Span.with_span "main-work" (fun () -> ignore (Sys.opaque_identity 1));
+  let workers =
+    List.init 2 (fun i ->
+        Domain.spawn (fun () ->
+            Obs.Span.with_span (Printf.sprintf "worker-%d" i) (fun () ->
+                ignore (Sys.opaque_identity i))))
+  in
+  List.iter Domain.join workers;
+  let spans = Obs.Span.spans () in
+  let domains = List.sort_uniq compare (List.map (fun s -> s.Obs.Span.domain) spans) in
+  check Alcotest.bool "spans from several domains" true (List.length domains >= 2);
+  match Obs.Json.parse (Obs.Trace_export.to_string spans) with
+  | Error e -> Alcotest.fail e
+  | Ok trace ->
+    let events =
+      Option.value ~default:[]
+        (Option.bind (Obs.Json.member "traceEvents" trace) Obs.Json.to_list)
+    in
+    let of_phase p =
+      List.filter (fun e -> Option.bind (Obs.Json.member "ph" e) Obs.Json.to_str = Some p) events
+    in
+    let tids_of evs =
+      List.sort_uniq compare
+        (List.filter_map (fun e -> Option.bind (Obs.Json.member "tid" e) Obs.Json.to_int) evs)
+    in
+    let x_tids = tids_of (of_phase "X") in
+    check Alcotest.bool "distinct tid tracks" true (List.length x_tids >= 2);
+    check Alcotest.(list int) "X tids match span domains" domains x_tids;
+    (* One thread_name metadata row per domain. *)
+    let thread_names =
+      List.filter
+        (fun e -> Option.bind (Obs.Json.member "name" e) Obs.Json.to_str = Some "thread_name")
+        (of_phase "M")
+    in
+    check Alcotest.(list int) "metadata row per domain" domains (tids_of thread_names)
+
+(* --- Manifest / regression gate ----------------------------------- *)
+
+let collect_small () =
+  let opts =
+    Experiments.Options.with_benchmarks
+      { (Experiments.Options.default ()) with Experiments.Options.warps = 4 }
+      [ "VectorAdd"; "MatrixMul" ]
+  in
+  Experiments.Run_manifest.collect opts
+
+let test_manifest_byte_stability () =
+  let m = collect_small () in
+  let once = Obs.Manifest.to_string m in
+  match Obs.Manifest.of_string once with
+  | Error e -> Alcotest.fail e
+  | Ok decoded ->
+    check Alcotest.string "encode/decode/re-encode is byte-stable" once
+      (Obs.Manifest.to_string decoded);
+    check Alcotest.int "benches survive" 2 (List.length decoded.Obs.Manifest.benches)
+
+let test_regress_self_diff_ok () =
+  let m = collect_small () in
+  let r = Obs.Regress.diff ~baseline:m ~current:m () in
+  check Alcotest.bool "self-diff is clean" true (Obs.Regress.ok r);
+  check Alcotest.bool "values were compared" true (r.Obs.Regress.compared > 100)
+
+(* Structural update along an object path; "0" descends into the first
+   array element. *)
+let rec update keys f j =
+  match (keys, j) with
+  | [], _ -> f j
+  | "0" :: rest, Obs.Json.Arr (x :: tl) -> Obs.Json.Arr (update rest f x :: tl)
+  | k :: rest, Obs.Json.Obj fields ->
+    Obs.Json.Obj
+      (List.map (fun (key, v) -> if key = k then (key, update rest f v) else (key, v)) fields)
+  | _ -> Alcotest.fail "update: path not found"
+
+let test_regress_detects_perturbed_count () =
+  let m = collect_small () in
+  let baseline = Obs.Manifest.to_json m in
+  let perturbed =
+    update
+      [ "benches"; "0"; "counts"; "mrf"; "writes"; "private" ]
+      (function Obs.Json.Num n -> Obs.Json.Num (n +. 1.0) | _ -> Alcotest.fail "not a number")
+      baseline
+  in
+  let r = Obs.Regress.diff_json ~baseline ~current:perturbed () in
+  (match r.Obs.Regress.violations with
+   | [ v ] ->
+     check Alcotest.string "names the perturbed field"
+       "benches[VectorAdd].counts.mrf.writes.private" v.Obs.Regress.path;
+     check Alcotest.string "exact for deterministic counts" "count mismatch" v.Obs.Regress.kind
+   | vs -> Alcotest.failf "expected exactly one violation, got %d" (List.length vs));
+  (* options.jobs is how the run was parallelised, never a regression. *)
+  let jobs_differ =
+    update [ "options"; "jobs" ] (fun _ -> Obs.Json.int 4) baseline
+  in
+  check Alcotest.bool "options.jobs ignored" true
+    (Obs.Regress.ok (Obs.Regress.diff_json ~baseline ~current:jobs_differ ()))
+
+let test_regress_timing_tolerance () =
+  let m = collect_small () in
+  let baseline = Obs.Manifest.to_json m in
+  let slower =
+    update
+      [ "phases"; "0"; "total_ms" ]
+      (function Obs.Json.Num n -> Obs.Json.Num ((n +. 1.0) *. 10.0) | v -> v)
+      baseline
+  in
+  check Alcotest.bool "timings skipped by default" true
+    (Obs.Regress.ok (Obs.Regress.diff_json ~baseline ~current:slower ()));
+  check Alcotest.bool "timings gated by --timing-tol" false
+    (Obs.Regress.ok (Obs.Regress.diff_json ~timing_tol:0.5 ~baseline ~current:slower ()))
+
+let test_energy_counts_json_roundtrip () =
+  let c = Energy.Counts.create () in
+  Energy.Counts.add_read c Energy.Model.Mrf Energy.Model.Private ~n:7 ();
+  Energy.Counts.add_write c Energy.Model.Orf Energy.Model.Shared ~n:3 ();
+  Energy.Counts.add_write c Energy.Model.Lrf Energy.Model.Private ~n:11 ();
+  Energy.Counts.add_rfc_probe c ~n:5 ();
+  let j = Energy.Counts.to_json c in
+  match Energy.Counts.of_json j with
+  | Error e -> Alcotest.fail e
+  | Ok c' ->
+    check Alcotest.int "mrf private reads" 7
+      (Energy.Counts.reads_dp c' Energy.Model.Mrf Energy.Model.Private);
+    check Alcotest.int "orf shared writes" 3
+      (Energy.Counts.writes_dp c' Energy.Model.Orf Energy.Model.Shared);
+    check Alcotest.int "lrf writes" 11 (Energy.Counts.writes c' Energy.Model.Lrf);
+    check Alcotest.int "probes" 5 (Energy.Counts.rfc_probes c');
+    check Alcotest.string "re-encode is byte-identical" (Obs.Json.to_string j)
+      (Obs.Json.to_string (Energy.Counts.to_json c'))
+
+let test_html_report_standalone () =
+  let m = collect_small () in
+  let html = Obs.Html_report.render m in
+  let contains needle =
+    let n = String.length needle and len = String.length html in
+    let rec go i = i + n <= len && (String.sub html i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "is a complete document" true
+    (contains "<!DOCTYPE html>" && contains "</html>");
+  check Alcotest.bool "mentions each benchmark" true
+    (contains "VectorAdd" && contains "MatrixMul");
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "no external fetch (%s)" needle) false
+        (contains needle))
+    [ "http://"; "https://"; "src="; "href="; "<script" ]
+
 let suite =
   [
     Alcotest.test_case "counter arithmetic" `Quick (isolated test_counter_arithmetic);
@@ -330,4 +569,13 @@ let suite =
     Alcotest.test_case "no-op sink records nothing" `Quick (isolated test_noop_sink_records_nothing);
     Alcotest.test_case "place events match Energy.Counts" `Quick (isolated test_place_events_match_counts);
     Alcotest.test_case "allocator reports into audit" `Quick (isolated test_audit_events_from_allocator);
+    Alcotest.test_case "histogram p99" `Quick (isolated test_histogram_p99);
+    Alcotest.test_case "audit Prng round-trip" `Quick (isolated test_audit_prng_roundtrip);
+    Alcotest.test_case "per-domain trace tids" `Quick (isolated test_trace_domain_tids);
+    Alcotest.test_case "manifest byte-stability" `Quick (isolated test_manifest_byte_stability);
+    Alcotest.test_case "regress self-diff ok" `Quick (isolated test_regress_self_diff_ok);
+    Alcotest.test_case "regress flags perturbed count" `Quick (isolated test_regress_detects_perturbed_count);
+    Alcotest.test_case "regress timing tolerance" `Quick (isolated test_regress_timing_tolerance);
+    Alcotest.test_case "energy counts JSON round-trip" `Quick (isolated test_energy_counts_json_roundtrip);
+    Alcotest.test_case "html report standalone" `Quick (isolated test_html_report_standalone);
   ]
