@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench fmt parity regress ci clean
+.PHONY: all build test bench fmt parity regress explain-smoke ci clean
 
 all: build
 
@@ -48,7 +48,16 @@ regress: build
 	    --report-out _build/run-report.html; \
 	fi
 
-ci: fmt build test parity regress
+# Allocation-explainer smoke (see docs/observability.md): the decision
+# stream must cross-check against the manifest's allocator stats, and
+# the JSONL + HTML outputs land under _build/ for CI to upload.
+explain-smoke: build
+	dune exec bin/rfh.exe -- explain mm --top 10 --warps 8 \
+	  --jsonl-out _build/explain-mm.jsonl \
+	  --report-out _build/explain-mm.html > _build/explain-mm.txt
+	@echo "explain smoke OK: decision stream matches the manifest allocator stats"
+
+ci: fmt build test parity regress explain-smoke
 
 clean:
 	dune clean

@@ -676,11 +676,17 @@ let baseline_check_cmd =
     in
     Arg.(value & opt (some float) None & info [ "timing-tol" ] ~docv:"TOL" ~doc)
   in
+  (* Exit-code contract (documented in docs/observability.md): 0 = the
+     run matches the golden manifest, 1 = a compared field drifted,
+     2 = the baseline file is missing or unreadable. *)
   let run warps seed benchmarks jobs path float_tol timing_tol manifest_out report_out =
     match Obs.Manifest.read_file ~path with
     | Error msg ->
       Printf.eprintf
-        "baseline check: cannot read %s (%s)\nRecord one first: rfh baseline record\n" path msg;
+        "baseline check: cannot read %s (%s)\n\
+         exit 2: the golden manifest is missing or unreadable (1 = drift, 0 = match).\n\
+         Record one first: rfh baseline record\n"
+        path msg;
       exit 2
     | Ok baseline ->
       let opts = opts_of ~warps ~seed ~benchmarks ~jobs in
@@ -688,7 +694,12 @@ let baseline_check_cmd =
       write_manifest_outputs ~compare:baseline current ~manifest_out ~report_out;
       let report = Obs.Regress.diff ~float_tol ?timing_tol ~baseline ~current () in
       Util.Table.print (Obs.Regress.to_table report);
-      if not (Obs.Regress.ok report) then exit 1
+      if not (Obs.Regress.ok report) then begin
+        prerr_endline
+          "baseline check: FAILED — exit 1: a compared field drifted from the golden \
+           manifest (0 = match, 2 = baseline missing or unreadable).";
+        exit 1
+      end
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
@@ -699,12 +710,346 @@ let baseline_cmd =
   let doc = "Record or check the regression-gate golden manifest." in
   Cmd.group (Cmd.info "baseline" ~doc) [ baseline_record_cmd; baseline_check_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* explain: decision-level introspection of one benchmark's allocation
+   plus per-instruction energy attribution.                            *)
+
+let explain_verdict_str = function
+  | None -> "-"
+  | Some (c : Obs.Explain.candidate) ->
+    (match c.Obs.Explain.verdict with
+     | Obs.Explain.Chosen -> Printf.sprintf "chosen (%.1f pJ)" c.Obs.Explain.savings
+     | Obs.Explain.Ineligible why -> "ineligible: " ^ why
+     | Obs.Explain.Negative_savings ->
+       Printf.sprintf "negative (%.1f pJ)" c.Obs.Explain.savings
+     | Obs.Explain.No_free_slot ->
+       Printf.sprintf "no slot (%.1f pJ)" c.Obs.Explain.savings)
+
+let explain_outcome_str (d : Obs.Explain.decision) =
+  match d.Obs.Explain.outcome with
+  | Obs.Explain.To_lrf { bank } -> Printf.sprintf "LRF[%d]" bank
+  | Obs.Explain.To_orf { entry; shortened } ->
+    if shortened > 0 then Printf.sprintf "ORF[%d] (shortened x%d)" entry shortened
+    else Printf.sprintf "ORF[%d]" entry
+  | Obs.Explain.To_mrf -> "MRF"
+
+let explain_cmd =
+  let doc =
+    "Explain one benchmark's allocation decisions: per live-range unit, the candidate \
+     levels the allocator weighed (with energy-savings estimates), why losers lost, \
+     partial-range shortening, and the final placement — cross-checked against the run \
+     manifest's allocator stats.  Also attributes register-file energy to each static \
+     instruction and prints the top-$(b,--top) energy-bearing instructions.  \
+     $(b,--jsonl-out) writes the decision stream as JSON Lines; $(b,--report-out) writes \
+     an HTML report with the decision tables and an energy heatmap; $(b,--trace-out) \
+     writes a Perfetto trace with per-cycle counter tracks."
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Benchmark name.")
+  in
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Energy-ranked instructions to print.")
+  in
+  let entries_arg =
+    Arg.(value & opt int 3 & info [ "entries" ] ~docv:"N" ~doc:"ORF entries per thread (1-8).")
+  in
+  let lrf_arg =
+    Arg.(value & opt lrf_conv Alloc.Config.Split & info [ "lrf" ] ~docv:"MODE" ~doc:"LRF mode.")
+  in
+  let jsonl_out_arg =
+    let doc = "Write every allocation decision as JSON Lines to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "jsonl-out" ] ~docv:"FILE" ~doc)
+  in
+  let trace_out_arg =
+    let doc =
+      "Write a Chrome trace-event JSON file with phase spans and the simulator counter \
+       tracks (active warps, per-level accesses, occupancy)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let run name top warps seed entries lrf jsonl_out trace_out report_out verbose =
+    setup_verbosity verbose;
+    match Workloads.Registry.find name with
+    | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
+    | Some e ->
+      let bench = e.Workloads.Registry.name in
+      let kernels = Lazy.force e.Workloads.Registry.kernels in
+      let params = Energy.Params.default in
+      let config = Alloc.Config.make ~orf_entries:entries ~lrf ~params () in
+      if trace_out <> None then begin
+        Obs.Span.reset ();
+        Obs.Span.set_enabled true;
+        Obs.Counters.reset ();
+        Obs.Counters.set_enabled true
+      end;
+      (* Decision recorder: memory sink, teed into the JSONL writer. *)
+      let mem_sink, decisions = Obs.Explain.memory_sink () in
+      let jsonl_oc =
+        Option.map
+          (fun path ->
+            mkdirs (Filename.dirname path);
+            try open_out path
+            with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1)
+          jsonl_out
+      in
+      Obs.Explain.set_sink
+        (Obs.Explain.tee
+           (mem_sink
+            :: (match jsonl_oc with Some oc -> [ Obs.Explain.jsonl_sink oc ] | None -> [])));
+      (* Serial per-kernel pipeline: allocate under the explainer, then
+         account traffic with per-instruction attribution on. *)
+      let per_kernel =
+        List.map
+          (fun k ->
+            let ctx = Alloc.Context.create k in
+            let placement, stats = Alloc.Allocator.run config ctx in
+            let sw =
+              Sim.Traffic.run ~warps ~seed ~attribution:true ctx
+                (Sim.Traffic.Sw { config; placement })
+            in
+            let baseline = Sim.Traffic.run ~warps ~seed ctx Sim.Traffic.Baseline in
+            (k, ctx, placement, stats, sw, baseline))
+          kernels
+      in
+      (* Everything below reads the recorder's memory; stop recording
+         before the manifest collection re-runs the allocator. *)
+      Obs.Explain.disable ();
+      Option.iter close_out jsonl_oc;
+      let all_decisions = decisions () in
+      let reports =
+        List.map
+          (fun (k, ctx, placement, stats, sw, baseline) ->
+            let kname = k.Ir.Kernel.name in
+            let ds =
+              List.filter (fun d -> d.Obs.Explain.kernel = kname) all_decisions
+            in
+            let energies =
+              Energy.Counts.attributed_energies params ~orf_entries:entries
+                sw.Sim.Traffic.counts
+            in
+            let total_pj = Array.fold_left ( +. ) 0.0 energies in
+            let e_sw =
+              (Energy.Counts.energy params ~orf_entries:entries sw.Sim.Traffic.counts)
+                .Energy.Counts.total
+            in
+            let e_base =
+              (Energy.Counts.energy params ~orf_entries:entries baseline.Sim.Traffic.counts)
+                .Energy.Counts.total
+            in
+            let placed =
+              List.length (List.filter Obs.Explain.placed ds)
+            in
+            Printf.printf
+              "kernel %s: %d decisions (%d write units, %d read units); %d placed \
+               upper-level, %d left in MRF; normalized energy %.3f\n"
+              kname (List.length ds) stats.Alloc.Allocator.write_units
+              stats.Alloc.Allocator.read_units placed
+              (List.length ds - placed)
+              (Util.Stats.ratio e_sw e_base);
+            (* Decision table. *)
+            let dt =
+              Util.Table.create ~title:(Printf.sprintf "Decisions: %s" kname)
+                ~columns:
+                  [ "#"; "Value"; "Kind"; "Strand"; "Range"; "Reads"; "LRF"; "ORF"; "Outcome" ]
+            in
+            List.iter
+              (fun (d : Obs.Explain.decision) ->
+                let cand lvl =
+                  List.find_opt
+                    (fun (c : Obs.Explain.candidate) -> c.Obs.Explain.level = lvl)
+                    d.Obs.Explain.candidates
+                in
+                let reads =
+                  let n = List.length d.Obs.Explain.covered in
+                  if d.Obs.Explain.dropped_reads > 0 then
+                    Printf.sprintf "%d (-%d)" n d.Obs.Explain.dropped_reads
+                  else string_of_int n
+                in
+                Util.Table.add_row dt
+                  [
+                    string_of_int d.Obs.Explain.seq;
+                    d.Obs.Explain.reg
+                    ^ (if d.Obs.Explain.mrf_copy then " +mrf-copy" else "");
+                    d.Obs.Explain.kind;
+                    string_of_int d.Obs.Explain.strand;
+                    Printf.sprintf "[%d,%d)" d.Obs.Explain.first d.Obs.Explain.last;
+                    reads;
+                    explain_verdict_str (cand "lrf");
+                    explain_verdict_str (cand "orf");
+                    explain_outcome_str d;
+                  ])
+              ds;
+            Util.Table.print dt;
+            (* Annotated instruction stream: operand levels plus the
+               attributed energy of every static instruction. *)
+            let share pc =
+              if total_pj <= 0.0 || pc >= Array.length energies then 0.0
+              else energies.(pc) /. total_pj
+            in
+            Printf.printf "instructions (attributed register-file energy, %% of %.1f pJ):\n"
+              total_pj;
+            let instr_lines = ref [] in
+            Ir.Kernel.iter_instrs k (fun _ i ->
+                let id = i.Ir.Instr.id in
+                let strand =
+                  Strand.Partition.strand_of_instr ctx.Alloc.Context.partition id
+                in
+                let boundary =
+                  if Strand.Partition.starts_strand ctx.Alloc.Context.partition id then "*"
+                  else " "
+                in
+                let dst =
+                  match Alloc.Placement.dest placement ~instr:id with
+                  | None -> "-"
+                  | Some d ->
+                    String.concat ""
+                      [
+                        (match d.Alloc.Placement.to_lrf with
+                         | Some bk -> Printf.sprintf "LRF[%d] " bk
+                         | None -> "");
+                        (match d.Alloc.Placement.to_orf with
+                         | Some en -> Printf.sprintf "ORF[%d] " en
+                         | None -> "");
+                        (if d.Alloc.Placement.to_mrf then "MRF" else "");
+                      ]
+                in
+                let srcs =
+                  List.mapi
+                    (fun pos _ ->
+                      Alloc.Placement.level_name
+                        (Alloc.Placement.src placement ~instr:id ~pos))
+                    i.Ir.Instr.srcs
+                  |> String.concat ","
+                in
+                let pj = if id < Array.length energies then energies.(id) else 0.0 in
+                instr_lines :=
+                  {
+                    Obs.Explain.pc = id;
+                    strand;
+                    text = Ir.Instr.to_string i;
+                    pj;
+                    share = share id;
+                  }
+                  :: !instr_lines;
+                Printf.printf "s%-3d%s %-40s dst: %-18s srcs: %-20s %8.1f pJ %5.1f%%\n" strand
+                  boundary (Ir.Instr.to_string i) dst srcs pj (100.0 *. share id));
+            print_newline ();
+            (* Top-N energy-bearing instructions. *)
+            let tt =
+              Util.Table.create
+                ~title:(Printf.sprintf "Top %d instructions by attributed energy: %s" top kname)
+                ~columns:[ "PC"; "Strand"; "Instruction"; "pJ"; "Share" ]
+            in
+            List.iter
+              (fun (pc, pj) ->
+                let i = Ir.Kernel.instr k pc in
+                Util.Table.add_row tt
+                  [
+                    string_of_int pc;
+                    string_of_int
+                      (Strand.Partition.strand_of_instr ctx.Alloc.Context.partition pc);
+                    Ir.Instr.to_string i;
+                    Printf.sprintf "%.1f" pj;
+                    Printf.sprintf "%.1f%%" (100.0 *. share pc);
+                  ])
+              (Energy.Counts.top_instrs params ~orf_entries:entries ~n:top
+                 sw.Sim.Traffic.counts);
+            Util.Table.print tt;
+            {
+              Obs.Explain.kr_kernel = kname;
+              kr_decisions = ds;
+              kr_instrs = List.rev !instr_lines;
+              kr_total_pj = total_pj;
+            })
+          per_kernel
+      in
+      (* Cross-check: every live-range unit the allocator considered
+         must have produced exactly one decision event, and the outcome
+         tally must reproduce the manifest's allocator stats. *)
+      let opts = opts_of ~warps ~seed ~benchmarks:[ bench ] ~jobs:1 in
+      let m = Experiments.Run_manifest.collect ~entries ~lrf opts in
+      let row =
+        match
+          List.find_opt (fun b -> b.Obs.Manifest.bench = bench) m.Obs.Manifest.benches
+        with
+        | Some b -> b
+        | None -> prerr_endline "explain: benchmark missing from manifest"; exit 1
+      in
+      let count p = List.length (List.filter p all_decisions) in
+      let lrf_n =
+        count (fun d ->
+            match d.Obs.Explain.outcome with Obs.Explain.To_lrf _ -> true | _ -> false)
+      in
+      let orf_n =
+        count (fun d ->
+            match d.Obs.Explain.outcome with Obs.Explain.To_orf _ -> true | _ -> false)
+      in
+      let partial_n =
+        count (fun d ->
+            match d.Obs.Explain.outcome with
+            | Obs.Explain.To_orf { shortened; _ } -> shortened > 0
+            | _ -> false)
+      in
+      let checks =
+        [
+          ("decisions = write + read units", List.length all_decisions,
+           row.Obs.Manifest.write_units + row.Obs.Manifest.read_units);
+          ("LRF placements", lrf_n, row.Obs.Manifest.lrf_allocs);
+          ("ORF placements", orf_n, row.Obs.Manifest.orf_allocs);
+          ("partial (shortened) placements", partial_n, row.Obs.Manifest.partial_allocs);
+        ]
+      in
+      let ct =
+        Util.Table.create ~title:"Cross-check vs run-manifest allocator stats"
+          ~columns:[ "Check"; "Explainer"; "Manifest"; "" ]
+      in
+      let ok = ref true in
+      List.iter
+        (fun (what, got, want) ->
+          if got <> want then ok := false;
+          Util.Table.add_row ct
+            [ what; string_of_int got; string_of_int want;
+              (if got = want then "ok" else "MISMATCH") ])
+        checks;
+      Util.Table.print ct;
+      Option.iter (fun n -> Printf.printf "jsonl: %d decisions -> %s\n"
+                      (List.length all_decisions) n) jsonl_out;
+      Option.iter
+        (fun path ->
+          mkdirs (Filename.dirname path);
+          (try Obs.Html_report.write_file ~explain:reports ~path m
+           with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+          Printf.printf "report -> %s\n" path)
+        report_out;
+      (match trace_out with
+       | None -> ()
+       | Some path ->
+         let spans = Obs.Span.spans () in
+         let counters = Obs.Counters.tracks () in
+         mkdirs (Filename.dirname path);
+         (try
+            Obs.Trace_export.write_file ~path ~process_name:"rfh explain" ~counters spans
+          with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+         Printf.printf "trace: %d spans, %d counter tracks -> %s\n" (List.length spans)
+           (List.length counters) path;
+         Obs.Counters.set_enabled false;
+         Obs.Span.set_enabled false);
+      if not !ok then begin
+        prerr_endline "explain: decision events disagree with the manifest allocator stats";
+        exit 1
+      end
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const run $ name_arg $ top_arg $ warps_arg $ seed_arg $ entries_arg $ lrf_arg
+      $ jsonl_out_arg $ trace_out_arg $ report_out_arg $ verbose_arg)
+
 let () =
   let doc = "compile-time managed multi-level register file hierarchy (MICRO 2011) reproduction" in
   let info = Cmd.info "rfh" ~version:"1.0.0" ~doc in
   let cmds =
     List.map artefact_cmd Experiments.Report.artefact_names
     @ [ all_cmd; kernels_cmd; allocate_cmd; compile_cmd; selfcheck_cmd; trace_cmd; profile_cmd;
-        baseline_cmd ]
+        baseline_cmd; explain_cmd ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

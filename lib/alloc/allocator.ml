@@ -21,6 +21,7 @@ type kind =
 (* One allocation candidate: a value (or MRF-resident read range) and
    the reads an upper-level copy would serve. *)
 type cand = {
+  id : int;  (* dense per-run index; keys the explainer's side table *)
   kind : kind;
   reg : Ir.Reg.t;
   strand : int;
@@ -132,6 +133,7 @@ let make_write_unit config (ctx : Context.t) ~defs ~reg ~strand ~reads ~extra_un
     end
   in
   {
+    id = -1;  (* renumbered once all units of the run exist *)
     kind = Write_unit { defs };
     reg;
     strand;
@@ -237,6 +239,7 @@ let build_read_units (ctx : Context.t) =
         if dominated = [] then acc
         else
           {
+            id = -1;
             kind = Read_unit;
             reg;
             strand;
@@ -277,10 +280,102 @@ let audit_alloc config k target c ~slot ~partial =
          })
   end
 
+(* ------------------------------------------------------------------ *)
+(* Explainer side table.  When Obs.Explain is enabled, one [trail] per
+   candidate accumulates what the two phases concluded about it;
+   everything is emitted at the end of the run in candidate-id order,
+   so the event stream is deterministic regardless of the priority
+   order in which the queues drained.  When disabled, none of this is
+   allocated and the per-decision cost is zero. *)
+
+type trail = {
+  mutable t_lrf : Obs.Explain.candidate option;
+  mutable t_orf : Obs.Explain.candidate option;
+  mutable t_shortened : int;
+  mutable t_outcome : Obs.Explain.outcome;
+  t_initial_reads : int;
+}
+
+(* Savings estimates can be [neg_infinity] — or raise — for
+   structurally impossible pairings (the energy model refuses an LRF
+   wired to the shared datapath); clamp for the event stream so the
+   JSONL stays finite. *)
+let finite s = if Float.is_finite s then s else 0.0
+
+let safe_savings config k lvl c =
+  match savings_of config k lvl c with
+  | s -> finite s
+  | exception Invalid_argument _ -> 0.0
+
+(* Re-derive why [make_write_unit] withheld an LRF bank (it collapses
+   the reasons into [lrf_bank = None]); explain-path only, so the extra
+   walk over covered reads is fine. *)
+let lrf_ineligibility config k c =
+  match c.kind with
+  | Read_unit -> "read units are ORF-only"
+  | Write_unit _ ->
+    if config.Config.lrf = Config.No_lrf then "no LRF in this configuration"
+    else if c.producer_dp <> Energy.Model.Private then "shared-datapath producer"
+    else if c.width > 1 then "wide (multi-word) value"
+    else if List.exists (fun r -> consumer_dp k r = Energy.Model.Shared) c.covered then
+      "shared-datapath consumer"
+    else if
+      config.Config.lrf = Config.Split
+      && (match c.covered with
+         | [] -> false
+         | r0 :: rest ->
+           not
+             (List.for_all
+                (fun (r : Analysis.Duchain.read) ->
+                  r.Analysis.Duchain.slot = r0.Analysis.Duchain.slot)
+                rest))
+    then "covered reads span operand slots"
+    else "not LRF-eligible"
+
+let emit_decisions k trails units =
+  List.iter
+    (fun c ->
+      let t = trails.(c.id) in
+      let first, last = interval_of c in
+      Obs.Explain.emit
+        {
+          Obs.Explain.seq = c.id;
+          kernel = k.Ir.Kernel.name;
+          reg = Ir.Reg.to_string c.reg;
+          kind = (match c.kind with Write_unit _ -> "write_unit" | Read_unit -> "read_unit");
+          strand = c.strand;
+          width = c.width;
+          first;
+          last;
+          defs = (match c.kind with Write_unit { defs } -> defs | Read_unit -> []);
+          covered =
+            List.map
+              (fun (r : Analysis.Duchain.read) ->
+                (r.Analysis.Duchain.read_instr, r.Analysis.Duchain.slot))
+              c.covered;
+          dropped_reads = t.t_initial_reads - List.length c.covered;
+          mrf_copy = c.mrf_write_required;
+          candidates = List.filter_map Fun.id [ t.t_lrf; t.t_orf ];
+          outcome = t.t_outcome;
+        })
+    units
+
+(* Per-instruction static occupancy of one strand-local structure, for
+   the counter tracks: entries reserved over [at, at+1). *)
+let occupied_at occ ~at =
+  let n = Occupancy.entries occ in
+  let c = ref 0 in
+  for e = 0 to n - 1 do
+    if not (Occupancy.available occ ~entry:e ~first:at ~last:(at + 1)) then incr c
+  done;
+  !c
+
 let run_inner config (ctx : Context.t) =
   let k = ctx.Context.kernel in
   let placement = Placement.baseline k in
   let duchain = ctx.Context.duchain in
+  (* Sampled once per run: the allocator hot path sees one bool. *)
+  let ex = Obs.Explain.is_enabled () in
   (* Write units: one per def-use group, visiting each group once. *)
   let seen_groups = Hashtbl.create 64 in
   let write_units =
@@ -295,6 +390,57 @@ let run_inner config (ctx : Context.t) =
       (Analysis.Duchain.instances duchain)
   in
   let read_units = if config.Config.read_operands then build_read_units ctx else [] in
+  (* Dense ids: write units first, then read units, in construction
+     order.  The renumbering copies are what every later phase works
+     on, so physical-identity bookkeeping below stays coherent. *)
+  let write_units = List.mapi (fun i c -> { c with id = i }) write_units in
+  let nw = List.length write_units in
+  let read_units = List.mapi (fun i c -> { c with id = nw + i }) read_units in
+  let all_units = write_units @ read_units in
+  let trails =
+    if ex then
+      Array.of_list
+        (List.map
+           (fun c ->
+             {
+               t_lrf = None;
+               t_orf = None;
+               t_shortened = 0;
+               t_outcome = Obs.Explain.To_mrf;
+               t_initial_reads = List.length c.covered;
+             })
+           all_units)
+    else [||]
+  in
+  let trail c = trails.(c.id) in
+  (* Pre-drain LRF verdicts for candidates the queue will never see:
+     structurally ineligible ones and those with non-positive savings. *)
+  if ex then
+    List.iter
+      (fun c ->
+        if c.lrf_bank = None then
+          (trail c).t_lrf <-
+            Some
+              {
+                Obs.Explain.level = "lrf";
+                savings =
+                  (match c.kind with
+                  | Write_unit _ -> safe_savings config k `Lrf c
+                  | Read_unit -> 0.0);
+                verdict = Obs.Explain.Ineligible (lrf_ineligibility config k c);
+              }
+        else begin
+          let s = savings_of config k `Lrf c in
+          if s <= 0.0 then
+            (trail c).t_lrf <-
+              Some
+                {
+                  Obs.Explain.level = "lrf";
+                  savings = finite s;
+                  verdict = Obs.Explain.Negative_savings;
+                }
+        end)
+      all_units;
   (* Per-strand occupancy maps. *)
   let num_strands = Strand.Partition.num_strands ctx.Context.partition in
   let orf_occ = Array.init num_strands (fun _ -> Occupancy.create ~entries:config.Config.orf_entries) in
@@ -334,8 +480,26 @@ let run_inner config (ctx : Context.t) =
          lrf_allocs := (c, b) :: !lrf_allocs;
          lrf_done := c :: !lrf_done;
          audit_alloc config k `Lrf c ~slot:b ~partial:false;
+         if ex then begin
+           (trail c).t_lrf <-
+             Some
+               {
+                 Obs.Explain.level = "lrf";
+                 savings = finite (savings_of config k `Lrf c);
+                 verdict = Obs.Explain.Chosen;
+               };
+           (trail c).t_outcome <- Obs.Explain.To_lrf { bank = b }
+         end;
          stats := { !stats with lrf_allocated = !stats.lrf_allocated + 1 }
-       | None -> ());
+       | None ->
+         if ex then
+           (trail c).t_lrf <-
+             Some
+               {
+                 Obs.Explain.level = "lrf";
+                 savings = finite (savings_of config k `Lrf c);
+                 verdict = Obs.Explain.No_free_slot;
+               });
       drain_lrf ()
   in
   drain_lrf ();
@@ -350,6 +514,19 @@ let run_inner config (ctx : Context.t) =
     List.iter
       (fun c -> match c.kind with Write_unit _ -> c.mrf_write_required <- true | Read_unit -> ())
       orf_candidates;
+  if ex then
+    List.iter
+      (fun c ->
+        let s = savings_of config k `Orf c in
+        if s <= 0.0 then
+          (trail c).t_orf <-
+            Some
+              {
+                Obs.Explain.level = "orf";
+                savings = finite s;
+                verdict = Obs.Explain.Negative_savings;
+              })
+      orf_candidates;
   let orf_queue =
     Util.Pqueue.of_list ~cmp:(cmp_by (priority_of config k `Orf))
       (List.filter (fun c -> savings_of config k `Orf c > 0.0) orf_candidates)
@@ -360,7 +537,18 @@ let run_inner config (ctx : Context.t) =
     | None -> ()
     | Some c ->
       let rec attempt ~shortened =
-        if savings_of config k `Orf c <= 0.0 then ()
+        let s = savings_of config k `Orf c in
+        if s <= 0.0 then begin
+          (* Shortening drove the estimate negative: give up. *)
+          if ex then
+            (trail c).t_orf <-
+              Some
+                {
+                  Obs.Explain.level = "orf";
+                  savings = finite s;
+                  verdict = Obs.Explain.Negative_savings;
+                }
+        end
         else begin
           let first, last = interval_of c in
           match Occupancy.find_free orf_occ.(c.strand) ~width:c.width ~first ~last with
@@ -368,12 +556,30 @@ let run_inner config (ctx : Context.t) =
             Occupancy.reserve_range orf_occ.(c.strand) ~entry:e ~width:c.width ~first ~last;
             orf_allocs := (c, e) :: !orf_allocs;
             audit_alloc config k `Orf c ~slot:e ~partial:shortened;
+            if ex then begin
+              (trail c).t_orf <-
+                Some
+                  { Obs.Explain.level = "orf"; savings = finite s; verdict = Obs.Explain.Chosen };
+              (trail c).t_outcome <-
+                Obs.Explain.To_orf { entry = e; shortened = (trail c).t_shortened }
+            end;
             stats :=
               { !stats with
                 orf_allocated = !stats.orf_allocated + 1;
                 partial_allocated = !stats.partial_allocated + (if shortened then 1 else 0) }
           | None ->
-            if config.Config.partial_ranges && shorten c then attempt ~shortened:true
+            if config.Config.partial_ranges && shorten c then begin
+              if ex then (trail c).t_shortened <- (trail c).t_shortened + 1;
+              attempt ~shortened:true
+            end
+            else if ex then
+              (trail c).t_orf <-
+                Some
+                  {
+                    Obs.Explain.level = "orf";
+                    savings = finite s;
+                    verdict = Obs.Explain.No_free_slot;
+                  }
         end
       in
       attempt ~shortened:false;
@@ -422,6 +628,19 @@ let run_inner config (ctx : Context.t) =
                  ~pos:r.Analysis.Duchain.slot (Placement.From_orf entry))
              rest))
     !orf_allocs;
+  if ex then emit_decisions k trails all_units;
+  (* Static ORF/LRF occupancy over the instruction stream, as counter
+     tracks (simulated time = instruction id). *)
+  if Obs.Counters.is_enabled () then begin
+    let n = Ir.Kernel.instr_count k in
+    for i = 0 to n - 1 do
+      let strand = Strand.Partition.strand_of_instr ctx.Context.partition i in
+      Obs.Counters.sample "alloc.orf_occupancy" ~at:(float_of_int i)
+        (float_of_int (occupied_at orf_occ.(strand) ~at:i));
+      Obs.Counters.sample "alloc.lrf_occupancy" ~at:(float_of_int i)
+        (float_of_int (occupied_at lrf_occ.(strand) ~at:i))
+    done
+  end;
   let s = !stats in
   Obs.Metrics.incr m_runs;
   Obs.Metrics.incr ~by:s.write_units m_write_units;

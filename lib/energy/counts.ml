@@ -4,26 +4,103 @@ let num_levels = Array.length levels
 let level_index = function Model.Mrf -> 0 | Model.Orf -> 1 | Model.Rfc -> 2 | Model.Lrf -> 3
 let dp_index = function Model.Private -> 0 | Model.Shared -> 1
 
+(* Optional per-instruction attribution: when enabled, every count
+   carrying a [?pc] also lands in a pc-indexed row of [areads]/
+   [awrites] (laid out [pc * cells + cell]) so energy can be charged
+   back to the static instruction that caused the access.  The
+   aggregate arrays stay authoritative; attribution is a side table
+   and never feeds manifests. *)
+type attrib = {
+  instrs : int;
+  areads : int array;
+  awrites : int array;
+  aprobes : int array;
+}
+
 type t = {
   reads : int array;   (* level * datapath *)
   writes : int array;
   mutable probes : int;
+  mutable attrib : attrib option;
 }
 
 let cell level dp = (level_index level * 2) + dp_index dp
 
-let create () = { reads = Array.make (num_levels * 2) 0; writes = Array.make (num_levels * 2) 0; probes = 0 }
+let attr_cells = num_levels * 2
 
-let copy t = { reads = Array.copy t.reads; writes = Array.copy t.writes; probes = t.probes }
+let create () =
+  {
+    reads = Array.make (num_levels * 2) 0;
+    writes = Array.make (num_levels * 2) 0;
+    probes = 0;
+    attrib = None;
+  }
+
+let enable_attribution t ~instrs =
+  t.attrib <-
+    Some
+      {
+        instrs;
+        areads = Array.make (instrs * attr_cells) 0;
+        awrites = Array.make (instrs * attr_cells) 0;
+        aprobes = Array.make instrs 0;
+      }
+
+let attribution_enabled t = t.attrib <> None
+
+let attributed_instrs t = match t.attrib with None -> 0 | Some a -> a.instrs
+
+let copy_attrib a =
+  {
+    instrs = a.instrs;
+    areads = Array.copy a.areads;
+    awrites = Array.copy a.awrites;
+    aprobes = Array.copy a.aprobes;
+  }
+
+let copy t =
+  {
+    reads = Array.copy t.reads;
+    writes = Array.copy t.writes;
+    probes = t.probes;
+    attrib = Option.map copy_attrib t.attrib;
+  }
 
 let merge_into ~dst src =
   Array.iteri (fun i v -> dst.reads.(i) <- dst.reads.(i) + v) src.reads;
   Array.iteri (fun i v -> dst.writes.(i) <- dst.writes.(i) + v) src.writes;
-  dst.probes <- dst.probes + src.probes
+  dst.probes <- dst.probes + src.probes;
+  match (dst.attrib, src.attrib) with
+  | _, None -> ()
+  | None, Some sa -> dst.attrib <- Some (copy_attrib sa)
+  | Some da, Some sa when da.instrs = sa.instrs ->
+    Array.iteri (fun i v -> da.areads.(i) <- da.areads.(i) + v) sa.areads;
+    Array.iteri (fun i v -> da.awrites.(i) <- da.awrites.(i) + v) sa.awrites;
+    Array.iteri (fun i v -> da.aprobes.(i) <- da.aprobes.(i) + v) sa.aprobes
+  | Some _, Some _ -> invalid_arg "Energy.Counts.merge_into: attribution tables differ in size"
 
-let add_read t level dp ?(n = 1) () = t.reads.(cell level dp) <- t.reads.(cell level dp) + n
-let add_write t level dp ?(n = 1) () = t.writes.(cell level dp) <- t.writes.(cell level dp) + n
-let add_rfc_probe t ?(n = 1) () = t.probes <- t.probes + n
+let attr_bump arr a c pc n =
+  if pc >= 0 && pc < a.instrs then arr.((pc * attr_cells) + c) <- arr.((pc * attr_cells) + c) + n
+
+let add_read t level dp ?pc ?(n = 1) () =
+  let c = cell level dp in
+  t.reads.(c) <- t.reads.(c) + n;
+  match (t.attrib, pc) with
+  | Some a, Some pc -> attr_bump a.areads a c pc n
+  | _ -> ()
+
+let add_write t level dp ?pc ?(n = 1) () =
+  let c = cell level dp in
+  t.writes.(c) <- t.writes.(c) + n;
+  match (t.attrib, pc) with
+  | Some a, Some pc -> attr_bump a.awrites a c pc n
+  | _ -> ()
+
+let add_rfc_probe t ?pc ?(n = 1) () =
+  t.probes <- t.probes + n;
+  match (t.attrib, pc) with
+  | Some a, Some pc when pc >= 0 && pc < a.instrs -> a.aprobes.(pc) <- a.aprobes.(pc) + n
+  | _ -> ()
 
 let reads t level = t.reads.(cell level Model.Private) + t.reads.(cell level Model.Shared)
 let writes t level = t.writes.(cell level Model.Private) + t.writes.(cell level Model.Shared)
@@ -63,6 +140,53 @@ let energy params ~orf_entries t =
   let per_level = Array.to_list (Array.map level_breakdown levels) in
   let total = List.fold_left (fun s le -> s +. le.access +. le.wire) 0.0 per_level in
   { levels = per_level; total }
+
+(* ------------------------------------------------------------------ *)
+(* Per-instruction attribution queries.                                *)
+
+let instr_energy params ~orf_entries t ~pc =
+  match t.attrib with
+  | None -> 0.0
+  | Some a when pc < 0 || pc >= a.instrs -> 0.0
+  | Some a ->
+    let e = ref 0.0 in
+    Array.iter
+      (fun level ->
+        List.iter
+          (fun dp ->
+            let c = (pc * attr_cells) + cell level dp in
+            let r = a.areads.(c) and w = a.awrites.(c) in
+            if r <> 0 then
+              e :=
+                !e
+                +. (float_of_int r
+                   *. (Model.access_only_read params ~orf_entries level
+                      +. Model.wire_only_read params level dp));
+            if w <> 0 then
+              e :=
+                !e
+                +. (float_of_int w
+                   *. (Model.access_only_write params ~orf_entries level
+                      +. Model.wire_only_write params level dp)))
+          [ Model.Private; Model.Shared ])
+      levels;
+    if a.aprobes.(pc) <> 0 then
+      e := !e +. (float_of_int a.aprobes.(pc) *. Model.rfc_probe_energy params);
+    !e
+
+let attributed_energies params ~orf_entries t =
+  match t.attrib with
+  | None -> [||]
+  | Some a -> Array.init a.instrs (fun pc -> instr_energy params ~orf_entries t ~pc)
+
+let top_instrs params ~orf_entries ?(n = 10) t =
+  let pjs = attributed_energies params ~orf_entries t in
+  let ranked = Array.mapi (fun pc pj -> (pc, pj)) pjs in
+  Array.sort
+    (fun (pa, a) (pb, b) ->
+      match compare (b : float) a with 0 -> compare (pa : int) pb | c -> c)
+    ranked;
+  Array.to_list (Array.sub ranked 0 (min n (Array.length ranked)))
 
 (* JSON codec: dp-resolved counts per level, keyed by the lowercase
    level name in the paper's MRF, ORF, RFC, LRF order.  Field order is

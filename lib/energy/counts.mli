@@ -10,12 +10,50 @@ type t
 val create : unit -> t
 val copy : t -> t
 val merge_into : dst:t -> t -> unit
+(** Adds [src] into [dst], attribution tables included ([dst] adopts a
+    copy of [src]'s table if it has none).
+    @raise Invalid_argument if both carry tables of different sizes. *)
 
-val add_read : t -> Model.level -> Model.datapath -> ?n:int -> unit -> unit
-val add_write : t -> Model.level -> Model.datapath -> ?n:int -> unit -> unit
+val add_read : t -> Model.level -> Model.datapath -> ?pc:int -> ?n:int -> unit -> unit
+(** [?pc] is the static instruction id the access belongs to; it feeds
+    the attribution table when one is enabled and is ignored (at the
+    cost of one branch) otherwise.  Out-of-range pcs are dropped from
+    attribution but still counted in the aggregate. *)
 
-val add_rfc_probe : t -> ?n:int -> unit -> unit
+val add_write : t -> Model.level -> Model.datapath -> ?pc:int -> ?n:int -> unit -> unit
+
+val add_rfc_probe : t -> ?pc:int -> ?n:int -> unit -> unit
 (** RFC tag lookups that miss (tag energy, no data access). *)
+
+(** {1 Per-instruction attribution}
+
+    Off by default: [create] allocates no side table and the [?pc]
+    arguments cost one branch.  After [enable_attribution t ~instrs],
+    every count carrying a [?pc] is also charged to that instruction,
+    so energy can be ranked over the static instruction stream.  The
+    attribution table never feeds {!to_json} — manifests are
+    unaffected. *)
+
+val enable_attribution : t -> instrs:int -> unit
+(** [instrs] is the kernel's instruction count (pc range). *)
+
+val attribution_enabled : t -> bool
+
+val attributed_instrs : t -> int
+(** Size of the attribution pc range; [0] when disabled. *)
+
+val instr_energy : Params.t -> orf_entries:int -> t -> pc:int -> float
+(** Register-file energy (pJ) attributed to one instruction; [0.0]
+    when attribution is off or [pc] is out of range. *)
+
+val attributed_energies : Params.t -> orf_entries:int -> t -> float array
+(** Per-pc attributed energy for the whole instruction stream; [[||]]
+    when attribution is off.  Sums to {!energy}'s [total] when every
+    recorded count carried a [?pc]. *)
+
+val top_instrs : Params.t -> orf_entries:int -> ?n:int -> t -> (int * float) list
+(** The [n] highest-energy instructions as [(pc, pJ)], energy
+    descending, pc ascending on ties. *)
 
 val reads : t -> Model.level -> int
 (** Total reads of a level across both datapaths. *)

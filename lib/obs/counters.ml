@@ -1,0 +1,54 @@
+(* Counter-track recorder for the simulators.  Unlike Span, samples
+   are stamped with *simulated* time supplied by the caller (a cycle
+   number or a dynamic-instruction window index), never wall clock —
+   so a fixed-seed run produces byte-identical tracks and the Perfetto
+   export of the counter rows can be golden-tested.  Disabled by
+   default; the enabled check is one atomic load, sampled once per
+   simulator run. *)
+
+type sample = { at : float; value : float; domain : int }
+
+type track = { track : string; samples : sample list }
+
+let on = Atomic.make false
+let mu = Mutex.create ()
+
+(* Reverse-chronological per emission; grouped and re-sorted on read. *)
+let store : (string * sample) list ref = ref []
+
+let is_enabled () = Atomic.get on
+
+let set_enabled b = Atomic.set on b
+
+let reset () =
+  Mutex.lock mu;
+  store := [];
+  Mutex.unlock mu
+
+let sample name ~at value =
+  if Atomic.get on then begin
+    let s = { at; value; domain = (Domain.self () :> int) } in
+    Mutex.lock mu;
+    store := (name, s) :: !store;
+    Mutex.unlock mu
+  end
+
+let tracks () =
+  Mutex.lock mu;
+  let raw = !store in
+  Mutex.unlock mu;
+  let tbl = Hashtbl.create 16 in
+  (* [raw] is newest-first; fold right so per-track lists keep emission
+     order before the stable sort by timestamp. *)
+  List.iter
+    (fun (name, s) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl name) in
+      Hashtbl.replace tbl name (s :: prev))
+    raw;
+  Hashtbl.fold (fun name samples acc -> (name, samples) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (track, samples) ->
+         {
+           track;
+           samples = List.stable_sort (fun a b -> compare (a.at, a.domain) (b.at, b.domain)) samples;
+         })

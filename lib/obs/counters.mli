@@ -1,0 +1,33 @@
+(** Counter-track recorder for per-cycle simulator telemetry.
+
+    Simulators sample named series — active warps, register-file
+    accesses per window, occupancy — while they run; {!Trace_export}
+    renders them as Perfetto counter ("C") tracks alongside the span
+    tracks.  Sample timestamps are {e simulated} time supplied by the
+    caller (cycle count, dynamic-instruction window index), never wall
+    clock, so fixed-seed runs produce byte-identical tracks.
+
+    Disabled by default.  [is_enabled] is one atomic load — simulators
+    sample it once per run and skip all bookkeeping when off. *)
+
+type sample = {
+  at : float;  (** simulated time: cycle or instruction-window index *)
+  value : float;
+  domain : int;  (** recording domain, for per-track tid separation *)
+}
+
+type track = { track : string; samples : sample list }
+
+val is_enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Drop all recorded samples. *)
+
+val sample : string -> at:float -> float -> unit
+(** [sample track ~at v] appends one point; no-op when disabled. *)
+
+val tracks : unit -> track list
+(** All recorded tracks, sorted by name; samples within a track sorted
+    by [(at, domain)] with emission order breaking ties. *)

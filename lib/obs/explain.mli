@@ -1,0 +1,109 @@
+(** Allocation-decision explainer.
+
+    The compile-time allocator emits one {!decision} per live-range
+    unit it considers (write units and read-operand units): the
+    candidate levels it weighed, the per-level energy-savings estimate,
+    partial-range shortening applied, and the final placement.  The
+    recorder follows the same discipline as {!Audit}: disabled by
+    default, a single atomic load on the fast path, and a
+    mutex-serialized sink so fan-out over domains cannot interleave one
+    sink's internal state.  Decisions are emitted in a deterministic
+    order (write units first, then read units, both in construction
+    order), independent of the priority order in which the allocator
+    drained its queues. *)
+
+(** Why a candidate level was or was not selected. *)
+type verdict =
+  | Chosen  (** this level won the live range *)
+  | Ineligible of string  (** structurally excluded; the payload says why *)
+  | Negative_savings  (** allocating would cost more energy than it saves *)
+  | No_free_slot  (** occupancy rejected it, even after shortening *)
+
+type candidate = {
+  level : string;  (** ["lrf"] or ["orf"] *)
+  savings : float;  (** estimated pJ saved across all warps, at final shape *)
+  verdict : verdict;
+}
+
+type outcome =
+  | To_lrf of { bank : int }
+  | To_orf of { entry : int; shortened : int }
+      (** [shortened] counts partial-range shortening steps applied *)
+  | To_mrf  (** left in the main register file *)
+
+type decision = {
+  seq : int;  (** deterministic per-kernel emission index *)
+  kernel : string;
+  reg : string;
+  kind : string;  (** ["write_unit"] or ["read_unit"] *)
+  strand : int;
+  width : int;
+  first : int;  (** live interval start (instruction id, inclusive) *)
+  last : int;  (** live interval end (instruction id, exclusive) *)
+  defs : int list;  (** defining instruction ids (write units) *)
+  covered : (int * int) list;  (** (instr, operand slot) reads served, final shape *)
+  dropped_reads : int;  (** reads dropped by partial-range shortening *)
+  mrf_copy : bool;  (** an MRF copy of the value is still required *)
+  candidates : candidate list;
+  outcome : outcome;
+}
+
+(** {1 Recorder} *)
+
+val is_enabled : unit -> bool
+(** One atomic load; sample it once per allocator run. *)
+
+val emit : decision -> unit
+(** No-op unless enabled.  The sink runs under the recorder mutex. *)
+
+val set_sink : (decision -> unit) -> unit
+(** Install a sink and enable the recorder. *)
+
+val set_enabled : bool -> unit
+
+val disable : unit -> unit
+(** Disable and drop the sink. *)
+
+val memory_sink : unit -> (decision -> unit) * (unit -> decision list)
+(** In-memory sink plus a function returning events in emission order. *)
+
+val jsonl_sink : out_channel -> decision -> unit
+(** One JSON object per line; the caller owns the channel. *)
+
+val printer_sink : Format.formatter -> decision -> unit
+
+val tee : (decision -> unit) list -> decision -> unit
+
+(** {1 Derived views} *)
+
+val placed : decision -> bool
+(** True when the outcome is LRF or ORF. *)
+
+val outcome_level : decision -> string
+(** ["lrf"], ["orf"] or ["mrf"]. *)
+
+(** One instruction of a kernel's energy heatmap. *)
+type instr_line = {
+  pc : int;
+  strand : int;
+  text : string;
+  pj : float;  (** attributed register-file energy *)
+  share : float;  (** fraction of the kernel's total attributed energy *)
+}
+
+(** Everything {!Html_report} needs to render one kernel's explain
+    section; assembled by the [rfh explain] driver so [obs] stays free
+    of [ir]/[energy] dependencies. *)
+type kernel_report = {
+  kr_kernel : string;
+  kr_decisions : decision list;
+  kr_instrs : instr_line list;
+  kr_total_pj : float;
+}
+
+(** {1 Encoding} *)
+
+val to_json : decision -> Json.t
+val of_json : Json.t -> (decision, string) result
+val pp : Format.formatter -> decision -> unit
+val verdict_name : verdict -> string

@@ -36,7 +36,14 @@ td.l, th.l { text-align: left; }
 .legend span { display: inline-block; margin-right: 1.2em; }
 .swatch { display: inline-block; width: .85em; height: .85em; vertical-align: -.1em; margin-right: .35em; border: 1px solid #99a; }
 .muted { color: #5b6472; }
-code { background: #f2f3f6; padding: 0 .25em; }|}
+code { background: #f2f3f6; padding: 0 .25em; }
+h3 { font-size: 1.05em; margin-top: 1.5em; } h4 { font-size: .95em; }
+.heatmap { border: 1px solid #c8cdd6; padding: .3em .5em; font-variant-numeric: tabular-nums; }
+.hm-row { display: flex; gap: .8em; padding: 0 .3em; }
+.hm-pc { width: 3em; text-align: right; color: #5b6472; }
+.hm-strand { width: 2.5em; color: #5b6472; }
+.hm-row code { background: transparent; flex: 1; }
+.hm-pj { color: #5b6472; white-space: nowrap; }|}
 
 let pf = Printf.bprintf
 let num = Printf.sprintf "%.4g"
@@ -192,8 +199,86 @@ let audit_section buf (m : Manifest.t) =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Explain section: per-kernel allocation decisions plus an energy
+   heatmap over the instruction stream.  Heatmap intensity is inline
+   rgba backgrounds — still no scripts or external assets. *)
 
-let render ?compare (m : Manifest.t) =
+let verdict_cell (c : Explain.candidate) =
+  let label =
+    match c.verdict with
+    | Explain.Chosen -> "<strong>chosen</strong>"
+    | Explain.Ineligible why -> Printf.sprintf "ineligible <span class=muted>(%s)</span>" (escape why)
+    | Explain.Negative_savings -> "negative savings"
+    | Explain.No_free_slot -> "no free slot"
+  in
+  Printf.sprintf "%s %s" (num c.savings) label
+
+let explain_outcome (d : Explain.decision) =
+  match d.outcome with
+  | Explain.To_lrf { bank } -> Printf.sprintf "LRF[%d]" bank
+  | Explain.To_orf { entry; shortened } ->
+    if shortened > 0 then Printf.sprintf "ORF[%d] (shortened &times;%d)" entry shortened
+    else Printf.sprintf "ORF[%d]" entry
+  | Explain.To_mrf -> "MRF"
+
+let explain_section buf (reports : Explain.kernel_report list) =
+  pf buf "<h2>Allocation explainer</h2>\n";
+  List.iter
+    (fun (r : Explain.kernel_report) ->
+      let placed = List.filter Explain.placed r.Explain.kr_decisions in
+      pf buf "<h3>%s</h3>\n" (escape r.Explain.kr_kernel);
+      pf buf
+        "<p class=muted>%d decisions &middot; %d placed &middot; %s pJ attributed</p>\n"
+        (List.length r.Explain.kr_decisions)
+        (List.length placed) (num r.Explain.kr_total_pj);
+      if r.Explain.kr_decisions <> [] then begin
+        pf buf
+          "<table>\n<tr><th>#</th><th class=l>value</th><th class=l>kind</th><th>strand</th><th>range</th><th>reads</th><th class=l>LRF</th><th class=l>ORF</th><th class=l>outcome</th></tr>\n";
+        List.iter
+          (fun (d : Explain.decision) ->
+            let cand level =
+              match
+                List.find_opt (fun (c : Explain.candidate) -> c.Explain.level = level) d.Explain.candidates
+              with
+              | None -> "<span class=muted>&mdash;</span>"
+              | Some c -> verdict_cell c
+            in
+            pf buf
+              "<tr><td>%d</td><td class=l><code>%s</code></td><td class=l>%s</td><td>%d</td><td>[%d, %d)</td><td>%d%s</td><td class=l>%s</td><td class=l>%s</td><td class=l>%s%s</td></tr>\n"
+              d.Explain.seq (escape d.Explain.reg) (escape d.Explain.kind) d.Explain.strand
+              d.Explain.first d.Explain.last
+              (List.length d.Explain.covered)
+              (if d.Explain.dropped_reads > 0 then
+                 Printf.sprintf " <span class=muted>(&minus;%d)</span>" d.Explain.dropped_reads
+               else "")
+              (cand "lrf") (cand "orf") (explain_outcome d)
+              (if d.Explain.mrf_copy then " <span class=muted>+MRF copy</span>" else ""))
+          r.Explain.kr_decisions;
+        pf buf "</table>\n"
+      end;
+      if r.Explain.kr_instrs <> [] then begin
+        pf buf "<h4>Energy heatmap</h4>\n";
+        pf buf
+          "<p class=muted>background intensity &prop; attributed register-file energy per instruction</p>\n";
+        let peak =
+          List.fold_left (fun acc (l : Explain.instr_line) -> Float.max acc l.Explain.pj) 0.0
+            r.Explain.kr_instrs
+          |> Float.max 1e-9
+        in
+        pf buf "<div class=heatmap>\n";
+        List.iter
+          (fun (l : Explain.instr_line) ->
+            let alpha = l.Explain.pj /. peak in
+            pf buf
+              "<div class=hm-row style=\"background: rgba(238,102,102,%.3f)\"><span class=hm-pc>%d</span><span class=hm-strand>s%d</span><code>%s</code><span class=hm-pj>%s pJ (%.1f%%)</span></div>\n"
+              alpha l.Explain.pc l.Explain.strand (escape l.Explain.text) (num l.Explain.pj)
+              (100.0 *. l.Explain.share))
+          r.Explain.kr_instrs;
+        pf buf "</div>\n"
+      end)
+    reports
+
+let render ?compare ?explain (m : Manifest.t) =
   let buf = Buffer.create 16384 in
   pf buf "<!DOCTYPE html>\n<html lang=en>\n<head>\n<meta charset=utf-8>\n";
   pf buf "<title>rfh run report</title>\n<style>\n%s\n</style>\n</head>\n<body>\n" style;
@@ -208,11 +293,12 @@ let render ?compare (m : Manifest.t) =
   phase_table buf m;
   metrics_section buf m;
   audit_section buf m;
+  (match explain with None | Some [] -> () | Some reports -> explain_section buf reports);
   pf buf "</body>\n</html>\n";
   Buffer.contents buf
 
-let write_file ?compare ~path m =
+let write_file ?compare ?explain ~path m =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (render ?compare m))
+    (fun () -> output_string oc (render ?compare ?explain m))

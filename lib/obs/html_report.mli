@@ -10,8 +10,20 @@
 
     With [?compare] the report becomes an A/B diff: the headline and
     the results table additionally show deltas against the baseline
-    manifest. *)
+    manifest.
 
-val render : ?compare:Manifest.t -> Manifest.t -> string
+    With [?explain] (one {!Explain.kernel_report} per kernel, as
+    assembled by [rfh explain]) the report gains an "Allocation
+    explainer" section: the per-kernel decision table and an energy
+    heatmap over the instruction stream whose row backgrounds scale
+    with each instruction's attributed register-file energy. *)
 
-val write_file : ?compare:Manifest.t -> path:string -> Manifest.t -> unit
+val render :
+  ?compare:Manifest.t -> ?explain:Explain.kernel_report list -> Manifest.t -> string
+
+val write_file :
+  ?compare:Manifest.t ->
+  ?explain:Explain.kernel_report list ->
+  path:string ->
+  Manifest.t ->
+  unit

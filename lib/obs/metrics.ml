@@ -96,7 +96,7 @@ type snapshot = {
   histograms : (string * hist_summary) list;
 }
 
-let percentile_of_bins bins total q =
+let percentile_of_sorted_bins bins total q =
   if total = 0 then 0.0
   else begin
     let want = max 1 (int_of_float (ceil (q *. float_of_int total))) in
@@ -110,44 +110,52 @@ let percentile_of_bins bins total q =
              result := float_of_int k;
              raise Exit
            end)
-         (Util.Stats.hbins bins)
+         bins
      with Exit -> ());
     !result
   end
 
+(* Percentiles are computed on a copy of the bins taken under the
+   histogram mutex; the O(n log n) sort happens after release, so a
+   large histogram can't stall concurrent [observe] calls (or, via the
+   registry lock in [snapshot], concurrent counter interning). *)
 let summarize h =
   Mutex.lock h.hmu;
   let count = h.hcount in
-  let s =
-    {
-      count;
-      sum = h.hsum;
-      mean = (if count = 0 then 0.0 else h.hsum /. float_of_int count);
-      min = (if count = 0 then 0.0 else h.hmin);
-      max = (if count = 0 then 0.0 else h.hmax);
-      p50 = percentile_of_bins h.bins count 0.50;
-      p95 = percentile_of_bins h.bins count 0.95;
-      p99 = percentile_of_bins h.bins count 0.99;
-    }
-  in
+  let sum = h.hsum in
+  let hmin = h.hmin in
+  let hmax = h.hmax in
+  let bins = Util.Stats.hbins_unsorted h.bins in
   Mutex.unlock h.hmu;
-  s
+  let bins = List.sort (fun (a, _) (b, _) -> compare (a : int) b) bins in
+  {
+    count;
+    sum;
+    mean = (if count = 0 then 0.0 else sum /. float_of_int count);
+    min = (if count = 0 then 0.0 else hmin);
+    max = (if count = 0 then 0.0 else hmax);
+    p50 = percentile_of_sorted_bins bins count 0.50;
+    p95 = percentile_of_sorted_bins bins count 0.95;
+    p99 = percentile_of_sorted_bins bins count 0.99;
+  }
 
 let sorted_bindings table f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let snapshot ?(registry = default) () =
+  (* Hold the registry lock only long enough to collect handles — the
+     per-histogram summaries (which sort bins) run after release. *)
   Mutex.lock registry.rmu;
-  let s =
-    {
-      counters = sorted_bindings registry.counters Atomic.get;
-      gauges = sorted_bindings registry.gauges Atomic.get;
-      histograms = sorted_bindings registry.hists summarize;
-    }
-  in
+  let counters = sorted_bindings registry.counters Fun.id in
+  let gauges = sorted_bindings registry.gauges Fun.id in
+  let hists = sorted_bindings registry.hists Fun.id in
   Mutex.unlock registry.rmu;
-  s
+  {
+    counters = List.map (fun (k, c) -> (k, Atomic.get c)) counters;
+    gauges = List.map (fun (k, g) -> (k, Atomic.get g)) gauges;
+    histograms = List.map (fun (k, h) -> (k, summarize h)) hists;
+  }
 
 let diff later earlier =
   let find name xs = List.assoc_opt name xs in

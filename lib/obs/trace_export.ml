@@ -1,4 +1,66 @@
-let json_of_spans ?(process_name = "rfh") spans =
+(* Counter tracks live on their own pid: their timestamps are simulated
+   time (cycles / instruction windows), not wall clock, and mixing the
+   two time bases on one process row would render nonsense.  Keeping
+   them separate also keeps the counter rows byte-deterministic for a
+   fixed seed while the span rows stay timing-tolerant. *)
+let counters_pid = 2
+
+let json_of_counters (tracks : Counters.track list) =
+  let domains =
+    List.concat_map (fun (t : Counters.track) -> List.map (fun s -> s.Counters.domain) t.Counters.samples) tracks
+    |> List.sort_uniq compare
+  in
+  let process_metadata =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.int counters_pid);
+        ("tid", Json.int 0);
+        ("args", Json.Obj [ ("name", Json.Str "rfh counters (simulated time)") ]);
+      ]
+  in
+  let thread_metadata =
+    List.map
+      (fun did ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.int counters_pid);
+            ("tid", Json.int did);
+            ( "args",
+              Json.Obj
+                [
+                  ( "name",
+                    Json.Str
+                      (if did = 0 then "domain 0 (main)" else Printf.sprintf "domain %d" did)
+                  );
+                ] );
+          ])
+      domains
+  in
+  let events =
+    List.concat_map
+      (fun (t : Counters.track) ->
+        List.map
+          (fun (s : Counters.sample) ->
+            Json.Obj
+              [
+                ("name", Json.Str t.Counters.track);
+                ("cat", Json.Str "rfh");
+                ("ph", Json.Str "C");
+                ("ts", Json.Num s.Counters.at);
+                ("pid", Json.int counters_pid);
+                ("tid", Json.int s.Counters.domain);
+                ("args", Json.Obj [ ("value", Json.Num s.Counters.value) ]);
+              ])
+          t.Counters.samples)
+      tracks
+  in
+  (process_metadata :: thread_metadata) @ events
+
+let json_of_spans ?(process_name = "rfh") ?(counters = []) spans =
   let base =
     List.fold_left
       (fun acc (s : Span.span) -> if Int64.compare s.Span.ts_ns acc < 0 then s.Span.ts_ns else acc)
@@ -57,18 +119,21 @@ let json_of_spans ?(process_name = "rfh") spans =
           ])
       spans
   in
+  let counter_events = match counters with [] -> [] | tracks -> json_of_counters tracks in
   Json.Obj
     [
-      ("traceEvents", Json.Arr ((process_metadata :: thread_metadata) @ events));
+      ( "traceEvents",
+        Json.Arr ((process_metadata :: thread_metadata) @ events @ counter_events) );
       ("displayTimeUnit", Json.Str "ms");
     ]
 
-let to_string ?process_name spans = Json.to_string (json_of_spans ?process_name spans)
+let to_string ?process_name ?counters spans =
+  Json.to_string (json_of_spans ?process_name ?counters spans)
 
-let write_file ~path ?process_name spans =
+let write_file ~path ?process_name ?counters spans =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Json.to_channel oc (json_of_spans ?process_name spans);
+      Json.to_channel oc (json_of_spans ?process_name ?counters spans);
       output_char oc '\n')

@@ -1,16 +1,31 @@
-(** Chrome trace-event export for {!Span} recordings.
+(** Chrome trace-event export for {!Span} recordings and {!Counters}
+    tracks.
 
     Produces the JSON object format understood by [chrome://tracing]
-    and [https://ui.perfetto.dev]: a [traceEvents] array of complete
-    ("X") events with microsecond [ts]/[dur], one per recorded span.
+    and the Perfetto UI: a [traceEvents] array of complete ("X")
+    events with microsecond [ts]/[dur], one per recorded span.
     Timestamps are rebased to the earliest span so traces start near
     zero.  Each span carries its recording domain's id as the event
     [tid] (plus a [thread_name] metadata row per domain), so a
-    [--jobs N] profile renders as N parallel tracks. *)
+    [--jobs N] profile renders as N parallel tracks.
 
-val json_of_spans : ?process_name:string -> Span.span list -> Json.t
+    When [counters] is supplied, each {!Counters.track} is emitted as a
+    Perfetto counter ("C") track on a separate process row (pid 2,
+    named ["rfh counters (simulated time)"]): counter timestamps are
+    simulated time (cycles or instruction windows), not wall clock, and
+    are byte-deterministic for a fixed seed.  Counter samples keep
+    their recording domain as the event [tid]. *)
 
-val to_string : ?process_name:string -> Span.span list -> string
+val json_of_spans :
+  ?process_name:string -> ?counters:Counters.track list -> Span.span list -> Json.t
 
-val write_file : path:string -> ?process_name:string -> Span.span list -> unit
+val to_string :
+  ?process_name:string -> ?counters:Counters.track list -> Span.span list -> string
+
+val write_file :
+  path:string ->
+  ?process_name:string ->
+  ?counters:Counters.track list ->
+  Span.span list ->
+  unit
 (** @raise Sys_error on I/O failure. *)

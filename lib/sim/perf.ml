@@ -28,7 +28,19 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
     ?(max_cycles = 10_000_000) ?mrf_banks ~scheduler ~policy (ctx : Alloc.Context.t) =
   let k = ctx.Alloc.Context.kernel in
   let au = Obs.Audit.is_enabled () in
+  let co = Obs.Counters.is_enabled () in
   let partition = ctx.Alloc.Context.partition in
+  (* Counter-track bins: issue count and register-file operand accesses
+     per [counter_window]-cycle window (simulated time, so the tracks
+     are byte-deterministic for a fixed seed). *)
+  let counter_window = 64 in
+  let issued_bins = Hashtbl.create 64 in
+  let access_bins = Hashtbl.create 64 in
+  let bin_bump tbl w n =
+    match Hashtbl.find_opt tbl w with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add tbl w (ref n)
+  in
   let nr = max 1 k.Ir.Kernel.num_regs in
   let states =
     Array.init warps (fun w ->
@@ -121,6 +133,12 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
                  (List.sort_uniq compare i.Ir.Instr.srcs);
                Hashtbl.fold (fun _ n acc -> max acc (n - 1)) counts 0
            in
+           if co then begin
+             let win = now / counter_window in
+             bin_bump issued_bins win 1;
+             bin_bump access_bins win
+               (List.length i.Ir.Instr.srcs + if Option.is_some i.Ir.Instr.dst then 1 else 0)
+           end;
            unit_free.(unit_index i.Ir.Instr.op) <- now + Ir.Op.issue_cycles i.Ir.Instr.op;
            Option.iter
              (fun d ->
@@ -136,6 +154,9 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
   let all_done () = Array.for_all (fun st -> Cf.finished st.cf) states in
   while (not (all_done ())) && !cycle < max_cycles do
     refill_active ();
+    if co && !cycle mod counter_window = 0 then
+      Obs.Counters.sample "perf.active_warps" ~at:(float_of_int !cycle)
+        (float_of_int (List.length !active));
     (* Round-robin over a snapshot of the active set until one warp
        issues; membership changes (deschedules, refills) apply to
        [active] directly and survive the scan. *)
@@ -159,6 +180,16 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
     attempt !active;
     incr cycle
   done;
+  if co then
+    List.iter
+      (fun (name, tbl) ->
+        Hashtbl.fold (fun w r acc -> (w, !r) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+        |> List.iter (fun (w, v) ->
+               Obs.Counters.sample name
+                 ~at:(float_of_int (w * counter_window))
+                 (float_of_int v)))
+      [ ("perf.issued", issued_bins); ("perf.rf_accesses", access_bins) ];
   Obs.Metrics.incr m_runs;
   Obs.Metrics.incr ~by:!cycle m_cycles;
   Obs.Metrics.incr ~by:!instructions m_instructions;

@@ -172,52 +172,78 @@ let merge_stats a b =
     reconvergences = a.reconvergences + b.reconvergences;
   }
 
+(* Warp-instruction window width for the [simt.active_threads] track. *)
+let counter_window = 32
+
 let traffic ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp (ctx : Alloc.Context.t) ~scheme =
   Obs.Span.with_span "simulate.simt" @@ fun () ->
   let k = ctx.Alloc.Context.kernel in
   let counts = Energy.Counts.create () in
+  let co = Obs.Counters.is_enabled () in
+  (* Active threads summed per window of warp-local instructions,
+     accumulated across warps. *)
+  let active_bins = Hashtbl.create 32 in
+  let warp_instr = ref 0 in
   let datapath_of_op op =
     if Ir.Op.is_shared_datapath op then Energy.Model.Shared else Energy.Model.Private
   in
-  let on_instr (i : Ir.Instr.t) ~active:_ ~clusters =
+  let on_instr (i : Ir.Instr.t) ~active ~clusters =
     let id = i.Ir.Instr.id in
+    if co then begin
+      let w = !warp_instr / counter_window in
+      (match Hashtbl.find_opt active_bins w with
+      | Some r -> r := !r + active
+      | None -> Hashtbl.add active_bins w (ref active));
+      incr warp_instr
+    end;
     let dp = datapath_of_op i.Ir.Instr.op in
     match scheme with
     | `Baseline ->
       List.iter
-        (fun _ -> Energy.Counts.add_read counts Energy.Model.Mrf dp ~n:clusters ())
+        (fun _ -> Energy.Counts.add_read counts Energy.Model.Mrf dp ~pc:id ~n:clusters ())
         i.Ir.Instr.srcs;
       if Option.is_some i.Ir.Instr.dst then
-        Energy.Counts.add_write counts Energy.Model.Mrf dp ~n:clusters ()
+        Energy.Counts.add_write counts Energy.Model.Mrf dp ~pc:id ~n:clusters ()
     | `Sw (_, placement) ->
       List.iteri
         (fun pos _ ->
           match Alloc.Placement.src placement ~instr:id ~pos with
           | Alloc.Placement.From_mrf ->
-            Energy.Counts.add_read counts Energy.Model.Mrf dp ~n:clusters ()
+            Energy.Counts.add_read counts Energy.Model.Mrf dp ~pc:id ~n:clusters ()
           | Alloc.Placement.From_orf _ ->
-            Energy.Counts.add_read counts Energy.Model.Orf dp ~n:clusters ()
+            Energy.Counts.add_read counts Energy.Model.Orf dp ~pc:id ~n:clusters ()
           | Alloc.Placement.From_lrf _ ->
-            Energy.Counts.add_read counts Energy.Model.Lrf Energy.Model.Private ~n:clusters ())
+            Energy.Counts.add_read counts Energy.Model.Lrf Energy.Model.Private ~pc:id
+              ~n:clusters ())
         i.Ir.Instr.srcs;
       List.iter
-        (fun (_pos, _entry) -> Energy.Counts.add_write counts Energy.Model.Orf dp ~n:clusters ())
+        (fun (_pos, _entry) ->
+          Energy.Counts.add_write counts Energy.Model.Orf dp ~pc:id ~n:clusters ())
         (Alloc.Placement.fills_of placement ~instr:id);
       (match i.Ir.Instr.dst, Alloc.Placement.dest placement ~instr:id with
        | Some _, Some dest ->
          if dest.Alloc.Placement.to_mrf then
-           Energy.Counts.add_write counts Energy.Model.Mrf dp ~n:clusters ();
+           Energy.Counts.add_write counts Energy.Model.Mrf dp ~pc:id ~n:clusters ();
          if Option.is_some dest.Alloc.Placement.to_orf then
-           Energy.Counts.add_write counts Energy.Model.Orf dp ~n:clusters ();
+           Energy.Counts.add_write counts Energy.Model.Orf dp ~pc:id ~n:clusters ();
          if Option.is_some dest.Alloc.Placement.to_lrf then
-           Energy.Counts.add_write counts Energy.Model.Lrf Energy.Model.Private ~n:clusters ()
+           Energy.Counts.add_write counts Energy.Model.Lrf Energy.Model.Private ~pc:id
+             ~n:clusters ()
        | _, _ -> ())
   in
   let stats = ref None in
   for w = 0 to warps - 1 do
+    warp_instr := 0;
     let s = run_warp ?max_dynamic:max_dynamic_per_warp k ~warp:w ~seed ~on_instr in
     stats := Some (match !stats with None -> s | Some prev -> merge_stats prev s)
   done;
+  if co then
+    Hashtbl.fold (fun w r acc -> (w, !r) :: acc) active_bins []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+    |> List.iter (fun (w, v) ->
+           Obs.Counters.sample "simt.active_threads"
+             ~at:(float_of_int (w * counter_window))
+             (float_of_int v));
   let stats =
     Option.value !stats
       ~default:

@@ -69,18 +69,37 @@ module Outstanding = struct
   let clear t = t.pending <- []
 end
 
+(* Dynamic-instruction window width for the counter tracks. *)
+let counter_window = 32
+
 let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shadow = 50)
-    (ctx : Alloc.Context.t) scheme =
+    ?(attribution = false) (ctx : Alloc.Context.t) scheme =
   let k = ctx.Alloc.Context.kernel in
   let partition = ctx.Alloc.Context.partition in
   let num_strands = max 1 (Strand.Partition.num_strands partition) in
   let per_strand = Array.init num_strands (fun _ -> Energy.Counts.create ()) in
+  if attribution then
+    Array.iter
+      (fun c -> Energy.Counts.enable_attribution c ~instrs:(Ir.Kernel.instr_count k))
+      per_strand;
   let desched_events = ref 0 in
   let dynamic_instrs = ref 0 in
   let capped_warps = ref 0 in
   (* Audit enablement is sampled once per run: the sink never changes
-     mid-run, and the hot path must not pay for a closure per access. *)
+     mid-run, and the hot path must not pay for a closure per access.
+     Counter sampling follows the same discipline. *)
   let au = Obs.Audit.is_enabled () in
+  let co = Obs.Counters.is_enabled () in
+  (* Per-level accesses per window of warp-local dynamic instructions,
+     summed across warps; window index is the simulated timestamp. *)
+  let level_bins = Array.init 3 (fun _ -> Hashtbl.create 32) in
+  let bin_bump tbl w n =
+    if n <> 0 then
+      match Hashtbl.find_opt tbl w with
+      | Some r -> r := !r + n
+      | None -> Hashtbl.add tbl w (ref n)
+  in
+  let level_total c l = Energy.Counts.reads c l + Energy.Counts.writes c l in
   (* Precomputed static facts for the hardware scheme. *)
   let shared_consumer =
     let a = Array.make (Ir.Kernel.instr_count k) false in
@@ -125,7 +144,7 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
       Obs.Audit.emit (Obs.Audit.Place { warp; instr; level = audit_level level })
     in
     let place c level dp ~instr =
-      Energy.Counts.add_write c level dp ();
+      Energy.Counts.add_write c level dp ~pc:instr ();
       if au then emit_place level ~instr
     in
     let desched ~instr cause =
@@ -139,7 +158,7 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
     (* Writeback one evicted RFC value if still live at the eviction point. *)
     let writeback_rfc_evict c ~liveness_check ~instr reg =
       if liveness_check reg then begin
-        Energy.Counts.add_read c Energy.Model.Rfc Energy.Model.Private ();
+        Energy.Counts.add_read c Energy.Model.Rfc Energy.Model.Private ~pc:instr ();
         evict ~instr Energy.Model.Rfc ~writeback:true;
         place c Energy.Model.Mrf Energy.Model.Private ~instr
       end
@@ -159,7 +178,7 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
           List.iter
             (fun r ->
               if liveness_check r then begin
-                Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ();
+                Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ~pc:instr ();
                 evict ~instr Energy.Model.Lrf ~writeback:true;
                 place c Energy.Model.Mrf Energy.Model.Private ~instr
               end
@@ -171,7 +190,7 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
           List.iter
             (fun r ->
               if liveness_check r then begin
-                Energy.Counts.add_read c Energy.Model.Rfc Energy.Model.Private ();
+                Energy.Counts.add_read c Energy.Model.Rfc Energy.Model.Private ~pc:instr ();
                 evict ~instr Energy.Model.Rfc ~writeback:true;
                 place c Energy.Model.Mrf Energy.Model.Private ~instr
               end
@@ -187,13 +206,19 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
         let now = Cf.dynamic_count cf in
         let c = counts_for i in
         let consumer_dp = datapath_of_op i.Ir.Instr.op in
+        (* Per-window counter tracks are deltas over this instruction's
+           aggregate counts — exact for every scheme, including cache
+           evictions charged to the instruction that triggered them. *)
+        let b_mrf = if co then level_total c Energy.Model.Mrf else 0 in
+        let b_orf = if co then level_total c Energy.Model.Orf else 0 in
+        let b_lrf = if co then level_total c Energy.Model.Lrf else 0 in
         (match scheme with
          | Baseline ->
            List.iter
-             (fun _ -> Energy.Counts.add_read c Energy.Model.Mrf consumer_dp ())
+             (fun _ -> Energy.Counts.add_read c Energy.Model.Mrf consumer_dp ~pc:id ())
              i.Ir.Instr.srcs;
            if Option.is_some i.Ir.Instr.dst then begin
-             Energy.Counts.add_write c Energy.Model.Mrf consumer_dp ();
+             Energy.Counts.add_write c Energy.Model.Mrf consumer_dp ~pc:id ();
              if au then emit_place Energy.Model.Mrf ~instr:id
            end
          | Sw { placement; _ } ->
@@ -207,15 +232,15 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
              (fun pos _ ->
                match Alloc.Placement.src placement ~instr:id ~pos with
                | Alloc.Placement.From_mrf ->
-                 Energy.Counts.add_read c Energy.Model.Mrf consumer_dp ()
+                 Energy.Counts.add_read c Energy.Model.Mrf consumer_dp ~pc:id ()
                | Alloc.Placement.From_orf _ ->
-                 Energy.Counts.add_read c Energy.Model.Orf consumer_dp ()
+                 Energy.Counts.add_read c Energy.Model.Orf consumer_dp ~pc:id ()
                | Alloc.Placement.From_lrf _ ->
-                 Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ())
+                 Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ~pc:id ())
              i.Ir.Instr.srcs;
            List.iter
              (fun (pos, entry) ->
-               Energy.Counts.add_write c Energy.Model.Orf consumer_dp ();
+               Energy.Counts.add_write c Energy.Model.Orf consumer_dp ~pc:id ();
                if au then begin
                  emit_place Energy.Model.Orf ~instr:id;
                  Obs.Audit.emit (Obs.Audit.Fill { warp; instr = id; pos; entry })
@@ -224,15 +249,15 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
            (match i.Ir.Instr.dst, Alloc.Placement.dest placement ~instr:id with
             | Some d, Some dest ->
               if dest.Alloc.Placement.to_mrf then begin
-                Energy.Counts.add_write c Energy.Model.Mrf consumer_dp ();
+                Energy.Counts.add_write c Energy.Model.Mrf consumer_dp ~pc:id ();
                 if au then emit_place Energy.Model.Mrf ~instr:id
               end;
               if Option.is_some dest.Alloc.Placement.to_orf then begin
-                Energy.Counts.add_write c Energy.Model.Orf consumer_dp ();
+                Energy.Counts.add_write c Energy.Model.Orf consumer_dp ~pc:id ();
                 if au then emit_place Energy.Model.Orf ~instr:id
               end;
               if Option.is_some dest.Alloc.Placement.to_lrf then begin
-                Energy.Counts.add_write c Energy.Model.Lrf Energy.Model.Private ();
+                Energy.Counts.add_write c Energy.Model.Lrf Energy.Model.Private ~pc:id ();
                 if au then emit_place Energy.Model.Lrf ~instr:id
               end;
               if Ir.Instr.is_long_latency i then Outstanding.add outstanding d ~now
@@ -257,12 +282,12 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
                      | None -> false)
                in
                if lrf_hit then
-                 Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ()
+                 Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ~pc:id ()
                else if Machine.Tagged_cache.contains cache r then
-                 Energy.Counts.add_read c Energy.Model.Rfc consumer_dp ()
+                 Energy.Counts.add_read c Energy.Model.Rfc consumer_dp ~pc:id ()
                else begin
-                 Energy.Counts.add_rfc_probe c ();
-                 Energy.Counts.add_read c Energy.Model.Mrf consumer_dp ()
+                 Energy.Counts.add_rfc_probe c ~pc:id ();
+                 Energy.Counts.add_read c Energy.Model.Mrf consumer_dp ~pc:id ()
                end)
              i.Ir.Instr.srcs;
            (match i.Ir.Instr.dst with
@@ -286,7 +311,7 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
                   Option.iter
                     (fun evicted ->
                       if liveness_check evicted then begin
-                        Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ();
+                        Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ~pc:id ();
                         evict ~instr:id Energy.Model.Lrf ~writeback:true;
                         insert_rfc c cache ~liveness_check ~instr:id evicted
                       end
@@ -300,6 +325,12 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
               end);
            if opts.flush_on_backward_branch && Hashtbl.mem backward_block_last_instr id then
              flush_caches c i);
+        if co then begin
+          let w = now / counter_window in
+          bin_bump level_bins.(0) w (level_total c Energy.Model.Mrf - b_mrf);
+          bin_bump level_bins.(1) w (level_total c Energy.Model.Orf - b_orf);
+          bin_bump level_bins.(2) w (level_total c Energy.Model.Lrf - b_lrf)
+        end;
         Cf.advance cf;
         step ()
     in
@@ -309,6 +340,18 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
   for w = 0 to warps - 1 do
     run_warp w
   done;
+  (* Emit the window bins, sorted, as counter samples stamped with the
+     warp-local dynamic-instruction index at the window start. *)
+  if co then
+    List.iteri
+      (fun li name ->
+        Hashtbl.fold (fun w r acc -> (w, !r) :: acc) level_bins.(li) []
+        |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+        |> List.iter (fun (w, v) ->
+               Obs.Counters.sample name
+                 ~at:(float_of_int (w * counter_window))
+                 (float_of_int v)))
+      [ "traffic.mrf_accesses"; "traffic.orf_accesses"; "traffic.lrf_accesses" ];
   let counts = Energy.Counts.create () in
   Array.iter (fun c -> Energy.Counts.merge_into ~dst:counts c) per_strand;
   Obs.Metrics.incr m_runs;
@@ -323,6 +366,7 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
     capped_warps = !capped_warps;
   }
 
-let run ?warps ?seed ?max_dynamic_per_warp ?long_latency_shadow ctx scheme =
+let run ?warps ?seed ?max_dynamic_per_warp ?long_latency_shadow ?attribution ctx scheme =
   Obs.Span.with_span "simulate" (fun () ->
-      run_inner ?warps ?seed ?max_dynamic_per_warp ?long_latency_shadow ctx scheme)
+      run_inner ?warps ?seed ?max_dynamic_per_warp ?long_latency_shadow ?attribution ctx
+        scheme)

@@ -51,9 +51,22 @@ val run :
   ?seed:int ->
   ?max_dynamic_per_warp:int ->
   ?long_latency_shadow:int ->
+  ?attribution:bool ->
   Alloc.Context.t ->
   scheme ->
   result
 (** [warps] defaults to 32 (Table 2's machine-resident warps);
     [long_latency_shadow] defaults to 50 (400 DRAM cycles divided by a
-    warp's 1-in-8 issue share under the two-level scheduler). *)
+    warp's 1-in-8 issue share under the two-level scheduler).
+
+    [attribution] (default [false]) enables the per-instruction
+    attribution tables of {!Energy.Counts} on [per_strand] and the
+    merged [counts], charging every access to the static instruction
+    that caused it (cache evictions and flushes charge the instruction
+    that triggered them).
+
+    When {!Obs.Counters} is enabled, the run additionally emits
+    [traffic.mrf_accesses] / [traffic.orf_accesses] /
+    [traffic.lrf_accesses] counter tracks: per-level accesses summed
+    over windows of 32 warp-local dynamic instructions, accumulated
+    across warps, stamped with the window-start instruction index. *)

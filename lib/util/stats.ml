@@ -33,9 +33,9 @@ let hcount h key = match Hashtbl.find_opt h key with Some r -> !r | None -> 0
 
 let htotal h = Hashtbl.fold (fun _ r acc -> acc + !r) h 0
 
-let hbins h =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) h []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+let hbins_unsorted h = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) h []
+
+let hbins h = List.sort (fun (a, _) (b, _) -> compare a b) (hbins_unsorted h)
 
 let hreset h = Hashtbl.reset h
 

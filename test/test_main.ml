@@ -21,5 +21,6 @@ let () =
       ("transform", Test_transform.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
+      ("explain", Test_explain.suite);
       ("properties", Test_properties.suite);
     ]
