@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench fmt parity regress explain-smoke ci clean
+.PHONY: all build test bench fmt parity regress explain-smoke timeline-smoke ci clean
 
 all: build
 
@@ -57,7 +57,18 @@ explain-smoke: build
 	  --report-out _build/explain-mm.html > _build/explain-mm.txt
 	@echo "explain smoke OK: decision stream matches the manifest allocator stats"
 
-ci: fmt build test parity regress explain-smoke
+# Warp-timeline smoke (see docs/observability.md): every warp-cycle
+# must be attributed to a stall cause (the command exits 1 if the
+# breakdown does not sum to cycles x warps, or if the recorded interval
+# stream disagrees with it), and the JSONL + Perfetto trace land under
+# _build/ for CI to upload.
+timeline-smoke: build
+	dune exec bin/rfh.exe -- timeline mm --warps 16 --mrf-banks 8 --top 5 \
+	  --jsonl-out _build/timeline-mm.jsonl \
+	  --trace-out _build/timeline-mm-trace.json > _build/timeline-mm.txt
+	@echo "timeline smoke OK: stall breakdown sums to cycles x warps in every config"
+
+ci: fmt build test parity regress explain-smoke timeline-smoke
 
 clean:
 	dune clean

@@ -1044,12 +1044,312 @@ let explain_cmd =
       const run $ name_arg $ top_arg $ warps_arg $ seed_arg $ entries_arg $ lrf_arg
       $ jsonl_out_arg $ trace_out_arg $ report_out_arg $ verbose_arg)
 
+(* ------------------------------------------------------------------ *)
+(* timeline: warp-level pipeline introspection of one benchmark's
+   timing simulation — per-cause stall breakdown across scheduler
+   configurations, active-set residency, top stalled warps, and the
+   per-warp state intervals as JSONL / Perfetto slices.               *)
+
+let timeline_cmd =
+  let doc =
+    "Attribute every warp-cycle of one benchmark's timing simulation to a stall cause \
+     (issued, long/short-latency dependence, banked-MRF conflict serialization, \
+     descheduled, lost arbitration, finished) across scheduler/policy configurations, \
+     with active-set residency stats and the most-stalled warps.  The breakdown is exact: \
+     it sums to cycles x warps for every configuration, and the command exits 1 if any \
+     cross-check fails.  $(b,--jsonl-out) writes the per-warp state intervals as JSON \
+     Lines (validated by re-reading); $(b,--trace-out) writes a Perfetto trace whose \
+     timeline rows render one thread per warp; $(b,--report-out) writes the HTML run \
+     report with the stall-attribution section."
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Benchmark name.")
+  in
+  let banks_arg =
+    let doc = "MRF banks for the banked operand-fetch configurations (Table 2: 32)." in
+    Arg.(value & opt int 32 & info [ "mrf-banks" ] ~docv:"N" ~doc)
+  in
+  let top_arg =
+    Arg.(value & opt int 8 & info [ "top" ] ~docv:"N" ~doc:"Most-stalled warps to print.")
+  in
+  let jsonl_out_arg =
+    let doc = "Write the recorded warp-state intervals as JSON Lines to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "jsonl-out" ] ~docv:"FILE" ~doc)
+  in
+  let trace_out_arg =
+    let doc =
+      "Write a Chrome trace-event JSON file with phase spans, simulator counter tracks and \
+       the per-warp timeline slices (one Perfetto thread per warp)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let run name warps seed banks top jsonl_out trace_out report_out =
+    match Workloads.Registry.find name with
+    | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
+    | Some e ->
+      let bench = e.Workloads.Registry.name in
+      let ctx = Alloc.Context.create (Lazy.force e.Workloads.Registry.kernel) in
+      if trace_out <> None then begin
+        Obs.Span.reset ();
+        Obs.Span.set_enabled true;
+        Obs.Counters.reset ();
+        Obs.Counters.set_enabled true
+      end;
+      let base_configs =
+        [
+          ("single-level on-dep", Sim.Perf.Single_level, Sim.Perf.On_dependence);
+          ("two-level-8 on-dep", Sim.Perf.Two_level 8, Sim.Perf.On_dependence);
+          ("two-level-8 strand", Sim.Perf.Two_level 8, Sim.Perf.At_strand_boundaries);
+        ]
+      in
+      let configs =
+        List.map (fun (l, s, p) -> (l ^ " ideal", s, p, None)) base_configs
+        @ List.map (fun (l, s, p) -> (l ^ " banked", s, p, Some banks)) base_configs
+      in
+      (* The recorder captures the configuration the paper cares most
+         about: the two-level scheduler under the hardware policy with
+         banked operand fetch. *)
+      let primary_label = "two-level-8 on-dep banked" in
+      let mem_sink, intervals = Obs.Timeline.memory_sink () in
+      let jsonl_oc =
+        Option.map
+          (fun path ->
+            mkdirs (Filename.dirname path);
+            try open_out path
+            with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1)
+          jsonl_out
+      in
+      let failures = ref [] in
+      let check what ok = if not ok then failures := what :: !failures in
+      let results =
+        List.map
+          (fun (label, scheduler, policy, mrf_banks) ->
+            let primary = label = primary_label in
+            if primary then
+              Obs.Timeline.set_sink
+                (Obs.Timeline.tee
+                   (mem_sink
+                    :: (match jsonl_oc with
+                        | Some oc -> [ Obs.Timeline.jsonl_sink oc ]
+                        | None -> [])));
+            let r = Sim.Perf.run ~warps ~seed ?mrf_banks ~scheduler ~policy ctx in
+            if primary then Obs.Timeline.disable ();
+            (* Exactness invariant: the breakdown accounts for every
+               warp-cycle, per warp and in total, and the issued total
+               reproduces the instruction count. *)
+            check
+              (Printf.sprintf "%s: stall total = cycles x warps" label)
+              (Sim.Perf.breakdown_total r.Sim.Perf.stalls = r.Sim.Perf.cycles * warps);
+            Array.iter
+              (fun (ws : Sim.Perf.warp_stats) ->
+                check
+                  (Printf.sprintf "%s: warp %d breakdown sums to cycles" label
+                     ws.Sim.Perf.warp)
+                  (Sim.Perf.breakdown_total ws.Sim.Perf.breakdown = r.Sim.Perf.cycles))
+              r.Sim.Perf.per_warp;
+            check
+              (Printf.sprintf "%s: issued cycles = instructions" label)
+              (r.Sim.Perf.stalls.Sim.Perf.issued = r.Sim.Perf.instructions);
+            (label, r))
+          configs
+      in
+      Option.iter close_out jsonl_oc;
+      let primary_r = List.assoc primary_label results in
+      (* Recorder neutrality: re-running the recorded configuration
+         with the recorder off must reproduce the same breakdown. *)
+      let unrecorded =
+        Sim.Perf.run ~warps ~seed ~mrf_banks:banks ~scheduler:(Sim.Perf.Two_level 8)
+          ~policy:Sim.Perf.On_dependence ctx
+      in
+      check "recorder on/off breakdown identity"
+        (Sim.Perf.breakdown_fields unrecorded.Sim.Perf.stalls
+         = Sim.Perf.breakdown_fields primary_r.Sim.Perf.stalls
+        && unrecorded.Sim.Perf.cycles = primary_r.Sim.Perf.cycles);
+      (* Interval cross-checks: per warp, the recorded intervals tile
+         [0, cycles) and re-derive the breakdown exactly. *)
+      let ivs = intervals () in
+      for w = 0 to warps - 1 do
+        let wivs = List.filter (fun iv -> iv.Obs.Timeline.warp = w) ivs in
+        let rec tiles expected = function
+          | [] -> expected = primary_r.Sim.Perf.cycles
+          | iv :: tl -> iv.Obs.Timeline.start = expected && tiles iv.Obs.Timeline.stop tl
+        in
+        check (Printf.sprintf "warp %d intervals tile [0, cycles)" w) (tiles 0 wivs);
+        let from_ivs cause =
+          List.fold_left
+            (fun acc iv ->
+              if iv.Obs.Timeline.state = cause then
+                acc + (iv.Obs.Timeline.stop - iv.Obs.Timeline.start)
+              else acc)
+            0 wivs
+        in
+        let ws = primary_r.Sim.Perf.per_warp.(w) in
+        List.iter
+          (fun cause ->
+            check
+              (Printf.sprintf "warp %d: intervals re-derive %s cycles" w
+                 (Obs.Timeline.state_name cause))
+              (from_ivs cause = Sim.Perf.breakdown_get ws.Sim.Perf.breakdown cause))
+          Obs.Timeline.all_states
+      done;
+      (* JSONL round-trip: the written stream must decode back to the
+         recorded intervals, line for line. *)
+      Option.iter
+        (fun path ->
+          let ic = open_in path in
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> close_in ic);
+          let decoded =
+            List.rev_map
+              (fun line ->
+                match Obs.Json.parse line with
+                | Error err ->
+                  prerr_endline ("timeline: bad JSONL line: " ^ err);
+                  exit 1
+                | Ok j ->
+                  (match Obs.Timeline.of_json j with
+                   | Ok iv -> iv
+                   | Error err ->
+                     prerr_endline ("timeline: undecodable interval: " ^ err);
+                     exit 1))
+              !lines
+          in
+          check "jsonl round-trip reproduces the recorded intervals" (decoded = ivs);
+          Printf.printf "jsonl: %d intervals -> %s (round-trip ok)\n" (List.length ivs) path)
+        jsonl_out;
+      (* Stall-breakdown table: one row per configuration. *)
+      let bt =
+        Util.Table.create
+          ~title:
+            (Printf.sprintf "Stall attribution: %s (%d warps, %% of cycles x warps)" bench
+               warps)
+          ~columns:
+            ([ "Config"; "Cycles"; "IPC" ]
+            @ List.map Obs.Timeline.state_name Obs.Timeline.all_states)
+      in
+      List.iter
+        (fun (label, (r : Sim.Perf.result)) ->
+          let total = float_of_int (max 1 (Sim.Perf.breakdown_total r.Sim.Perf.stalls)) in
+          Util.Table.add_row bt
+            ([
+               label;
+               string_of_int r.Sim.Perf.cycles;
+               Printf.sprintf "%.3f" r.Sim.Perf.ipc;
+             ]
+            @ List.map
+                (fun cause ->
+                  Printf.sprintf "%.1f%%"
+                    (100.0
+                    *. float_of_int (Sim.Perf.breakdown_get r.Sim.Perf.stalls cause)
+                    /. total))
+                Obs.Timeline.all_states))
+        results;
+      Util.Table.print bt;
+      (* Residency table. *)
+      let rt =
+        Util.Table.create ~title:"Active-set residency"
+          ~columns:
+            [ "Config"; "Entries"; "Exits"; "Resident cycles"; "Mean residency";
+              "Desched LL"; "Desched strand"; "Desched conflict" ]
+      in
+      List.iter
+        (fun (label, (r : Sim.Perf.result)) ->
+          let s = r.Sim.Perf.sched in
+          Util.Table.add_row rt
+            [
+              label;
+              string_of_int s.Sim.Perf.entries;
+              string_of_int s.Sim.Perf.exits;
+              string_of_int s.Sim.Perf.resident_cycles;
+              Printf.sprintf "%.1f" (Sim.Perf.mean_residency s);
+              string_of_int s.Sim.Perf.desched_long_latency;
+              string_of_int s.Sim.Perf.desched_strand_boundary;
+              string_of_int s.Sim.Perf.desched_bank_conflict;
+            ])
+        results;
+      Util.Table.print rt;
+      (* Top stalled warps of the recorded configuration. *)
+      let tt =
+        Util.Table.create
+          ~title:(Printf.sprintf "Top %d stalled warps (%s)" top primary_label)
+          ~columns:
+            ([ "Warp"; "Stalled" ] @ List.map Obs.Timeline.state_name Obs.Timeline.all_states)
+      in
+      let ranked =
+        List.sort
+          (fun (a : Sim.Perf.warp_stats) (b : Sim.Perf.warp_stats) ->
+            match
+              compare
+                (Sim.Perf.stalled_cycles b.Sim.Perf.breakdown)
+                (Sim.Perf.stalled_cycles a.Sim.Perf.breakdown)
+            with
+            | 0 -> compare a.Sim.Perf.warp b.Sim.Perf.warp
+            | c -> c)
+          (Array.to_list primary_r.Sim.Perf.per_warp)
+      in
+      let rec take n = function x :: tl when n > 0 -> x :: take (n - 1) tl | _ -> [] in
+      List.iter
+        (fun (ws : Sim.Perf.warp_stats) ->
+          Util.Table.add_row tt
+            ([
+               string_of_int ws.Sim.Perf.warp;
+               string_of_int (Sim.Perf.stalled_cycles ws.Sim.Perf.breakdown);
+             ]
+            @ List.map
+                (fun cause ->
+                  string_of_int (Sim.Perf.breakdown_get ws.Sim.Perf.breakdown cause))
+                Obs.Timeline.all_states))
+        (take top ranked);
+      Util.Table.print tt;
+      (match trace_out with
+       | None -> ()
+       | Some path ->
+         let spans = Obs.Span.spans () in
+         let counters = Obs.Counters.tracks () in
+         mkdirs (Filename.dirname path);
+         (try
+            Obs.Trace_export.write_file ~path ~process_name:"rfh timeline" ~counters
+              ~timeline:ivs spans
+          with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+         Printf.printf "trace: %d spans, %d counter tracks, %d timeline slices -> %s\n"
+           (List.length spans) (List.length counters) (List.length ivs) path;
+         Obs.Counters.set_enabled false;
+         Obs.Span.set_enabled false);
+      Option.iter
+        (fun path ->
+          let opts = opts_of ~warps ~seed ~benchmarks:[ bench ] ~jobs:1 in
+          let m = Experiments.Run_manifest.collect opts in
+          mkdirs (Filename.dirname path);
+          (try Obs.Html_report.write_file ~path m
+           with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+          Printf.printf "report -> %s\n" path)
+        report_out;
+      if !failures <> [] then begin
+        prerr_endline "timeline: cross-checks FAILED:";
+        List.iter (fun f -> prerr_endline ("  " ^ f)) (List.rev !failures);
+        exit 1
+      end
+      else
+        Printf.printf
+          "timeline: all cross-checks passed (%d configs; breakdowns sum to cycles x %d \
+           warps)\n"
+          (List.length configs) warps
+  in
+  Cmd.v (Cmd.info "timeline" ~doc)
+    Term.(
+      const run $ name_arg $ warps_arg $ seed_arg $ banks_arg $ top_arg $ jsonl_out_arg
+      $ trace_out_arg $ report_out_arg)
+
 let () =
   let doc = "compile-time managed multi-level register file hierarchy (MICRO 2011) reproduction" in
   let info = Cmd.info "rfh" ~version:"1.0.0" ~doc in
   let cmds =
     List.map artefact_cmd Experiments.Report.artefact_names
     @ [ all_cmd; kernels_cmd; allocate_cmd; compile_cmd; selfcheck_cmd; trace_cmd; profile_cmd;
-        baseline_cmd; explain_cmd ]
+        baseline_cmd; explain_cmd; timeline_cmd ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -1,16 +1,19 @@
 let active_range = [ 1; 2; 4; 6; 8; 16; 32 ]
 
-let ipc_cache : (string * int * Sim.Perf.policy * int, float) Util.Memo.t = Util.Memo.create 64
+(* Memoize the full simulator result, not just the IPC scalar: the
+   stall table re-reads the same (bench, config) runs the IPC table
+   triggered, so each configuration is simulated exactly once. *)
+let result_cache : (string * int * Sim.Perf.policy * int, Sim.Perf.result) Util.Memo.t =
+  Util.Memo.create 64
 
-let ipc (opts : Options.t) (e : Workloads.Registry.entry) ~policy ~active =
+let result (opts : Options.t) (e : Workloads.Registry.entry) ~policy ~active =
   let key = (e.Workloads.Registry.name, active, policy, opts.Options.seed) in
-  Util.Memo.find_or_compute ipc_cache key (fun () ->
+  Util.Memo.find_or_compute result_cache key (fun () ->
       let scheduler = if active >= 32 then Sim.Perf.Single_level else Sim.Perf.Two_level active in
-      let r =
-        Sim.Perf.run ~warps:32 ~seed:opts.Options.seed ~max_dynamic_per_warp:600 ~scheduler
-          ~policy (Sweep.context e)
-      in
-      r.Sim.Perf.ipc)
+      Sim.Perf.run ~warps:32 ~seed:opts.Options.seed ~max_dynamic_per_warp:600 ~scheduler
+        ~policy (Sweep.context e))
+
+let ipc opts e ~policy ~active = (result opts e ~policy ~active).Sim.Perf.ipc
 
 let relative_ipc (opts : Options.t) ~policy ~active =
   Util.Stats.mean
@@ -34,4 +37,33 @@ let table opts =
     active_range;
   t
 
-let clear_cache () = Util.Memo.reset ipc_cache
+let stall_share (opts : Options.t) ~policy ~active cause =
+  Util.Stats.mean
+    (Sweep.per_bench opts (fun e ->
+         let r = result opts e ~policy ~active in
+         let total = Sim.Perf.breakdown_total r.Sim.Perf.stalls in
+         if total = 0 then 0.0
+         else
+           100.0
+           *. float_of_int (Sim.Perf.breakdown_get r.Sim.Perf.stalls cause)
+           /. float_of_int total))
+
+let stall_table opts =
+  let t =
+    Util.Table.create
+      ~title:"Where the cycles went: mean % of warp-cycles per stall cause (32 warps)"
+      ~columns:
+        [ "Stall cause"; "Single-level"; "Two-level 8 (HW policy)"; "Two-level 8 (SW policy)" ]
+  in
+  List.iter
+    (fun cause ->
+      Util.Table.add_float_row t (Obs.Timeline.state_name cause) ~decimals:2
+        [
+          stall_share opts ~policy:Sim.Perf.On_dependence ~active:32 cause;
+          stall_share opts ~policy:Sim.Perf.On_dependence ~active:8 cause;
+          stall_share opts ~policy:Sim.Perf.At_strand_boundaries ~active:8 cause;
+        ])
+    Obs.Timeline.all_states;
+  t
+
+let clear_cache () = Util.Memo.reset result_cache

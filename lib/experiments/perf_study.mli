@@ -6,8 +6,19 @@
 
 val table : Options.t -> Util.Table.t
 
+val stall_table : Options.t -> Util.Table.t
+(** Companion to {!table}: where the warp-cycles went.  One row per
+    {!Sim.Perf.stall_cause}, columns for the single-level scheduler and
+    the two-level scheduler (8 active warps) under both policies, each
+    cell the mean over benchmarks of that cause's share of the
+    [cycles x warps] budget (in %).  Reuses {!table}'s memoized
+    simulator runs. *)
+
 val relative_ipc : Options.t -> policy:Sim.Perf.policy -> active:int -> float
 (** Mean over benchmarks of IPC(two-level with [active]) /
     IPC(single-level). *)
+
+val stall_share : Options.t -> policy:Sim.Perf.policy -> active:int -> Sim.Perf.stall_cause -> float
+(** Mean over benchmarks of one cause's share of warp-cycles, in %. *)
 
 val clear_cache : unit -> unit

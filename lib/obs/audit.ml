@@ -1,6 +1,6 @@
 type level = Lrf | Orf | Mrf | Rfc
 
-type cause = Sw_boundary | Hw_dependence | Scheduler
+type cause = Sw_boundary | Hw_dependence | Bank_conflict | Scheduler
 
 type unit_kind = Write_unit | Read_unit
 
@@ -77,11 +77,13 @@ let level_of_name = function
 let cause_name = function
   | Sw_boundary -> "sw_boundary"
   | Hw_dependence -> "hw_dependence"
+  | Bank_conflict -> "bank_conflict"
   | Scheduler -> "scheduler"
 
 let cause_of_name = function
   | "sw_boundary" -> Some Sw_boundary
   | "hw_dependence" -> Some Hw_dependence
+  | "bank_conflict" -> Some Bank_conflict
   | "scheduler" -> Some Scheduler
   | _ -> None
 

@@ -20,13 +20,16 @@
     - [Evict]: a hardware register-file-cache or HW-LRF eviction;
       [writeback] tells whether the value was live and written back.
     - [Strand_boundary]: a static strand start in the compiled kernel.
-    - [Desched]: a warp deschedule event (compiler-scheduled at strand
-      boundaries, hardware long-latency dependence, or the two-level
-      scheduler's backing store). *)
+    - [Desched]: a warp deschedule event.  The cause distinguishes
+      compiler-scheduled strand boundaries ([Sw_boundary]), hardware
+      long-latency dependence ([Hw_dependence]), banked-MRF conflict
+      serialization extending a dependence past its base latency
+      ([Bank_conflict]), and an unattributed scheduler decision
+      ([Scheduler], kept for decoding older logs). *)
 
 type level = Lrf | Orf | Mrf | Rfc
 
-type cause = Sw_boundary | Hw_dependence | Scheduler
+type cause = Sw_boundary | Hw_dependence | Bank_conflict | Scheduler
 
 type unit_kind = Write_unit | Read_unit
 

@@ -30,6 +30,10 @@ td.l, th.l { text-align: left; }
 .bar > span { display: block; height: 100%; }
 .seg-mrf { background: #5470c6; } .seg-orf { background: #91cc75; }
 .seg-rfc { background: #fac858; } .seg-lrf { background: #ee6666; }
+.st-issued { background: #91cc75; } .st-wait_long_latency { background: #5470c6; }
+.st-wait_short_latency { background: #73c0de; } .st-bank_conflict_serialization { background: #ee6666; }
+.st-descheduled_pending { background: #fac858; } .st-no_issue_slot { background: #9a60b4; }
+.st-finished { background: #d4d9e1; }
 .bench-bar { margin: .25em 0; display: flex; align-items: center; gap: .6em; }
 .bench-bar .label { width: 11em; text-align: right; font-variant-numeric: tabular-nums; }
 .bench-bar .track { flex: 1; }
@@ -136,6 +140,60 @@ let bench_table buf (m : Manifest.t) (compare : Manifest.t option) =
       pf buf "</tr>\n")
     m.benches;
   pf buf "</table>\n"
+
+(* Stall attribution of the manifest's reference perf run: one stacked
+   bar per benchmark splitting its cycles x warps budget by cause, plus
+   the active-set residency table.  Rendered purely from manifest
+   fields, so a decoded manifest reports identically to a fresh run. *)
+let stall_section buf (m : Manifest.t) =
+  pf buf "<h2>Warp stall attribution</h2>\n";
+  let with_stalls = List.filter (fun (b : Manifest.bench) -> b.Manifest.stalls <> []) m.benches in
+  if with_stalls = [] then pf buf "<p class=muted>no stall breakdown recorded</p>\n"
+  else begin
+    (match with_stalls with
+    | [] -> ()
+    | b0 :: _ ->
+      pf buf "<p class=legend>";
+      List.iter
+        (fun (cause, _) ->
+          pf buf "<span><span class=\"swatch st-%s\"></span>%s</span>" (escape cause)
+            (escape cause))
+        b0.Manifest.stalls;
+      pf buf "</p>\n");
+    List.iter
+      (fun (b : Manifest.bench) ->
+        let total =
+          Float.max 1e-9 (float_of_int (List.fold_left (fun acc (_, n) -> acc + n) 0 b.stalls))
+        in
+        pf buf "<div class=bench-bar><span class=label>%s</span>" (escape b.bench);
+        pf buf "<span class=track><span class=bar>";
+        List.iter
+          (fun (cause, n) ->
+            let pct = 100.0 *. float_of_int n /. total in
+            if pct > 0.01 then
+              pf buf "<span class=\"st-%s\" style=\"width:%.2f%%\" title=\"%s: %d warp-cycles\"></span>"
+                (escape cause) pct (escape cause) n)
+          b.stalls;
+        pf buf "</span></span></div>\n")
+      with_stalls;
+    pf buf "<h3>Active-set residency</h3><table>\n";
+    pf buf
+      "<tr><th class=l>benchmark</th><th>entries</th><th>exits</th><th>resident cycles</th><th>mean residency</th><th>desched LL</th><th>desched strand</th><th>desched conflict</th></tr>\n";
+    List.iter
+      (fun (b : Manifest.bench) ->
+        let s = b.Manifest.sched in
+        let mean =
+          if s.Manifest.entries = 0 then 0.0
+          else float_of_int s.Manifest.resident_cycles /. float_of_int s.Manifest.entries
+        in
+        pf buf
+          "<tr><td class=l>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%.1f</td><td>%d</td><td>%d</td><td>%d</td></tr>\n"
+          (escape b.bench) s.Manifest.entries s.Manifest.exits s.Manifest.resident_cycles mean
+          s.Manifest.desched_long_latency s.Manifest.desched_strand_boundary
+          s.Manifest.desched_bank_conflict)
+      with_stalls;
+    pf buf "</table>\n"
+  end
 
 let phase_table buf (m : Manifest.t) =
   pf buf "<h2>Phase times</h2><table>\n";
@@ -290,6 +348,7 @@ let render ?compare ?explain (m : Manifest.t) =
   options_section buf m.options;
   energy_bars buf m;
   bench_table buf m compare;
+  stall_section buf m;
   phase_table buf m;
   metrics_section buf m;
   audit_section buf m;

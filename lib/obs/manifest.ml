@@ -1,4 +1,4 @@
-let schema_version = 1
+let schema_version = 2
 
 type options = {
   warps : int;
@@ -8,6 +8,15 @@ type options = {
   lrf : string;
   params_fp : string;
   benchmarks : string list;
+}
+
+type sched = {
+  entries : int;
+  exits : int;
+  resident_cycles : int;
+  desched_long_latency : int;
+  desched_strand_boundary : int;
+  desched_bank_conflict : int;
 }
 
 type bench = {
@@ -25,6 +34,8 @@ type bench = {
   total_pj : float;
   baseline_pj : float;
   ipc : float;
+  stalls : (string * int) list;
+  sched : sched;
   counts : Json.t;
   energy_pj : (string * (float * float)) list;
 }
@@ -75,6 +86,17 @@ let bench_to_json (b : bench) =
       ("total_pj", Json.Num b.total_pj);
       ("baseline_pj", Json.Num b.baseline_pj);
       ("ipc", Json.Num b.ipc);
+      ("stalls", Json.Obj (List.map (fun (cause, n) -> (cause, Json.int n)) b.stalls));
+      ( "sched",
+        Json.Obj
+          [
+            ("entries", Json.int b.sched.entries);
+            ("exits", Json.int b.sched.exits);
+            ("resident_cycles", Json.int b.sched.resident_cycles);
+            ("desched_long_latency", Json.int b.sched.desched_long_latency);
+            ("desched_strand_boundary", Json.int b.sched.desched_strand_boundary);
+            ("desched_bank_conflict", Json.int b.sched.desched_bank_conflict);
+          ] );
       ("counts", b.counts);
       ( "energy_pj",
         Json.Obj
@@ -161,6 +183,37 @@ let bench_of_json j =
   let* total_pj = num_f j "total_pj" in
   let* baseline_pj = num_f j "baseline_pj" in
   let* ipc = num_f j "ipc" in
+  let* stalls =
+    match Json.member "stalls" j with
+    | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (cause, v) ->
+          let* acc = acc in
+          match Json.to_int v with
+          | Some n -> Ok ((cause, n) :: acc)
+          | None -> Error "manifest: non-integer stall count")
+        (Ok []) fields
+      |> Result.map List.rev
+    | _ -> Error "manifest: missing or ill-typed field \"stalls\""
+  in
+  let* sched =
+    let* s = field j "sched" Option.some in
+    let* entries = int_f s "entries" in
+    let* exits = int_f s "exits" in
+    let* resident_cycles = int_f s "resident_cycles" in
+    let* desched_long_latency = int_f s "desched_long_latency" in
+    let* desched_strand_boundary = int_f s "desched_strand_boundary" in
+    let* desched_bank_conflict = int_f s "desched_bank_conflict" in
+    Ok
+      {
+        entries;
+        exits;
+        resident_cycles;
+        desched_long_latency;
+        desched_strand_boundary;
+        desched_bank_conflict;
+      }
+  in
   let* counts = field j "counts" Option.some in
   let* energy_fields =
     match Json.member "energy_pj" j with
@@ -193,6 +246,8 @@ let bench_of_json j =
       total_pj;
       baseline_pj;
       ipc;
+      stalls;
+      sched;
       counts;
       energy_pj;
     }

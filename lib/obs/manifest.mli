@@ -23,6 +23,18 @@ type options = {
   benchmarks : string list;
 }
 
+(** Active-set residency of the manifest's reference perf run (schema
+    v2): entry/exit traffic through the two-level scheduler's active
+    set and deschedule events by cause. *)
+type sched = {
+  entries : int;
+  exits : int;
+  resident_cycles : int;
+  desched_long_latency : int;
+  desched_strand_boundary : int;
+  desched_bank_conflict : int;
+}
+
 type bench = {
   bench : string;
   strands : int;
@@ -38,6 +50,12 @@ type bench = {
   total_pj : float;
   baseline_pj : float;
   ipc : float;
+  stalls : (string * int) list;
+      (** warp-cycles per stall cause ({!Timeline.state_name} keys, in
+          {!Timeline.all_states} order); sums to [cycles x warps] of the
+          reference perf run, so the regression gate catches any
+          scheduling-behavior drift exactly *)
+  sched : sched;
   counts : Json.t;  (** [Energy.Counts.to_json] shape, kept opaque here *)
   energy_pj : (string * (float * float)) list;
       (** per level: (access, wire) energy in pJ, MRF..LRF order *)

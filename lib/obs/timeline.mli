@@ -1,0 +1,82 @@
+(** Warp pipeline timeline: per-warp state intervals.
+
+    The cycle simulator ({!Sim.Perf}) classifies every warp-cycle into
+    one pipeline {!state} and reports maximal runs of equal state as
+    half-open intervals [\[start, stop)] measured in cycles.  For each
+    warp the emitted intervals tile [\[0, cycles)] exactly — the
+    breakdown they induce sums to [cycles x warps], recorder on or off.
+
+    The recorder follows the same discipline as {!Audit} and
+    {!Explain}: disabled by default, a single atomic load on the fast
+    path, a mutex-serialized sink, and deterministic end-of-run
+    emission (warps ascending, then interval start ascending) so a
+    fixed seed yields byte-identical JSONL at any [--jobs] setting. *)
+
+(** Why a warp did (or did not) issue on a cycle.  One value per
+    warp-cycle:
+    - [Issued]: the warp issued this cycle's instruction.
+    - [Wait_long_latency]: blocked on a long-latency result (or, under
+      the strand-boundary policy, holding at a strand boundary while
+      long-latency operations drain).
+    - [Wait_short_latency]: blocked on a short-latency producer.
+    - [Bank_conflict_serialization]: the operands' base latency has
+      elapsed and only banked-MRF conflict serialization still blocks
+      the warp (never occurs with ideal operand fetch).
+    - [Descheduled_pending]: out of the active set, waiting to re-enter.
+    - [No_issue_slot]: ready to issue but lost round-robin arbitration
+      (an earlier warp took the cycle's issue slot) or the function
+      unit's issue port is busy.
+    - [Finished]: the warp's instruction stream is exhausted. *)
+type state =
+  | Issued
+  | Wait_long_latency
+  | Wait_short_latency
+  | Bank_conflict_serialization
+  | Descheduled_pending
+  | No_issue_slot
+  | Finished
+
+val all_states : state list
+(** Every state, in canonical (display and encoding) order. *)
+
+val state_name : state -> string
+val state_of_name : string -> state option
+
+type interval = {
+  warp : int;
+  state : state;
+  start : int;  (** first cycle in the state (inclusive) *)
+  stop : int;  (** first cycle after the state (exclusive) *)
+}
+
+(** {1 Recorder} *)
+
+val is_enabled : unit -> bool
+(** One atomic load; sample it once per simulator run. *)
+
+val emit : interval -> unit
+(** No-op unless enabled.  The sink runs under the recorder mutex. *)
+
+val set_sink : (interval -> unit) -> unit
+(** Install a sink and enable the recorder. *)
+
+val set_enabled : bool -> unit
+
+val disable : unit -> unit
+(** Disable and drop the sink. *)
+
+val memory_sink : unit -> (interval -> unit) * (unit -> interval list)
+(** In-memory sink plus a getter returning intervals in emission order. *)
+
+val jsonl_sink : out_channel -> interval -> unit
+(** One compact JSON object per line; the caller owns the channel. *)
+
+val printer_sink : Format.formatter -> interval -> unit
+
+val tee : (interval -> unit) list -> interval -> unit
+
+(** {1 Encoding} *)
+
+val to_json : interval -> Json.t
+val of_json : Json.t -> (interval, string) result
+val pp : Format.formatter -> interval -> unit

@@ -5,6 +5,53 @@
    fixed seed while the span rows stay timing-tolerant. *)
 let counters_pid = 2
 
+(* Warp timeline slices share the counters' simulated time base but get
+   their own process row: one thread per warp, so the run opens in
+   Perfetto as a pipeline waterfall. *)
+let timeline_pid = 3
+
+let json_of_timeline (ivs : Timeline.interval list) =
+  let warps = List.sort_uniq compare (List.map (fun iv -> iv.Timeline.warp) ivs) in
+  let process_metadata =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.int timeline_pid);
+        ("tid", Json.int 0);
+        ("args", Json.Obj [ ("name", Json.Str "rfh warp timeline (cycles)") ]);
+      ]
+  in
+  let thread_metadata =
+    List.map
+      (fun w ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.int timeline_pid);
+            ("tid", Json.int w);
+            ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "warp %d" w)) ]);
+          ])
+      warps
+  in
+  let events =
+    List.map
+      (fun (iv : Timeline.interval) ->
+        Json.Obj
+          [
+            ("name", Json.Str (Timeline.state_name iv.Timeline.state));
+            ("cat", Json.Str "rfh");
+            ("ph", Json.Str "X");
+            ("ts", Json.int iv.Timeline.start);
+            ("dur", Json.int (iv.Timeline.stop - iv.Timeline.start));
+            ("pid", Json.int timeline_pid);
+            ("tid", Json.int iv.Timeline.warp);
+          ])
+      ivs
+  in
+  (process_metadata :: thread_metadata) @ events
+
 let json_of_counters (tracks : Counters.track list) =
   let domains =
     List.concat_map (fun (t : Counters.track) -> List.map (fun s -> s.Counters.domain) t.Counters.samples) tracks
@@ -60,7 +107,7 @@ let json_of_counters (tracks : Counters.track list) =
   in
   (process_metadata :: thread_metadata) @ events
 
-let json_of_spans ?(process_name = "rfh") ?(counters = []) spans =
+let json_of_spans ?(process_name = "rfh") ?(counters = []) ?(timeline = []) spans =
   let base =
     List.fold_left
       (fun acc (s : Span.span) -> if Int64.compare s.Span.ts_ns acc < 0 then s.Span.ts_ns else acc)
@@ -120,20 +167,22 @@ let json_of_spans ?(process_name = "rfh") ?(counters = []) spans =
       spans
   in
   let counter_events = match counters with [] -> [] | tracks -> json_of_counters tracks in
+  let timeline_events = match timeline with [] -> [] | ivs -> json_of_timeline ivs in
   Json.Obj
     [
       ( "traceEvents",
-        Json.Arr ((process_metadata :: thread_metadata) @ events @ counter_events) );
+        Json.Arr
+          ((process_metadata :: thread_metadata) @ events @ counter_events @ timeline_events) );
       ("displayTimeUnit", Json.Str "ms");
     ]
 
-let to_string ?process_name ?counters spans =
-  Json.to_string (json_of_spans ?process_name ?counters spans)
+let to_string ?process_name ?counters ?timeline spans =
+  Json.to_string (json_of_spans ?process_name ?counters ?timeline spans)
 
-let write_file ~path ?process_name ?counters spans =
+let write_file ~path ?process_name ?counters ?timeline spans =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Json.to_channel oc (json_of_spans ?process_name ?counters spans);
+      Json.to_channel oc (json_of_spans ?process_name ?counters ?timeline spans);
       output_char oc '\n')

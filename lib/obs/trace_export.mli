@@ -1,5 +1,5 @@
-(** Chrome trace-event export for {!Span} recordings and {!Counters}
-    tracks.
+(** Chrome trace-event export for {!Span} recordings, {!Counters}
+    tracks and {!Timeline} warp intervals.
 
     Produces the JSON object format understood by [chrome://tracing]
     and the Perfetto UI: a [traceEvents] array of complete ("X")
@@ -14,18 +14,35 @@
     named ["rfh counters (simulated time)"]): counter timestamps are
     simulated time (cycles or instruction windows), not wall clock, and
     are byte-deterministic for a fixed seed.  Counter samples keep
-    their recording domain as the event [tid]. *)
+    their recording domain as the event [tid].
+
+    When [timeline] is supplied, each {!Timeline.interval} is emitted
+    as a duration slice on a third process row (pid 3, named
+    ["rfh warp timeline (cycles)"]): one thread ([tid]) per warp, slice
+    name = pipeline state, [ts]/[dur] in cycles — the run opens in
+    Perfetto as a per-warp pipeline waterfall alongside the counter
+    tracks.  Like counters, timeline rows are byte-deterministic for a
+    fixed seed. *)
 
 val json_of_spans :
-  ?process_name:string -> ?counters:Counters.track list -> Span.span list -> Json.t
+  ?process_name:string ->
+  ?counters:Counters.track list ->
+  ?timeline:Timeline.interval list ->
+  Span.span list ->
+  Json.t
 
 val to_string :
-  ?process_name:string -> ?counters:Counters.track list -> Span.span list -> string
+  ?process_name:string ->
+  ?counters:Counters.track list ->
+  ?timeline:Timeline.interval list ->
+  Span.span list ->
+  string
 
 val write_file :
   path:string ->
   ?process_name:string ->
   ?counters:Counters.track list ->
+  ?timeline:Timeline.interval list ->
   Span.span list ->
   unit
 (** @raise Sys_error on I/O failure. *)

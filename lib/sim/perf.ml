@@ -2,12 +2,85 @@ type scheduler = Single_level | Two_level of int
 
 type policy = On_dependence | At_strand_boundaries
 
+type stall_cause = Obs.Timeline.state =
+  | Issued
+  | Wait_long_latency
+  | Wait_short_latency
+  | Bank_conflict_serialization
+  | Descheduled_pending
+  | No_issue_slot
+  | Finished
+
+type stall_breakdown = {
+  issued : int;
+  wait_long_latency : int;
+  wait_short_latency : int;
+  bank_conflict_serialization : int;
+  descheduled_pending : int;
+  no_issue_slot : int;
+  finished : int;
+}
+
+type warp_stats = { warp : int; breakdown : stall_breakdown }
+
+type sched_stats = {
+  entries : int;
+  exits : int;
+  resident_cycles : int;
+  desched_long_latency : int;
+  desched_strand_boundary : int;
+  desched_bank_conflict : int;
+}
+
 type result = {
   cycles : int;
   instructions : int;
   ipc : float;
   desched_events : int;
+  stalls : stall_breakdown;
+  per_warp : warp_stats array;
+  sched : sched_stats;
 }
+
+let cause_index = function
+  | Issued -> 0
+  | Wait_long_latency -> 1
+  | Wait_short_latency -> 2
+  | Bank_conflict_serialization -> 3
+  | Descheduled_pending -> 4
+  | No_issue_slot -> 5
+  | Finished -> 6
+
+let breakdown_of_array a =
+  {
+    issued = a.(0);
+    wait_long_latency = a.(1);
+    wait_short_latency = a.(2);
+    bank_conflict_serialization = a.(3);
+    descheduled_pending = a.(4);
+    no_issue_slot = a.(5);
+    finished = a.(6);
+  }
+
+let breakdown_get b = function
+  | Issued -> b.issued
+  | Wait_long_latency -> b.wait_long_latency
+  | Wait_short_latency -> b.wait_short_latency
+  | Bank_conflict_serialization -> b.bank_conflict_serialization
+  | Descheduled_pending -> b.descheduled_pending
+  | No_issue_slot -> b.no_issue_slot
+  | Finished -> b.finished
+
+let breakdown_fields b =
+  List.map (fun c -> (Obs.Timeline.state_name c, breakdown_get b c)) Obs.Timeline.all_states
+
+let breakdown_total b =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (breakdown_fields b)
+
+let stalled_cycles b = breakdown_total b - b.issued - b.finished
+
+let mean_residency s =
+  if s.entries = 0 then 0.0 else float_of_int s.resident_cycles /. float_of_int s.entries
 
 let m_runs = Obs.Metrics.counter "sim.perf.runs"
 let m_cycles = Obs.Metrics.counter "sim.perf.cycles"
@@ -17,6 +90,7 @@ let m_desched = Obs.Metrics.counter "sim.perf.desched_events"
 type warp_state = {
   cf : Cf.t;
   ready : int array;                       (* per register: cycle its value is ready *)
+  ready_base : int array;                  (* same, without bank-conflict serialization *)
   mutable long_latency_until : int list;   (* ready cycles of outstanding LL results *)
   mutable wake : int;                      (* cycle the warp may re-enter the active set *)
 }
@@ -29,6 +103,7 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
   let k = ctx.Alloc.Context.kernel in
   let au = Obs.Audit.is_enabled () in
   let co = Obs.Counters.is_enabled () in
+  let tl = Obs.Timeline.is_enabled () in
   let partition = ctx.Alloc.Context.partition in
   (* Counter-track bins: issue count and register-file operand accesses
      per [counter_window]-cycle window (simulated time, so the tracks
@@ -47,6 +122,7 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
         {
           cf = Cf.create ~max_dynamic:max_dynamic_per_warp k ~warp:w ~seed;
           ready = Array.make nr 0;
+          ready_base = Array.make nr 0;
           long_latency_until = [];
           wake = 0;
         })
@@ -59,6 +135,21 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
   let cycle = ref 0 in
   let instructions = ref 0 in
   let desched_events = ref 0 in
+  let entries = ref (List.length !active) in
+  let exits = ref 0 in
+  let resident_cycles = ref 0 in
+  let desched_ll = ref 0 in
+  let desched_strand = ref 0 in
+  let desched_conflict = ref 0 in
+  (* Exact warp-cycle accounting: every cycle classifies every warp
+     into one stall cause, so row w sums to the run's cycle count and
+     the whole matrix sums to cycles x warps. *)
+  let breakdown = Array.make_matrix warps 7 0 in
+  let classified = Array.make warps false in
+  (* Open timeline interval per warp: (state, start cycle).  Closed
+     intervals accumulate newest-first and are emitted at end of run. *)
+  let open_iv : (stall_cause * int) option array = Array.make warps None in
+  let closed_ivs : Obs.Timeline.interval list array = Array.make warps [] in
   let unit_free = Array.make 4 0 in
   let outstanding_ll st now =
     st.long_latency_until <- List.filter (fun t -> t > now) st.long_latency_until;
@@ -73,6 +164,7 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
       in
       let take = List.filteri (fun i _ -> i < missing) ready_pending in
       let leftover = List.filteri (fun i _ -> i >= missing) ready_pending in
+      entries := !entries + List.length take;
       active := !active @ take;
       pending := leftover @ rest
     end
@@ -82,12 +174,20 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
     active := List.filter (fun x -> x <> w) !active;
     pending := !pending @ [ w ];
     incr desched_events;
+    incr exits;
     refill_active ()
   in
-  let audit_desched w (i : Ir.Instr.t) =
-    if au then
-      Obs.Audit.emit
-        (Obs.Audit.Desched { warp = w; instr = i.Ir.Instr.id; cause = Obs.Audit.Scheduler })
+  let audit_desched w (i : Ir.Instr.t) cause =
+    (match cause with
+     | Obs.Audit.Sw_boundary -> incr desched_strand
+     | Obs.Audit.Bank_conflict -> incr desched_conflict
+     | Obs.Audit.Hw_dependence | Obs.Audit.Scheduler -> incr desched_ll);
+    if au then Obs.Audit.emit (Obs.Audit.Desched { warp = w; instr = i.Ir.Instr.id; cause })
+  in
+  (* A dependence whose base latency has elapsed is only still blocked
+     by banked-MRF conflict serialization. *)
+  let base_blocked st now blocked_regs =
+    List.exists (fun r -> st.ready_base.(r) > now) blocked_regs
   in
   let try_issue w =
     let st = states.(w) in
@@ -98,7 +198,7 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
       (match policy with
        | At_strand_boundaries
          when Strand.Partition.starts_strand partition i.Ir.Instr.id && outstanding_ll st now ->
-         audit_desched w i;
+         audit_desched w i Obs.Audit.Sw_boundary;
          `Deschedule (List.fold_left max now st.long_latency_until)
        | At_strand_boundaries | On_dependence ->
          let blocked_regs = List.filter (fun r -> st.ready.(r) > now) i.Ir.Instr.srcs in
@@ -110,7 +210,9 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
            in
            match policy, scheduler with
            | On_dependence, Two_level _ when blocked_on_ll ->
-             audit_desched w i;
+             audit_desched w i
+               (if base_blocked st now blocked_regs then Obs.Audit.Hw_dependence
+                else Obs.Audit.Bank_conflict);
              `Deschedule wait
            | (On_dependence | At_strand_boundaries), _ -> `Stall
          end
@@ -142,7 +244,8 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
            unit_free.(unit_index i.Ir.Instr.op) <- now + Ir.Op.issue_cycles i.Ir.Instr.op;
            Option.iter
              (fun d ->
-               st.ready.(d) <- now + Ir.Op.latency i.Ir.Instr.op + conflict_extra;
+               st.ready_base.(d) <- now + Ir.Op.latency i.Ir.Instr.op;
+               st.ready.(d) <- st.ready_base.(d) + conflict_extra;
                if Ir.Instr.is_long_latency i then
                  st.long_latency_until <- st.ready.(d) :: st.long_latency_until)
              i.Ir.Instr.dst;
@@ -151,12 +254,80 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
            `Issued
          end)
   in
+  (* Side-effect-free mirror of [try_issue] against start-of-cycle
+     state: which cause keeps this active warp from issuing right now?
+     [issue_taken] threads the round-robin arbitration through the
+     active-order walk, so exactly the warp the scan will issue is
+     classified [Issued] (earlier warps either stall or deschedule and
+     the scan stops at the first issuer). *)
+  let probe_active issue_taken w =
+    let st = states.(w) in
+    match Cf.peek st.cf with
+    | None -> Finished
+    | Some i ->
+      let now = !cycle in
+      let holds_at_strand =
+        match policy with
+        | At_strand_boundaries ->
+          Strand.Partition.starts_strand partition i.Ir.Instr.id && outstanding_ll st now
+        | On_dependence -> false
+      in
+      if holds_at_strand then Wait_long_latency
+      else begin
+        let blocked_regs = List.filter (fun r -> st.ready.(r) > now) i.Ir.Instr.srcs in
+        if blocked_regs <> [] then begin
+          if not (base_blocked st now blocked_regs) then Bank_conflict_serialization
+          else if
+            List.exists (fun r -> List.exists (fun t -> t = st.ready.(r)) st.long_latency_until)
+              blocked_regs
+          then Wait_long_latency
+          else Wait_short_latency
+        end
+        else if unit_free.(unit_index i.Ir.Instr.op) > now then No_issue_slot
+        else if !issue_taken then No_issue_slot
+        else begin
+          issue_taken := true;
+          Issued
+        end
+      end
+  in
+  let classify w cause =
+    classified.(w) <- true;
+    let ci = cause_index cause in
+    breakdown.(w).(ci) <- breakdown.(w).(ci) + 1;
+    if tl then begin
+      match open_iv.(w) with
+      | Some (s, _) when s = cause -> ()
+      | Some (s, start) ->
+        closed_ivs.(w) <-
+          { Obs.Timeline.warp = w; state = s; start; stop = !cycle } :: closed_ivs.(w);
+        open_iv.(w) <- Some (cause, !cycle)
+      | None -> open_iv.(w) <- Some (cause, !cycle)
+    end
+  in
+  let classify_cycle () =
+    Array.fill classified 0 warps false;
+    let issue_taken = ref false in
+    List.iter
+      (fun w ->
+        incr resident_cycles;
+        classify w (probe_active issue_taken w))
+      !active;
+    List.iter
+      (fun w -> classify w (if warp_done w then Finished else Descheduled_pending))
+      !pending;
+    (* Finished warps leave both lists; they still owe this cycle. *)
+    for w = 0 to warps - 1 do
+      if not classified.(w) then classify w Finished
+    done
+  in
   let all_done () = Array.for_all (fun st -> Cf.finished st.cf) states in
   while (not (all_done ())) && !cycle < max_cycles do
     refill_active ();
     if co && !cycle mod counter_window = 0 then
       Obs.Counters.sample "perf.active_warps" ~at:(float_of_int !cycle)
         (float_of_int (List.length !active));
+    classify_cycle ();
     (* Round-robin over a snapshot of the active set until one warp
        issues; membership changes (deschedules, refills) apply to
        [active] directly and survive the scan. *)
@@ -170,6 +341,7 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
           | `Stall -> attempt rest
           | `Finished ->
             active := List.filter (fun x -> x <> w) !active;
+            incr exits;
             refill_active ();
             attempt rest
           | `Deschedule wake ->
@@ -180,6 +352,15 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
     attempt !active;
     incr cycle
   done;
+  if tl then
+    for w = 0 to warps - 1 do
+      (match open_iv.(w) with
+       | Some (s, start) when !cycle > start ->
+         closed_ivs.(w) <-
+           { Obs.Timeline.warp = w; state = s; start; stop = !cycle } :: closed_ivs.(w)
+       | _ -> ());
+      List.iter Obs.Timeline.emit (List.rev closed_ivs.(w))
+    done;
   if co then
     List.iter
       (fun (name, tbl) ->
@@ -194,11 +375,24 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?(max_dynamic_per_warp = 2_000)
   Obs.Metrics.incr ~by:!cycle m_cycles;
   Obs.Metrics.incr ~by:!instructions m_instructions;
   Obs.Metrics.incr ~by:!desched_events m_desched;
+  let totals = Array.make 7 0 in
+  Array.iter (Array.iteri (fun i n -> totals.(i) <- totals.(i) + n)) breakdown;
   {
     cycles = !cycle;
     instructions = !instructions;
     ipc = (if !cycle = 0 then 0.0 else float_of_int !instructions /. float_of_int !cycle);
     desched_events = !desched_events;
+    stalls = breakdown_of_array totals;
+    per_warp = Array.init warps (fun w -> { warp = w; breakdown = breakdown_of_array breakdown.(w) });
+    sched =
+      {
+        entries = !entries;
+        exits = !exits;
+        resident_cycles = !resident_cycles;
+        desched_long_latency = !desched_ll;
+        desched_strand_boundary = !desched_strand;
+        desched_bank_conflict = !desched_conflict;
+      };
   }
 
 let run ?warps ?seed ?max_dynamic_per_warp ?max_cycles ?mrf_banks ~scheduler ~policy ctx =

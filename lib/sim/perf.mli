@@ -12,7 +12,21 @@
       result (Sec. 2.2);
     - [At_strand_boundaries]: the software policy — a warp leaves the
       active set at a compiler-marked strand boundary while
-      long-latency operations are outstanding (Sec. 4.1). *)
+      long-latency operations are outstanding (Sec. 4.1).
+
+    {2 Stall attribution}
+
+    Beyond aggregate IPC, every warp-cycle is classified into exactly
+    one {!stall_cause} against start-of-cycle state, in active-set
+    round-robin order — so the warp the scheduler actually issues is
+    the one classified [Issued], and warps that were ready but lost
+    arbitration are [No_issue_slot].  The classification is pure
+    accounting: it never changes simulated timing, and it is exact —
+    for every run, {!breakdown_total}[ result.stalls = cycles * warps]
+    and each warp's breakdown sums to [cycles], whether or not the
+    {!Obs.Timeline} recorder is enabled.  When the recorder is on, the
+    same classification is emitted as per-warp state intervals tiling
+    [\[0, cycles)]. *)
 
 type scheduler =
   | Single_level            (** all warps schedulable every cycle *)
@@ -20,12 +34,70 @@ type scheduler =
 
 type policy = On_dependence | At_strand_boundaries
 
+(** The stall taxonomy, shared with {!Obs.Timeline.state} (see there
+    for per-constructor semantics). *)
+type stall_cause = Obs.Timeline.state =
+  | Issued
+  | Wait_long_latency
+  | Wait_short_latency
+  | Bank_conflict_serialization
+  | Descheduled_pending
+  | No_issue_slot
+  | Finished
+
+(** Warp-cycle counts per stall cause.  One field per {!stall_cause},
+    in {!Obs.Timeline.all_states} order. *)
+type stall_breakdown = {
+  issued : int;
+  wait_long_latency : int;
+  wait_short_latency : int;
+  bank_conflict_serialization : int;
+  descheduled_pending : int;
+  no_issue_slot : int;
+  finished : int;
+}
+
+type warp_stats = { warp : int; breakdown : stall_breakdown }
+
+(** Active-set residency: how warps moved through the two-level
+    scheduler's active set, plus deschedule events by cause. *)
+type sched_stats = {
+  entries : int;  (** initial fill + every pending->active promotion *)
+  exits : int;  (** deschedules + finished-warp removals *)
+  resident_cycles : int;  (** warp-cycles spent occupying an active slot *)
+  desched_long_latency : int;  (** hardware long-latency dependence *)
+  desched_strand_boundary : int;  (** compiler strand-boundary policy *)
+  desched_bank_conflict : int;
+      (** dependence extended past its base latency purely by banked-MRF
+          conflict serialization *)
+}
+
 type result = {
   cycles : int;
   instructions : int;
   ipc : float;
   desched_events : int;
+  stalls : stall_breakdown;  (** summed over all warps *)
+  per_warp : warp_stats array;  (** indexed by warp id *)
+  sched : sched_stats;
 }
+
+val breakdown_get : stall_breakdown -> stall_cause -> int
+
+val breakdown_fields : stall_breakdown -> (string * int) list
+(** [(state name, count)] pairs in canonical {!Obs.Timeline.all_states}
+    order — the manifest / table / report rendering order. *)
+
+val breakdown_total : stall_breakdown -> int
+(** Sum of all fields; equals [cycles * warps] for [result.stalls] and
+    [cycles] for each per-warp breakdown. *)
+
+val stalled_cycles : stall_breakdown -> int
+(** Warp-cycles neither issued nor finished. *)
+
+val mean_residency : sched_stats -> float
+(** Average active-set visit length in cycles ([resident_cycles /
+    entries]; [0.] when there were no entries). *)
 
 val run :
   ?warps:int ->

@@ -22,5 +22,6 @@ let () =
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
       ("explain", Test_explain.suite);
+      ("timeline", Test_timeline.suite);
       ("properties", Test_properties.suite);
     ]

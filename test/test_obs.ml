@@ -344,7 +344,10 @@ let test_histogram_p99 () =
    are dyadic rationals so the JSON number printer is exact. *)
 let random_event g =
   let levels = [| Obs.Audit.Lrf; Obs.Audit.Orf; Obs.Audit.Mrf; Obs.Audit.Rfc |] in
-  let causes = [| Obs.Audit.Sw_boundary; Obs.Audit.Hw_dependence; Obs.Audit.Scheduler |] in
+  let causes =
+    [| Obs.Audit.Sw_boundary; Obs.Audit.Hw_dependence; Obs.Audit.Bank_conflict;
+       Obs.Audit.Scheduler |]
+  in
   let kinds = [| Obs.Audit.Write_unit; Obs.Audit.Read_unit |] in
   match Util.Prng.int g 6 with
   | 0 ->

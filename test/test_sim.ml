@@ -302,9 +302,55 @@ let test_perf_bank_conflicts () =
   let many_banks = run (Some 1024) in
   Alcotest.(check int) "conflict-free banking = ideal" ideal many_banks
 
+let test_perf_banked_deterministic () =
+  (* The banked model is pure accounting over a deterministic schedule:
+     same seed, same result — cycles and the whole stall breakdown. *)
+  let e = Option.get (Workloads.Registry.find "MatrixMul") in
+  let ctx = Alloc.Context.create (Lazy.force e.Workloads.Registry.kernel) in
+  let run () =
+    Sim.Perf.run ~warps:8 ~seed:11 ~mrf_banks:2 ~scheduler:(Sim.Perf.Two_level 4)
+      ~policy:Sim.Perf.On_dependence ctx
+  in
+  let a = run () and b = run () in
+  check Alcotest.int "cycles deterministic" a.Sim.Perf.cycles b.Sim.Perf.cycles;
+  check Alcotest.int "instructions deterministic" a.Sim.Perf.instructions
+    b.Sim.Perf.instructions;
+  check
+    Alcotest.(list (pair string int))
+    "stall breakdown deterministic"
+    (Sim.Perf.breakdown_fields a.Sim.Perf.stalls)
+    (Sim.Perf.breakdown_fields b.Sim.Perf.stalls)
+
+let test_perf_banked_attribution () =
+  (* The extra cycles the banked model adds are attributed to the
+     dedicated stall cause — never smeared over the dependence causes —
+     and the cause cannot fire without banking. *)
+  let b = B.create "t" in
+  let r0 = B.op0 b Op.Mov () in
+  let r2 = B.op1 b Op.Mov r0 in
+  let rec chain v n =
+    if n = 0 then v else chain (B.op2 b Op.Iadd r0 (B.op2 b Op.Iadd v r2)) (n - 1)
+  in
+  let last = chain r2 6 in
+  B.store b Op.St_global ~addr:last ~value:last;
+  let ctx = Alloc.Context.create (B.finalize b) in
+  let run banks =
+    Sim.Perf.run ~warps:1 ?mrf_banks:banks ~scheduler:Sim.Perf.Single_level
+      ~policy:Sim.Perf.On_dependence ctx
+  in
+  let ideal = run None and banked = run (Some 2) in
+  check Alcotest.int "ideal model never blames banking" 0
+    ideal.Sim.Perf.stalls.Sim.Perf.bank_conflict_serialization;
+  check Alcotest.bool "banked run blames banking" true
+    (banked.Sim.Perf.stalls.Sim.Perf.bank_conflict_serialization > 0);
+  check Alcotest.int "conflict-free banking never blames banking" 0
+    (run (Some 1024)).Sim.Perf.stalls.Sim.Perf.bank_conflict_serialization
+
 let suite =
   [
     Alcotest.test_case "perf bank conflicts" `Quick test_perf_bank_conflicts;
+    Alcotest.test_case "perf banked deterministic" `Quick test_perf_banked_deterministic;
+    Alcotest.test_case "perf banked attribution" `Quick test_perf_banked_attribution;
     Alcotest.test_case "cf loop trips" `Quick test_cf_loop_trips;
     Alcotest.test_case "cf deterministic" `Quick test_cf_deterministic;
     Alcotest.test_case "cf cap" `Quick test_cf_cap;
