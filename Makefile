@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench fmt parity regress explain-smoke timeline-smoke ci clean
+.PHONY: all build test bench fmt parity regress explain-smoke timeline-smoke engine-smoke ci clean
 
 all: build
 
@@ -68,7 +68,19 @@ timeline-smoke: build
 	  --trace-out _build/timeline-mm-trace.json > _build/timeline-mm.txt
 	@echo "timeline smoke OK: stall breakdown sums to cycles x warps in every config"
 
-ci: fmt build test parity regress explain-smoke timeline-smoke
+# Engine-profiler smoke (see docs/observability.md): profile the fig13
+# rendering at jobs 1 and 2; the command exits 1 if any region's
+# overhead categories fail to sum to wall x domains, or if the rendered
+# tables are not byte-identical across jobs settings.  The JSON report
+# and HTML page land under _build/ for CI to upload.
+engine-smoke: build
+	dune exec bin/rfh.exe -- engine fig13 --warps 8 --jobs 1,2 \
+	  -b VectorAdd,MatrixMul,Reduction,cp \
+	  --json-out _build/engine-fig13.json \
+	  --report-out _build/engine-fig13.html > _build/engine-fig13.txt
+	@echo "engine smoke OK: categories sum to wall x domains; output parity holds"
+
+ci: fmt build test parity regress explain-smoke timeline-smoke engine-smoke
 
 clean:
 	dune clean

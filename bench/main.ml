@@ -17,7 +17,13 @@
    wall-clock + IPC record per subset benchmark and the
    serial-vs-parallel run_all comparison (BENCH_perf.json), so the
    performance trajectory can be tracked across PRs without scraping
-   the text output. *)
+   the text output.
+
+   Part 4 sweeps the same regeneration across jobs in {1,2,4,8} under
+   the Obs.Engine profiler and writes the wall-clock curve plus the
+   exact overhead breakdown per setting (BENCH_engine.json), so the
+   perf trajectory records not just *that* the pool scales badly but
+   *where* each setting's wall x domains budget goes. *)
 
 open Bechamel
 open Toolkit
@@ -222,6 +228,76 @@ let run_all_comparison () =
       ("parity", Obs.Json.Bool parity);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Part 4: the jobs curve with the engine profiler on.                  *)
+
+let engine_curve_jobs = [ 1; 2; 4; 8 ]
+
+let engine_curve () =
+  let runs =
+    List.map
+      (fun j ->
+        let out, report =
+          Obs.Engine.profile ~label:"run_all" ~jobs:j (fun () ->
+              fst (timed_run_all ~jobs:j))
+        in
+        (j, out, report))
+      engine_curve_jobs
+  in
+  let reports = List.map (fun (_, _, r) -> r) runs in
+  (* Same contract as Part 3: the engine recorder may not change a
+     byte of the rendered tables, at any jobs setting. *)
+  (match runs with
+   | (_, out0, _) :: rest ->
+     List.iter
+       (fun (j, out, _) ->
+         if not (String.equal out out0) then begin
+           Printf.eprintf "bench: engine-profiled run_all at jobs=%d differs from jobs=1\n" j;
+           exit 1
+         end)
+       rest
+   | [] -> ());
+  List.iter
+    (fun (r : Obs.Engine.report) ->
+      match Obs.Engine.check r with
+      | [] -> ()
+      | violations ->
+        Printf.eprintf "bench: engine accounting invariants FAILED at jobs=%d:\n"
+          r.Obs.Engine.jobs;
+        List.iter (fun v -> prerr_endline ("  " ^ v)) violations;
+        exit 1)
+    reports;
+  Util.Table.print (Obs.Engine.speedup_table reports);
+  Util.Table.print (Obs.Engine.breakdown_table reports);
+  let base_wall = match reports with r :: _ -> r.Obs.Engine.wall_ns | [] -> 0 in
+  Obs.Json.Arr
+    (List.map
+       (fun (r : Obs.Engine.report) ->
+         let agg = Obs.Engine.agg_categories r in
+         let budget =
+           List.fold_left
+             (fun acc (reg : Obs.Engine.region) ->
+               acc + (reg.Obs.Engine.wall_ns * reg.Obs.Engine.domains))
+             0 r.Obs.Engine.regions
+         in
+         Obs.Json.Obj
+           [
+             ("jobs", Obs.Json.int r.Obs.Engine.jobs);
+             ("wall_s", Obs.Json.Num (float_of_int r.Obs.Engine.wall_ns /. 1e9));
+             ( "speedup",
+               Obs.Json.Num
+                 (if r.Obs.Engine.wall_ns = 0 then 1.0
+                  else float_of_int base_wall /. float_of_int r.Obs.Engine.wall_ns) );
+             ("budget_ns", Obs.Json.int budget);
+             ( "breakdown_ns",
+               Obs.Json.Obj
+                 (List.map
+                    (fun (name, v) -> (name, Obs.Json.int v))
+                    (Obs.Engine.cat_list agg)) );
+             ("report", Obs.Engine.to_json r);
+           ])
+       reports)
+
 let () =
   print_reproduction ();
   print_endline "==================================================================";
@@ -238,6 +314,11 @@ let () =
   write_json "BENCH_perf.json"
     (Obs.Json.Obj
        [ ("benchmarks", per_benchmark_perf_json ()); ("run_all", run_all) ]);
+  print_endline "==================================================================";
+  print_endline " Engine profile: run_all wall-clock curve across jobs settings";
+  print_endline "==================================================================";
+  print_newline ();
+  write_json "BENCH_engine.json" (engine_curve ());
   (* Full run manifest + HTML report over the headline options, so every
      bench run leaves the same machine-readable record the regression
      gate consumes. *)

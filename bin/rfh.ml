@@ -477,7 +477,7 @@ let profile_cmd =
        come back in selection order and the Energy.Counts accumulation
        for the audit cross-check happens serially afterwards. *)
     let rows =
-      Util.Pool.parallel_map ~jobs
+      Util.Pool.parallel_map ~jobs ~label:"profile.benchmark"
         (fun (e : Workloads.Registry.entry) ->
           let name = e.Workloads.Registry.name in
           Obs.Span.with_span ("benchmark:" ^ name) (fun () ->
@@ -611,6 +611,10 @@ let profile_cmd =
     Obs.Span.set_enabled false;
     collect_outputs ~entries ~lrf (opts_of ~warps ~seed ~benchmarks:names ~jobs) ~manifest_out
       ~report_out;
+    (* Cache behaviour: the always-on memo counters make hit rates
+       visible without engine profiling.  Printed last so a manifest
+       collection above (--manifest-out/--report-out) is included. *)
+    Util.Table.print (Obs.Engine.memo_stats_table (Util.Eprof.memo_stats ()));
     if not parity_ok then begin
       prerr_endline "profile: audit/Energy.Counts write totals disagree";
       exit 1
@@ -1344,12 +1348,176 @@ let timeline_cmd =
       const run $ name_arg $ warps_arg $ seed_arg $ banks_arg $ top_arg $ jsonl_out_arg
       $ trace_out_arg $ report_out_arg)
 
+(* ------------------------------------------------------------------ *)
+(* engine: wall-clock profiling of the host engine itself — where does
+   parallel wall x domains go, exactly?                                 *)
+
+let engine_cmd =
+  let doc =
+    "Profile the host engine while regenerating one artefact (or $(b,all)) at each \
+     requested $(b,--jobs) setting: speedup/efficiency per setting, plus an exact \
+     decomposition of every parallel region's wall x domains budget into useful work, \
+     spawn, teardown, lock wait, memo wait, dispatch and idle — the categories sum \
+     exactly, and the command exits 1 if any accounting invariant fails or the rendered \
+     tables differ across jobs settings.  $(b,--trace-out) writes a Perfetto trace with \
+     per-domain task slices on a wall-clock process row; $(b,--json-out) writes the \
+     engine reports as JSON; $(b,--report-out) writes a standalone HTML engine report."
+  in
+  let target_arg =
+    Arg.(
+      value
+      & pos 0 string "fig13"
+      & info [] ~docv:"TARGET" ~doc:"Artefact to regenerate (fig2..tables, or 'all').")
+  in
+  let jobs_list_arg =
+    let doc = "Comma-separated worker-domain settings to profile, e.g. 1,2,4,8." in
+    Arg.(value & opt (list int) [ 1; 2 ] & info [ "jobs"; "j" ] ~docv:"N,N,..." ~doc)
+  in
+  let trace_out_arg =
+    let doc =
+      "Write a Chrome trace-event JSON file: phase spans (pid 1) plus per-domain engine \
+       task/wait slices on their own wall-clock process row (pid 4), all against one \
+       monotonic epoch."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let json_out_arg =
+    let doc = "Write the engine reports (one per jobs setting) as a JSON array to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json-out" ] ~docv:"FILE" ~doc)
+  in
+  let run target warps seed benchmarks jobs_list trace_out json_out report_out =
+    let artefacts =
+      if target = "all" then List.map snd Experiments.Report.artefact_names
+      else
+        match List.assoc_opt target Experiments.Report.artefact_names with
+        | Some a -> [ a ]
+        | None ->
+          prerr_endline
+            ("unknown target: " ^ target ^ " (expected 'all' or one of "
+            ^ String.concat ", " (List.map fst Experiments.Report.artefact_names)
+            ^ ")");
+          exit 1
+    in
+    let jobs_list = List.sort_uniq compare (List.map (fun j -> max 1 j) jobs_list) in
+    let jobs_list = if jobs_list = [] then [ 1 ] else jobs_list in
+    if trace_out <> None then begin
+      Obs.Span.reset ();
+      Obs.Span.set_enabled true
+    end;
+    let failures = ref [] in
+    let check what ok = if not ok then failures := what :: !failures in
+    (* One profiled window per jobs setting.  Caches are cleared before
+       every window so each run recomputes the same work from scratch —
+       the walls are comparable and the memo tables show their real
+       inter-domain behaviour instead of a warm cache. *)
+    let runs =
+      List.map
+        (fun j ->
+          Experiments.Report.clear_caches ();
+          let opts = opts_of ~warps ~seed ~benchmarks ~jobs:j in
+          let rendered, report =
+            Obs.Engine.profile ~label:target ~jobs:j (fun () ->
+                List.concat_map
+                  (fun a -> List.map Util.Table.render (Experiments.Report.tables_of opts a))
+                  artefacts)
+          in
+          (j, String.concat "\n" rendered, report))
+        jobs_list
+    in
+    let reports = List.map (fun (_, _, r) -> r) runs in
+    (* Result parity: the engine may only change how fast tables are
+       produced, never their bytes. *)
+    (match runs with
+     | [] -> ()
+     | (j0, out0, _) :: rest ->
+       List.iter
+         (fun (j, out, _) ->
+           check (Printf.sprintf "rendered tables at jobs=%d byte-identical to jobs=%d" j j0)
+             (String.equal out out0))
+         rest);
+    (* Accounting invariants: every category >= 0 and the seven sum to
+       wall x domains in every region, lookups = hits+misses+waits per
+       memo table, contended <= acquisitions per lock. *)
+    List.iter
+      (fun (r : Obs.Engine.report) ->
+        List.iter
+          (fun violation -> check (Printf.sprintf "jobs=%d: %s" r.Obs.Engine.jobs violation) false)
+          (Obs.Engine.check r))
+      reports;
+    Util.Table.print (Obs.Engine.speedup_table reports);
+    Util.Table.print (Obs.Engine.breakdown_table reports);
+    List.iter (fun r -> Util.Table.print (Obs.Engine.region_table r)) reports;
+    (match List.rev reports with
+     | [] -> ()
+     | widest :: _ ->
+       Util.Table.print (Obs.Engine.memo_table widest);
+       Util.Table.print (Obs.Engine.lock_table widest));
+    Option.iter
+      (fun path ->
+        mkdirs (Filename.dirname path);
+        let j = Obs.Json.Arr (List.map Obs.Engine.to_json reports) in
+        (try
+           let oc = open_out path in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () ->
+               Obs.Json.to_channel oc j;
+               output_char oc '\n')
+         with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+        Printf.printf "engine json: %d reports -> %s\n" (List.length reports) path)
+      json_out;
+    Option.iter
+      (fun path ->
+        mkdirs (Filename.dirname path);
+        (try Obs.Html_report.write_engine_page ~path reports
+         with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+        Printf.printf "engine report -> %s\n" path)
+      report_out;
+    (match trace_out with
+     | None -> ()
+     | Some path ->
+       let spans = Obs.Span.spans () in
+       Obs.Span.set_enabled false;
+       (* One shared zero point: engine epochs and span timestamps are
+          the same CLOCK_MONOTONIC, so the earliest of either works for
+          every row. *)
+       let base_ns =
+         List.fold_left
+           (fun acc (r : Obs.Engine.report) -> min acc r.Obs.Engine.epoch_ns)
+           (match spans with
+            | [] -> (match reports with [] -> 0L | r :: _ -> r.Obs.Engine.epoch_ns)
+            | _ -> Obs.Trace_export.earliest_span_ns spans)
+           reports
+       in
+       let extra = List.concat_map (Obs.Engine.trace_events ~base_ns) reports in
+       mkdirs (Filename.dirname path);
+       (try
+          Obs.Trace_export.write_file ~path ~process_name:"rfh engine" ~base_ns ~extra spans
+        with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+       Printf.printf "trace: %d spans + %d engine rows -> %s\n" (List.length spans)
+         (List.length extra) path);
+    if !failures <> [] then begin
+      prerr_endline "engine: self-checks FAILED:";
+      List.iter (fun f -> prerr_endline ("  " ^ f)) (List.rev !failures);
+      exit 1
+    end
+    else
+      Printf.printf
+        "engine: all self-checks passed (%d jobs settings; categories sum to wall x domains \
+         in every region; rendered tables byte-identical)\n"
+        (List.length jobs_list)
+  in
+  Cmd.v (Cmd.info "engine" ~doc)
+    Term.(
+      const run $ target_arg $ warps_arg $ seed_arg $ benchmarks_arg $ jobs_list_arg
+      $ trace_out_arg $ json_out_arg $ report_out_arg)
+
 let () =
   let doc = "compile-time managed multi-level register file hierarchy (MICRO 2011) reproduction" in
   let info = Cmd.info "rfh" ~version:"1.0.0" ~doc in
   let cmds =
     List.map artefact_cmd Experiments.Report.artefact_names
     @ [ all_cmd; kernels_cmd; allocate_cmd; compile_cmd; selfcheck_cmd; trace_cmd; profile_cmd;
-        baseline_cmd; explain_cmd; timeline_cmd ]
+        baseline_cmd; explain_cmd; timeline_cmd; engine_cmd ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

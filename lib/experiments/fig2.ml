@@ -6,6 +6,7 @@ let collect_stats (opts : Options.t) entries =
   Sim.Value_trace.merge
     (List.concat
        (Util.Pool.parallel_map ~jobs:opts.Options.jobs
+          ~label:"fig2.value_trace"
           (fun (e : Workloads.Registry.entry) ->
             List.map
               (Sim.Value_trace.collect ~warps:(min 4 opts.Options.warps) ~seed:opts.Options.seed)

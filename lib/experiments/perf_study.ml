@@ -4,7 +4,7 @@ let active_range = [ 1; 2; 4; 6; 8; 16; 32 ]
    stall table re-reads the same (bench, config) runs the IPC table
    triggered, so each configuration is simulated exactly once. *)
 let result_cache : (string * int * Sim.Perf.policy * int, Sim.Perf.result) Util.Memo.t =
-  Util.Memo.create 64
+  Util.Memo.create ~name:"perf_study.result" 64
 
 let result (opts : Options.t) (e : Workloads.Registry.entry) ~policy ~active =
   let key = (e.Workloads.Registry.name, active, policy, opts.Options.seed) in

@@ -137,6 +137,7 @@ let collect ?(entries = 3) ?(lrf = Alloc.Config.Split) (opts : Options.t) =
           let stats, audit = allocator_pass opts ~entries ~lrf in
           let rows =
             Util.Pool.parallel_map ~jobs:opts.Options.jobs
+              ~label:"manifest.bench_row"
               (fun (e, s) -> bench_row opts scheme ~entries e s)
               (List.combine opts.Options.benchmarks stats)
           in

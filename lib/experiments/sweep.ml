@@ -26,7 +26,8 @@ type run = {
    or (benchmark, scheme, entries) run compute it once and share it.
    The in-flight claim also means each entry's kernel lazies are forced
    by exactly one domain. *)
-let context_cache : (string, Alloc.Context.t list) Util.Memo.t = Util.Memo.create 64
+let context_cache : (string, Alloc.Context.t list) Util.Memo.t =
+  Util.Memo.create ~name:"sweep.context" 64
 
 let contexts (e : Workloads.Registry.entry) =
   Util.Memo.find_or_compute context_cache e.Workloads.Registry.name (fun () ->
@@ -35,7 +36,7 @@ let contexts (e : Workloads.Registry.entry) =
 let context e = List.hd (contexts e)
 
 let per_bench (opts : Options.t) f =
-  Util.Pool.parallel_map ~jobs:opts.Options.jobs f opts.Options.benchmarks
+  Util.Pool.parallel_map ~jobs:opts.Options.jobs ~label:"sweep.per_bench" f opts.Options.benchmarks
 
 (* Aggregate the per-kernel traffic results of one application. *)
 let merge_traffic (results : Sim.Traffic.result list) =
@@ -59,7 +60,7 @@ let merge_traffic (results : Sim.Traffic.result list) =
     }
 
 let run_cache : (string * scheme * int * int * int * string, run) Util.Memo.t =
-  Util.Memo.create 256
+  Util.Memo.create ~name:"sweep.run" 256
 
 let sim_scheme (opts : Options.t) ctx scheme ~entries =
   match scheme with

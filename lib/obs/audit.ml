@@ -34,11 +34,15 @@ let on = Atomic.make false
 let mu = Mutex.create ()
 let sink : (event -> unit) ref = ref ignore
 
+(* The sink mutex serializes every audit event from every domain, so
+   it is a prime slowdown suspect under --jobs: profile it. *)
+let sink_lock = Util.Eprof.lock_create "obs.audit.sink"
+
 let is_enabled () = Atomic.get on
 
 let emit ev =
   if Atomic.get on then begin
-    Mutex.lock mu;
+    Util.Eprof.lock_acquire sink_lock mu;
     Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () -> !sink ev)
   end
 

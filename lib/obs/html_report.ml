@@ -39,6 +39,10 @@ td.l, th.l { text-align: left; }
 .bench-bar .track { flex: 1; }
 .legend span { display: inline-block; margin-right: 1.2em; }
 .swatch { display: inline-block; width: .85em; height: .85em; vertical-align: -.1em; margin-right: .35em; border: 1px solid #99a; }
+.eg-useful { background: #91cc75; } .eg-spawn { background: #fac858; }
+.eg-teardown { background: #f0924e; } .eg-lock-wait { background: #ee6666; }
+.eg-memo-wait { background: #9a60b4; } .eg-dispatch { background: #73c0de; }
+.eg-idle { background: #d4d9e1; }
 .muted { color: #5b6472; }
 code { background: #f2f3f6; padding: 0 .25em; }
 h3 { font-size: 1.05em; margin-top: 1.5em; } h4 { font-size: .95em; }
@@ -336,7 +340,140 @@ let explain_section buf (reports : Explain.kernel_report list) =
       end)
     reports
 
-let render ?compare ?explain (m : Manifest.t) =
+(* ------------------------------------------------------------------ *)
+(* Engine profiling section: the wall × domains budget of every
+   parallel region decomposed into the seven exact categories, one
+   stacked bar per --jobs setting.                                     *)
+
+let eg_class name =
+  "eg-" ^ String.map (fun c -> if c = ' ' then '-' else c) name
+
+let engine_ms ns = float_of_int ns /. 1e6
+
+let engine_legend buf =
+  pf buf "<p class=legend>";
+  List.iter
+    (fun name ->
+      pf buf "<span><span class=\"swatch %s\"></span>%s</span>" (eg_class name) (escape name))
+    Engine.category_names;
+  pf buf "</p>\n"
+
+let engine_bar buf label cats =
+  let budget = Float.max 1e-9 (float_of_int (Engine.cat_total cats)) in
+  pf buf "<div class=bench-bar><span class=label>%s</span>" (escape label);
+  pf buf "<span class=track><span class=bar>";
+  List.iter
+    (fun (name, v) ->
+      let pct = 100.0 *. float_of_int v /. budget in
+      if pct > 0.01 then
+        pf buf "<span class=\"%s\" style=\"width:%.2f%%\" title=\"%s: %.2f ms\"></span>"
+          (eg_class name) pct (escape name) (engine_ms v))
+    (Engine.cat_list cats);
+  pf buf "</span></span></div>\n"
+
+let engine_section buf (reports : Engine.report list) =
+  pf buf "<h2>Engine profile</h2>\n";
+  (match reports with
+  | [] -> pf buf "<p class=muted>no engine profile recorded</p>\n"
+  | base :: _ ->
+    pf buf
+      "<p class=muted>wall-clock decomposition of every parallel region's budget (wall &times; \
+       domains) into categories that sum exactly; speedups are against the jobs=%d run</p>\n"
+      base.Engine.jobs;
+    pf buf "<table>\n";
+    pf buf
+      "<tr><th>jobs</th><th>wall ms</th><th>speedup</th><th>efficiency</th><th>region \
+       ms</th><th>serial ms</th><th>regions</th><th>tasks</th></tr>\n";
+    List.iter
+      (fun (r : Engine.report) ->
+        let wall_ms = engine_ms r.Engine.wall_ns in
+        let speedup =
+          if r.Engine.wall_ns > 0 then
+            float_of_int base.Engine.wall_ns /. float_of_int r.Engine.wall_ns
+          else 1.0
+        in
+        let region_ms = Engine.region_seconds r *. 1e3 in
+        pf buf
+          "<tr><td>%d</td><td>%.1f</td><td>%.2fx</td><td>%.0f%%</td><td>%.1f</td><td>%.1f</td><td>%d</td><td>%d</td></tr>\n"
+          r.Engine.jobs wall_ms speedup
+          (100.0 *. speedup /. float_of_int (max 1 r.Engine.jobs))
+          region_ms (wall_ms -. region_ms)
+          (List.length r.Engine.regions)
+          (List.fold_left (fun acc (reg : Engine.region) -> acc + reg.Engine.tasks) 0
+             r.Engine.regions))
+      reports;
+    pf buf "</table>\n";
+    pf buf "<h3>Overhead breakdown</h3>\n";
+    engine_legend buf;
+    List.iter
+      (fun (r : Engine.report) ->
+        engine_bar buf
+          (Printf.sprintf "jobs=%d" r.Engine.jobs)
+          (Engine.agg_categories r))
+      reports;
+    List.iter
+      (fun (r : Engine.report) ->
+        if r.Engine.regions <> [] then begin
+          pf buf "<h4>Regions at jobs=%d</h4>\n" r.Engine.jobs;
+          List.iter
+            (fun (reg : Engine.region) ->
+              engine_bar buf
+                (Printf.sprintf "%s#%d (%d dom, %d tasks, %.2f ms)" reg.Engine.label
+                   reg.Engine.id reg.Engine.domains reg.Engine.tasks
+                   (engine_ms reg.Engine.wall_ns))
+                reg.Engine.cats)
+            r.Engine.regions
+        end)
+      reports;
+    (* Memo and lock behaviour of the widest run: that is where
+       contention lives. *)
+    (match List.rev reports with
+    | [] -> ()
+    | widest :: _ ->
+      if widest.Engine.memos <> [] then begin
+        pf buf "<h3>Memo tables at jobs=%d</h3><table>\n" widest.Engine.jobs;
+        pf buf
+          "<tr><th class=l>table</th><th>lookups</th><th>hits</th><th>misses</th><th>waits</th><th>hit rate</th><th>wait ms</th></tr>\n";
+        List.iter
+          (fun (m : Util.Eprof.memo_stats) ->
+            let rate = if m.lookups = 0 then 0.0 else 100.0 *. float_of_int m.hits /. float_of_int m.lookups in
+            pf buf
+              "<tr><td class=l>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%.1f%%</td><td>%.3f</td></tr>\n"
+              (escape m.table) m.lookups m.hits m.misses m.waits rate (engine_ms m.wait_ns))
+          widest.Engine.memos;
+        pf buf "</table>\n"
+      end;
+      if widest.Engine.locks <> [] then begin
+        pf buf "<h3>Profiled locks at jobs=%d</h3><table>\n" widest.Engine.jobs;
+        pf buf
+          "<tr><th class=l>lock</th><th>acquisitions</th><th>contended</th><th>wait ms</th></tr>\n";
+        List.iter
+          (fun (l : Util.Eprof.lock_stats) ->
+            pf buf "<tr><td class=l>%s</td><td>%d</td><td>%d</td><td>%.3f</td></tr>\n"
+              (escape l.lock) l.acquisitions l.contended (engine_ms l.wait_ns))
+          widest.Engine.locks;
+        pf buf "</table>\n"
+      end))
+
+let render_engine_page (reports : Engine.report list) =
+  let buf = Buffer.create 16384 in
+  pf buf "<!DOCTYPE html>\n<html lang=en>\n<head>\n<meta charset=utf-8>\n";
+  pf buf "<title>rfh engine report</title>\n<style>\n%s\n</style>\n</head>\n<body>\n" style;
+  pf buf "<h1>rfh engine report</h1>\n";
+  (match reports with
+  | r :: _ -> pf buf "<p class=muted>target: %s</p>\n" (escape r.Engine.label)
+  | [] -> ());
+  engine_section buf reports;
+  pf buf "</body>\n</html>\n";
+  Buffer.contents buf
+
+let write_engine_page ~path reports =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render_engine_page reports))
+
+let render ?compare ?explain ?engine (m : Manifest.t) =
   let buf = Buffer.create 16384 in
   pf buf "<!DOCTYPE html>\n<html lang=en>\n<head>\n<meta charset=utf-8>\n";
   pf buf "<title>rfh run report</title>\n<style>\n%s\n</style>\n</head>\n<body>\n" style;
@@ -352,12 +489,13 @@ let render ?compare ?explain (m : Manifest.t) =
   phase_table buf m;
   metrics_section buf m;
   audit_section buf m;
+  (match engine with None | Some [] -> () | Some reports -> engine_section buf reports);
   (match explain with None | Some [] -> () | Some reports -> explain_section buf reports);
   pf buf "</body>\n</html>\n";
   Buffer.contents buf
 
-let write_file ?compare ?explain ~path m =
+let write_file ?compare ?explain ?engine ~path m =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (render ?compare ?explain m))
+    (fun () -> output_string oc (render ?compare ?explain ?engine m))

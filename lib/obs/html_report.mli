@@ -16,14 +16,33 @@
     assembled by [rfh explain]) the report gains an "Allocation
     explainer" section: the per-kernel decision table and an energy
     heatmap over the instruction stream whose row backgrounds scale
-    with each instruction's attributed register-file energy. *)
+    with each instruction's attributed register-file energy.
+
+    With [?engine] (one {!Engine.report} per [--jobs] setting, in
+    ascending order) the report gains an "Engine profile" section:
+    the speedup/efficiency table and one stacked bar per jobs setting
+    decomposing the parallel-region budget (wall × domains) into the
+    seven exact overhead categories, plus per-region bars and the
+    memo/lock contention tables of the widest run. *)
 
 val render :
-  ?compare:Manifest.t -> ?explain:Explain.kernel_report list -> Manifest.t -> string
+  ?compare:Manifest.t ->
+  ?explain:Explain.kernel_report list ->
+  ?engine:Engine.report list ->
+  Manifest.t ->
+  string
 
 val write_file :
   ?compare:Manifest.t ->
   ?explain:Explain.kernel_report list ->
+  ?engine:Engine.report list ->
   path:string ->
   Manifest.t ->
   unit
+
+val render_engine_page : Engine.report list -> string
+(** A standalone engine-only page (same styling, no manifest needed) —
+    what [rfh engine --report-out] writes. *)
+
+val write_engine_page : path:string -> Engine.report list -> unit
+(** @raise Sys_error on I/O failure. *)

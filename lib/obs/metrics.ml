@@ -2,7 +2,16 @@
    domain is one fetch-and-add, no lock); histograms carry their own
    mutex; each registry's intern tables are protected by the registry
    mutex.  Snapshots lock the registry, then each histogram — always in
-   that order, so the two-level locking cannot deadlock. *)
+   that order, so the two-level locking cannot deadlock.
+
+   Both lock levels are profiled through Util.Eprof (all histogram
+   mutexes share one "obs.metrics.hist" profile: contention there is a
+   property of the telemetry design, not of any one histogram), so
+   `rfh engine` can say how much parallel wall time is spent waiting
+   on metrics. *)
+
+let rlock = Util.Eprof.lock_create "obs.metrics.registry"
+let hlock = Util.Eprof.lock_create "obs.metrics.hist"
 
 type hist = {
   hmu : Mutex.t;
@@ -35,7 +44,7 @@ type gauge = float Atomic.t
 type histogram = hist
 
 let intern registry table name make =
-  Mutex.lock registry.rmu;
+  Util.Eprof.lock_acquire rlock registry.rmu;
   let x =
     match Hashtbl.find_opt table name with
     | Some x -> x
@@ -71,7 +80,7 @@ let histogram ?(registry = default) name =
       })
 
 let observe h v =
-  Mutex.lock h.hmu;
+  Util.Eprof.lock_acquire hlock h.hmu;
   h.hcount <- h.hcount + 1;
   h.hsum <- h.hsum +. v;
   if v < h.hmin then h.hmin <- v;
@@ -120,7 +129,7 @@ let percentile_of_sorted_bins bins total q =
    large histogram can't stall concurrent [observe] calls (or, via the
    registry lock in [snapshot], concurrent counter interning). *)
 let summarize h =
-  Mutex.lock h.hmu;
+  Util.Eprof.lock_acquire hlock h.hmu;
   let count = h.hcount in
   let sum = h.hsum in
   let hmin = h.hmin in
@@ -146,7 +155,7 @@ let sorted_bindings table f =
 let snapshot ?(registry = default) () =
   (* Hold the registry lock only long enough to collect handles — the
      per-histogram summaries (which sort bins) run after release. *)
-  Mutex.lock registry.rmu;
+  Util.Eprof.lock_acquire rlock registry.rmu;
   let counters = sorted_bindings registry.counters Fun.id in
   let gauges = sorted_bindings registry.gauges Fun.id in
   let hists = sorted_bindings registry.hists Fun.id in
@@ -180,12 +189,12 @@ let diff later earlier =
   { counters; gauges = later.gauges; histograms }
 
 let reset ?(registry = default) () =
-  Mutex.lock registry.rmu;
+  Util.Eprof.lock_acquire rlock registry.rmu;
   Hashtbl.iter (fun _ c -> Atomic.set c 0) registry.counters;
   Hashtbl.iter (fun _ g -> Atomic.set g 0.0) registry.gauges;
   Hashtbl.iter
     (fun _ h ->
-      Mutex.lock h.hmu;
+      Util.Eprof.lock_acquire hlock h.hmu;
       h.hcount <- 0;
       h.hsum <- 0.0;
       h.hmin <- infinity;

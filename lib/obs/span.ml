@@ -7,6 +7,10 @@ type span = { name : string; ts_ns : int64; dur_ns : int64; depth : int; domain 
 
 let on = Atomic.make false
 let mu = Mutex.create ()
+
+(* Completed-span appends from worker domains all funnel through this
+   mutex; profiled so `rfh engine` can price span recording. *)
+let spans_lock = Util.Eprof.lock_create "obs.span.spans"
 let completed : span list ref = ref []
 let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
@@ -34,7 +38,7 @@ let with_span name f =
             domain = (Domain.self () :> int);
           }
         in
-        Mutex.lock mu;
+        Util.Eprof.lock_acquire spans_lock mu;
         completed := s :: !completed;
         Mutex.unlock mu)
       f

@@ -107,13 +107,15 @@ let json_of_counters (tracks : Counters.track list) =
   in
   (process_metadata :: thread_metadata) @ events
 
-let json_of_spans ?(process_name = "rfh") ?(counters = []) ?(timeline = []) spans =
-  let base =
-    List.fold_left
-      (fun acc (s : Span.span) -> if Int64.compare s.Span.ts_ns acc < 0 then s.Span.ts_ns else acc)
-      (match spans with [] -> 0L | s :: _ -> s.Span.ts_ns)
-      spans
-  in
+let earliest_span_ns spans =
+  List.fold_left
+    (fun acc (s : Span.span) -> if Int64.compare s.Span.ts_ns acc < 0 then s.Span.ts_ns else acc)
+    (match spans with [] -> 0L | s :: _ -> s.Span.ts_ns)
+    spans
+
+let json_of_spans ?(process_name = "rfh") ?(counters = []) ?(timeline = []) ?base_ns ?(extra = [])
+    spans =
+  let base = match base_ns with Some b -> b | None -> earliest_span_ns spans in
   let process_metadata =
     Json.Obj
       [
@@ -172,17 +174,18 @@ let json_of_spans ?(process_name = "rfh") ?(counters = []) ?(timeline = []) span
     [
       ( "traceEvents",
         Json.Arr
-          ((process_metadata :: thread_metadata) @ events @ counter_events @ timeline_events) );
+          ((process_metadata :: thread_metadata) @ events @ counter_events @ timeline_events
+          @ extra) );
       ("displayTimeUnit", Json.Str "ms");
     ]
 
-let to_string ?process_name ?counters ?timeline spans =
-  Json.to_string (json_of_spans ?process_name ?counters ?timeline spans)
+let to_string ?process_name ?counters ?timeline ?base_ns ?extra spans =
+  Json.to_string (json_of_spans ?process_name ?counters ?timeline ?base_ns ?extra spans)
 
-let write_file ~path ?process_name ?counters ?timeline spans =
+let write_file ~path ?process_name ?counters ?timeline ?base_ns ?extra spans =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Json.to_channel oc (json_of_spans ?process_name ?counters ?timeline spans);
+      Json.to_channel oc (json_of_spans ?process_name ?counters ?timeline ?base_ns ?extra spans);
       output_char oc '\n')

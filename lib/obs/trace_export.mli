@@ -22,12 +22,25 @@
     name = pipeline state, [ts]/[dur] in cycles — the run opens in
     Perfetto as a per-warp pipeline waterfall alongside the counter
     tracks.  Like counters, timeline rows are byte-deterministic for a
-    fixed seed. *)
+    fixed seed.
+
+    [?base_ns] overrides the rebase point (default: earliest span):
+    pass a common absolute timestamp when combining spans with
+    separately-based rows (e.g. {!Engine.trace_events}) so every
+    wall-clock track shares one zero.  [?extra] appends pre-built
+    trace events (already rebased by the caller) to the [traceEvents]
+    array. *)
+
+val earliest_span_ns : Span.span list -> int64
+(** The default rebase point: the earliest span timestamp (0 when
+    there are no spans). *)
 
 val json_of_spans :
   ?process_name:string ->
   ?counters:Counters.track list ->
   ?timeline:Timeline.interval list ->
+  ?base_ns:int64 ->
+  ?extra:Json.t list ->
   Span.span list ->
   Json.t
 
@@ -35,6 +48,8 @@ val to_string :
   ?process_name:string ->
   ?counters:Counters.track list ->
   ?timeline:Timeline.interval list ->
+  ?base_ns:int64 ->
+  ?extra:Json.t list ->
   Span.span list ->
   string
 
@@ -43,6 +58,8 @@ val write_file :
   ?process_name:string ->
   ?counters:Counters.track list ->
   ?timeline:Timeline.interval list ->
+  ?base_ns:int64 ->
+  ?extra:Json.t list ->
   Span.span list ->
   unit
 (** @raise Sys_error on I/O failure. *)

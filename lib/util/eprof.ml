@@ -1,0 +1,180 @@
+(* Host-engine profiling recorder.  See eprof.mli for the contract;
+   the analyzer lives in Obs.Engine so this module stays dependency-free
+   (the pool and memo tables instrumented here cannot see lib/obs). *)
+
+let now_ns () : int64 = Monotonic_clock.now ()
+let on = Atomic.make false
+let enabled () = Atomic.get on
+
+(* CLOCK_MONOTONIC is one clock for the whole process, so a single
+   epoch gives every domain the same zero point — no per-domain skew
+   to correct when aligning trace rows. *)
+let epoch = Atomic.make 0L
+let epoch_ns () = Atomic.get epoch
+let now_rel_ns () = Int64.to_int (Int64.sub (now_ns ()) (Atomic.get epoch))
+let self () = (Domain.self () :> int)
+
+type event =
+  | Region_begin of { region : int; label : string; jobs : int; caller : int; t : int }
+  | Region_end of { region : int; t : int }
+  | Spawn of { region : int; dom : int; start : int; stop : int }
+  | Join of { region : int; dom : int; start : int; stop : int }
+  | Worker of { region : int; dom : int; start : int; stop : int }
+  | Task of { region : int; dom : int; index : int; start : int; stop : int }
+  | Lock_wait of { name : string; dom : int; start : int; stop : int }
+  | Memo_wait of { table : string; dom : int; start : int; stop : int }
+
+let mu = Mutex.create ()
+let events_rev : event list ref = ref []
+
+let emit ev =
+  Mutex.lock mu;
+  events_rev := ev :: !events_rev;
+  Mutex.unlock mu
+
+let events () =
+  Mutex.lock mu;
+  let evs = !events_rev in
+  Mutex.unlock mu;
+  List.rev evs
+
+let region_ctr = Atomic.make 0
+let new_region () = Atomic.fetch_and_add region_ctr 1
+
+let start () =
+  Mutex.lock mu;
+  events_rev := [];
+  Mutex.unlock mu;
+  Atomic.set epoch (now_ns ());
+  Atomic.set on true
+
+let stop () = Atomic.set on false
+
+(* ---- profiled locks ---------------------------------------------- *)
+
+type lock = {
+  l_name : string;
+  l_acq : int Atomic.t;
+  l_cont : int Atomic.t;
+  l_wait : int Atomic.t;
+}
+
+type lock_stats = { lock : string; acquisitions : int; contended : int; wait_ns : int }
+
+let locks_mu = Mutex.create ()
+let locks : lock list ref = ref []
+
+let lock_create name =
+  let l =
+    { l_name = name; l_acq = Atomic.make 0; l_cont = Atomic.make 0; l_wait = Atomic.make 0 }
+  in
+  Mutex.lock locks_mu;
+  locks := l :: !locks;
+  Mutex.unlock locks_mu;
+  l
+
+let lock_acquire l m =
+  if not (Atomic.get on) then Mutex.lock m
+  else begin
+    ignore (Atomic.fetch_and_add l.l_acq 1 : int);
+    if not (Mutex.try_lock m) then begin
+      let t0 = now_rel_ns () in
+      Mutex.lock m;
+      let t1 = now_rel_ns () in
+      ignore (Atomic.fetch_and_add l.l_cont 1 : int);
+      ignore (Atomic.fetch_and_add l.l_wait (t1 - t0) : int);
+      emit (Lock_wait { name = l.l_name; dom = self (); start = t0; stop = t1 })
+    end
+  end
+
+let lock_stats () =
+  Mutex.lock locks_mu;
+  let ls = !locks in
+  Mutex.unlock locks_mu;
+  ls
+  |> List.map (fun l ->
+         {
+           lock = l.l_name;
+           acquisitions = Atomic.get l.l_acq;
+           contended = Atomic.get l.l_cont;
+           wait_ns = Atomic.get l.l_wait;
+         })
+  |> List.sort (fun a b -> String.compare a.lock b.lock)
+
+(* ---- memo counters ----------------------------------------------- *)
+
+type memo_counters = {
+  mc_name : string option;
+  mc_lookups : int Atomic.t;
+  mc_hits : int Atomic.t;
+  mc_misses : int Atomic.t;
+  mc_waits : int Atomic.t;
+  mc_wait_ns : int Atomic.t;
+}
+
+type memo_stats = {
+  table : string;
+  lookups : int;
+  hits : int;
+  misses : int;
+  waits : int;
+  wait_ns : int;
+}
+
+let memos_mu = Mutex.create ()
+let memos : memo_counters list ref = ref []
+
+let memo_counters ?name () =
+  let c =
+    {
+      mc_name = name;
+      mc_lookups = Atomic.make 0;
+      mc_hits = Atomic.make 0;
+      mc_misses = Atomic.make 0;
+      mc_waits = Atomic.make 0;
+      mc_wait_ns = Atomic.make 0;
+    }
+  in
+  if name <> None then begin
+    Mutex.lock memos_mu;
+    memos := c :: !memos;
+    Mutex.unlock memos_mu
+  end;
+  c
+
+let memo_counter_name c = Option.value c.mc_name ~default:"<anon>"
+
+let memo_record c ~hit ~waited ~wait_start =
+  ignore (Atomic.fetch_and_add c.mc_lookups 1 : int);
+  if waited then begin
+    let stop = now_rel_ns () in
+    ignore (Atomic.fetch_and_add c.mc_wait_ns (stop - wait_start) : int);
+    (* A wait that ends in a ready value is a "wait"; a wait that ends
+       with this caller recomputing (the producer failed) is a miss. *)
+    if hit then ignore (Atomic.fetch_and_add c.mc_waits 1 : int)
+    else ignore (Atomic.fetch_and_add c.mc_misses 1 : int);
+    if Atomic.get on then
+      emit
+        (Memo_wait { table = memo_counter_name c; dom = self (); start = wait_start; stop })
+  end
+  else if hit then ignore (Atomic.fetch_and_add c.mc_hits 1 : int)
+  else ignore (Atomic.fetch_and_add c.mc_misses 1 : int)
+
+let stats_of_counters table c =
+  {
+    table;
+    lookups = Atomic.get c.mc_lookups;
+    hits = Atomic.get c.mc_hits;
+    misses = Atomic.get c.mc_misses;
+    waits = Atomic.get c.mc_waits;
+    wait_ns = Atomic.get c.mc_wait_ns;
+  }
+
+let memo_stats () =
+  Mutex.lock memos_mu;
+  let cs = !memos in
+  Mutex.unlock memos_mu;
+  cs
+  |> List.filter_map (fun c ->
+         match c.mc_name with Some n -> Some (stats_of_counters n c) | None -> None)
+  |> List.sort (fun a b -> String.compare a.table b.table)

@@ -1,0 +1,149 @@
+(** Host-engine profiling primitives: the recorder behind [Obs.Engine].
+
+    Everything the *simulated* machine does is observed by [lib/obs];
+    this module watches the *host* engine instead — worker-domain
+    teams ({!Pool}), memo tables ({!Memo}) and the mutexes guarding
+    the telemetry registries.  It lives in [lib/util] because the pool
+    and the memo tables cannot depend on [obs]; the analyzer that
+    turns these raw events into an exact parallel-efficiency
+    decomposition is [Obs.Engine].
+
+    Recording discipline (same contract as [Obs.Audit]):
+
+    - off by default; instrumented call sites guard with {!enabled},
+      which is one atomic load — a disabled run takes today's exact
+      code path, so results (and run manifests) are byte-identical
+      whether the recorder exists or not;
+    - {!start} clears the event buffer and pins the {e shared
+      monotonic epoch}: every timestamp from every domain is
+      nanoseconds since that single epoch (CLOCK_MONOTONIC is global
+      across domains), so multi-domain trace rows align without
+      per-domain rebasing;
+    - events are appended under one private mutex.  Events are
+      per-task / per-contended-acquisition, not per simulated
+      instruction, so the recording cost is negligible against the
+      work being measured (and is itself attributed: it lands in the
+      dispatch/idle buckets, never in task time).
+
+    The memo counters are the exception to "off by default": they are
+    plain atomic bumps on paths that already take a mutex, so they are
+    {e always} maintained — [rfh profile] can print cache hit rates
+    without enabling anything. *)
+
+val enabled : unit -> bool
+(** One atomic load — instrumented call sites guard on this. *)
+
+val start : unit -> unit
+(** Clear recorded events, pin the epoch to now, enable recording. *)
+
+val stop : unit -> unit
+(** Disable recording.  Events remain readable until the next
+    {!start}. *)
+
+val epoch_ns : unit -> int64
+(** The absolute monotonic timestamp of the last {!start} — the zero
+    point of every event below. *)
+
+val now_rel_ns : unit -> int
+(** Nanoseconds since the epoch (one clock call). *)
+
+val self : unit -> int
+(** The calling domain's id as an int (trace [tid]). *)
+
+(** {1 Events}
+
+    All timestamps are {!now_rel_ns} values.  [region] ids come from
+    {!new_region} and are unique within a recording window. *)
+
+type event =
+  | Region_begin of { region : int; label : string; jobs : int; caller : int; t : int }
+      (** A {!Pool} fan-out began: [jobs] is the requested setting,
+          [caller] the calling domain (always part of the team). *)
+  | Region_end of { region : int; t : int }
+  | Spawn of { region : int; dom : int; start : int; stop : int }
+      (** One [Domain.spawn] call on the caller; [dom] is the spawned
+          domain's id. *)
+  | Join of { region : int; dom : int; start : int; stop : int }
+      (** One [Domain.join] call on the caller. *)
+  | Worker of { region : int; dom : int; start : int; stop : int }
+      (** One team member's whole claim-execute loop (the caller
+          records one too). *)
+  | Task of { region : int; dom : int; index : int; start : int; stop : int }
+      (** One work item: [f arr.(index)] exactly — slot writes, index
+          claiming and event recording are outside the interval. *)
+  | Lock_wait of { name : string; dom : int; start : int; stop : int }
+      (** A contended acquisition of a profiled mutex: the wait
+          between the failed [try_lock] and lock acquisition. *)
+  | Memo_wait of { table : string; dom : int; start : int; stop : int }
+      (** A {!Memo} lookup blocked on another domain's in-flight
+          computation of the same key. *)
+
+val new_region : unit -> int
+val emit : event -> unit
+val events : unit -> event list
+(** Recorded events in emission order. *)
+
+(** {1 Profiled locks}
+
+    A profiled mutex costs nothing when recording is off
+    ([lock_acquire] is then exactly [Mutex.lock]).  When on, an
+    uncontended acquisition is a [try_lock] plus one atomic bump; a
+    contended one additionally times the wait and records a
+    {!Lock_wait} event.  Unlocking is the plain [Mutex.unlock]. *)
+
+type lock
+
+val lock_create : string -> lock
+(** Create and register a named lock profile (done once at module
+    init by the instrumented module). *)
+
+val lock_acquire : lock -> Mutex.t -> unit
+
+type lock_stats = {
+  lock : string;
+  acquisitions : int;  (** acquisitions observed while recording *)
+  contended : int;     (** of which the [try_lock] failed *)
+  wait_ns : int;       (** total contended wait *)
+}
+
+val lock_stats : unit -> lock_stats list
+(** Cumulative per-lock counters, sorted by name.  Counters only
+    advance while recording is enabled; diff two snapshots to scope a
+    window. *)
+
+(** {1 Memo counters}
+
+    Maintained unconditionally (cheap atomic bumps on an
+    already-locking path) so cache hit rates are observable without
+    profiling; the wait {e events} still require {!enabled}. *)
+
+type memo_counters
+
+val memo_counters : ?name:string -> unit -> memo_counters
+(** Allocate a counter block; a [?name] registers it for
+    {!memo_stats}. *)
+
+val memo_counter_name : memo_counters -> string
+(** The registered name, or ["<anon>"]. *)
+
+val memo_record :
+  memo_counters -> hit:bool -> waited:bool -> wait_start:int -> unit
+(** Classify one completed [find_or_compute]: exactly one of
+    hits/misses/waits is bumped ([waited && hit] counts as a wait;
+    [waited && not hit] counts as a miss — the rare post-failure
+    recompute — with the wait duration still accumulated), and a
+    {!Memo_wait} event is emitted when recording is on. *)
+
+type memo_stats = {
+  table : string;
+  lookups : int;  (** = hits + misses + waits, an invariant *)
+  hits : int;
+  misses : int;
+  waits : int;    (** lookups that blocked on an in-flight compute *)
+  wait_ns : int;
+}
+
+val stats_of_counters : string -> memo_counters -> memo_stats
+
+val memo_stats : unit -> memo_stats list
+(** Cumulative stats of every {e named} table, sorted by name. *)

@@ -6,11 +6,34 @@ type ('k, 'v) t = {
   mu : Mutex.t;
   cond : Condition.t;
   tbl : ('k, 'v state) Hashtbl.t;
+  counters : Eprof.memo_counters;
 }
 
-let create n = { mu = Mutex.create (); cond = Condition.create (); tbl = Hashtbl.create n }
+type stats = Eprof.memo_stats = {
+  table : string;
+  lookups : int;
+  hits : int;
+  misses : int;
+  waits : int;
+  wait_ns : int;
+}
+
+let create ?name n =
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    tbl = Hashtbl.create n;
+    counters = Eprof.memo_counters ?name ();
+  }
+
+let stats t = Eprof.stats_of_counters (Eprof.memo_counter_name t.counters) t.counters
 
 let find_or_compute t key f =
+  (* [wait_start] is set on the first transition into Condition.wait:
+     a lookup that blocked at all is classified as a wait (when it
+     ends Ready) or a miss (when the producer failed and this caller
+     recomputes), never as a plain hit. *)
+  let wait_start = ref (-1) in
   Mutex.lock t.mu;
   let rec claim () =
     match Hashtbl.find_opt t.tbl key with
@@ -18,6 +41,7 @@ let find_or_compute t key f =
       Mutex.unlock t.mu;
       `Hit v
     | Some In_flight ->
+      if !wait_start < 0 then wait_start := Eprof.now_rel_ns ();
       Condition.wait t.cond t.mu;
       claim ()
     | None ->
@@ -25,9 +49,13 @@ let find_or_compute t key f =
       Mutex.unlock t.mu;
       `Compute
   in
+  let record ~hit = Eprof.memo_record t.counters ~hit ~waited:(!wait_start >= 0) ~wait_start:!wait_start in
   match claim () with
-  | `Hit v -> v
+  | `Hit v ->
+    record ~hit:true;
+    v
   | `Compute ->
+    record ~hit:false;
     (match f () with
      | v ->
        Mutex.lock t.mu;

@@ -9,17 +9,38 @@
 
     If the computation raises, the in-flight marker is removed (the
     failure is {e not} cached), every waiter is woken to retry or
-    recompute, and the exception propagates to the computing caller. *)
+    recompute, and the exception propagates to the computing caller.
+
+    Every table keeps always-on hit/miss/wait counters (plain atomic
+    bumps on a path that already takes the table mutex), so [stats]
+    works with engine profiling off.  Tables created with [?name]
+    additionally appear in the global [Eprof.memo_stats] roster
+    used by [rfh profile] and [rfh engine]. *)
 
 type ('k, 'v) t
 
-val create : int -> ('k, 'v) t
-(** [create n]: initial capacity hint, as for [Hashtbl.create]. *)
+type stats = Eprof.memo_stats = {
+  table : string;
+  lookups : int;  (** = hits + misses + waits, an invariant *)
+  hits : int;     (** found Ready without blocking *)
+  misses : int;   (** this caller computed (including post-failure retries) *)
+  waits : int;    (** blocked on another domain's in-flight compute *)
+  wait_ns : int;  (** total time spent blocked *)
+}
+
+val create : ?name:string -> int -> ('k, 'v) t
+(** [create n]: initial capacity hint, as for [Hashtbl.create].
+    [?name] registers the table's counters globally (see {!stats}). *)
+
+val stats : ('k, 'v) t -> stats
+(** Cumulative counters since creation; never reset (not even by
+    {!reset}), so diffs across a window are meaningful. *)
 
 val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 
 val find_opt : ('k, 'v) t -> 'k -> 'v option
-(** Completed entries only; never blocks on in-flight keys. *)
+(** Completed entries only; never blocks on in-flight keys.  Not
+    counted in {!stats} (only [find_or_compute] is). *)
 
 val reset : ('k, 'v) t -> unit
 (** Drop completed entries.  In-flight computations finish and publish

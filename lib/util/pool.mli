@@ -22,7 +22,14 @@
 
     Worker teams are per call rather than a global persistent pool:
     nested [parallel_map] calls then simply spawn their own (small)
-    teams instead of deadlocking on a shared fixed set of workers. *)
+    teams instead of deadlocking on a shared fixed set of workers.
+
+    When the {!Eprof} recorder is on, every fan-out (including the
+    serial [jobs <= 1] path, so serial baselines are comparable)
+    becomes a profiled {e region}: spawn/join/worker-loop/task
+    intervals against the shared monotonic epoch, analyzed by
+    [Obs.Engine].  With the recorder off the code path is exactly the
+    uninstrumented one (one atomic load per call). *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what [~jobs:0] and absent
@@ -32,11 +39,13 @@ val resolve_jobs : int option -> int
 (** [resolve_jobs None] and [resolve_jobs (Some 0)] are
     [default_jobs ()]; negative values are clamped to [1]. *)
 
-val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val parallel_map : ?jobs:int -> ?label:string -> ('a -> 'b) -> 'a list -> 'b list
 (** Like [List.map f xs], possibly computing elements on [jobs]
-    domains (the caller counts as one).  Results are in input order. *)
+    domains (the caller counts as one).  Results are in input order.
+    [?label] (default ["pool"]) names the profiled region in engine
+    reports and traces; it has no effect on results. *)
 
-val parallel_iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+val parallel_iter : ?jobs:int -> ?label:string -> ('a -> unit) -> 'a list -> unit
 (** [parallel_map] for effects only.  Same ordering guarantee for
     exception reporting; no ordering guarantee for the effects
     themselves when [jobs > 1]. *)

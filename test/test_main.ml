@@ -23,5 +23,6 @@ let () =
       ("obs", Test_obs.suite);
       ("explain", Test_explain.suite);
       ("timeline", Test_timeline.suite);
+      ("engine", Test_engine.suite);
       ("properties", Test_properties.suite);
     ]
