@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench fmt parity regress explain-smoke timeline-smoke engine-smoke ci clean
+.PHONY: all build test bench fmt parity regress explain-smoke timeline-smoke engine-smoke perfgate ci clean
 
 all: build
 
@@ -80,7 +80,16 @@ engine-smoke: build
 	  --report-out _build/engine-fig13.html > _build/engine-fig13.txt
 	@echo "engine smoke OK: categories sum to wall x domains; output parity holds"
 
-ci: fmt build test parity regress explain-smoke timeline-smoke engine-smoke
+# Performance gate (see docs/performance.md): time the
+# sim:perf-two-level microbenchmark and measure its steady-state
+# allocation, failing if ns_per_run regresses >2x over the committed
+# threshold in baselines/perfgate.json or if the cycle loop allocates
+# again.  The measurement lands in _build/perfgate.json for CI to
+# upload.
+perfgate: build
+	dune exec bench/perfgate.exe
+
+ci: fmt build test parity regress explain-smoke timeline-smoke engine-smoke perfgate
 
 clean:
 	dune clean

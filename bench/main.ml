@@ -107,6 +107,18 @@ let stage_tests =
              (Sim.Perf.run ~warps:8 ~max_dynamic_per_warp:300
                 ~scheduler:(Sim.Perf.Two_level 8) ~policy:Sim.Perf.On_dependence
                 (Lazy.force ctx))));
+    Test.make ~name:"sim:perf-single-level"
+      (Staged.stage (fun () ->
+           ignore
+             (Sim.Perf.run ~warps:8 ~max_dynamic_per_warp:300
+                ~scheduler:Sim.Perf.Single_level ~policy:Sim.Perf.On_dependence
+                (Lazy.force ctx))));
+    Test.make ~name:"sim:perf-two-level-banked"
+      (Staged.stage (fun () ->
+           ignore
+             (Sim.Perf.run ~warps:8 ~max_dynamic_per_warp:300 ~mrf_banks:4
+                ~scheduler:(Sim.Perf.Two_level 8)
+                ~policy:Sim.Perf.At_strand_boundaries (Lazy.force ctx))));
   ]
 
 let benchmark tests =
@@ -269,6 +281,26 @@ let engine_curve () =
     reports;
   Util.Table.print (Obs.Engine.speedup_table reports);
   Util.Table.print (Obs.Engine.breakdown_table reports);
+  (* A pool that loses to serial at jobs=2 means per-task cost has
+     shrunk below the fan-out overhead (or workers are contending);
+     surface it rather than leaving it buried in the JSON. *)
+  (match reports with
+   | (base : Obs.Engine.report) :: rest ->
+     List.iter
+       (fun (r : Obs.Engine.report) ->
+         if r.Obs.Engine.jobs = 2 && r.Obs.Engine.wall_ns > 0 then begin
+           let speedup =
+             float_of_int base.Obs.Engine.wall_ns
+             /. float_of_int r.Obs.Engine.wall_ns
+           in
+           if speedup < 1.0 then
+             Printf.printf
+               "WARNING: run_all at jobs=2 is SLOWER than serial (%.2fx); \
+                pool overhead exceeds the per-task work\n"
+               speedup
+         end)
+       rest
+   | [] -> ());
   let base_wall = match reports with r :: _ -> r.Obs.Engine.wall_ns | [] -> 0 in
   Obs.Json.Arr
     (List.map

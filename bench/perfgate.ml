@@ -1,0 +1,130 @@
+(* Performance gate (make perfgate; wired into make ci).
+
+   Times the sim:perf-two-level microbenchmark — the hot timing loop
+   the allocation-free core targets — and measures the steady-state
+   minor-heap cost of one run.  Both numbers are checked against the
+   committed threshold file baselines/perfgate.json:
+
+   - ns_per_run may regress at most 2x over the committed threshold:
+     generous enough for machine-to-machine variance, tight enough to
+     catch the cycle loop re-growing a per-cycle allocation or a
+     quadratic scan;
+   - minor words per run must stay under the committed cap.  The
+     steady-state loop allocates nothing, so a run costs only the
+     result record — a constant independent of cycle count.
+
+   The measured numbers land in _build/perfgate.json for CI to upload,
+   so the trajectory is recorded even when the gate passes.  If the
+   threshold file does not exist yet it is recorded from the current
+   measurement (the regress-gate convention). *)
+
+let baseline_path = "baselines/perfgate.json"
+let artifact_path = "_build/perfgate.json"
+let timed_runs = 9
+
+(* Same workload and configuration as the sim:perf-two-level stage
+   test in bench/main.ml, so the two numbers are comparable. *)
+let bench_ctx () = Alloc.Context.create (Rfh.benchmark "MatrixMul")
+
+let run_once ctx =
+  Sim.Perf.run ~warps:8 ~max_dynamic_per_warp:300
+    ~scheduler:(Sim.Perf.Two_level 8) ~policy:Sim.Perf.On_dependence ctx
+
+let median a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let read_baseline () =
+  if not (Sys.file_exists baseline_path) then None
+  else
+    let s = In_channel.with_open_text baseline_path In_channel.input_all in
+    match Obs.Json.parse s with
+    | Error e ->
+      Printf.eprintf "perfgate: cannot parse %s: %s\n" baseline_path e;
+      exit 1
+    | Ok j -> (
+      let num k = Option.bind (Obs.Json.member k j) Obs.Json.to_num in
+      match (num "ns_per_run", num "max_minor_words_per_run") with
+      | Some t, Some cap -> Some (t, cap)
+      | _ ->
+        Printf.eprintf "perfgate: malformed %s\n" baseline_path;
+        exit 1)
+
+let write_json path json =
+  let oc = open_out path in
+  Obs.Json.to_channel oc json;
+  output_char oc '\n';
+  close_out oc
+
+let () =
+  let ctx = bench_ctx () in
+  (* Two warm-up runs fill the domain-local scratch and the predecode
+     cache, so both the allocation probe and the timed runs see steady
+     state; scratch reuse must not change the result. *)
+  let r0 = run_once ctx in
+  ignore (run_once ctx);
+  let w0 = Gc.minor_words () in
+  let r1 = run_once ctx in
+  let words_per_run = Gc.minor_words () -. w0 in
+  if r1 <> r0 then begin
+    prerr_endline "perfgate: scratch reuse changed the simulation result";
+    exit 1
+  end;
+  let samples =
+    Array.init timed_runs (fun _ ->
+        let t0 = Obs.Clock.now_ns () in
+        ignore (run_once ctx);
+        Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0))
+  in
+  let ns_per_run = median samples in
+  let baseline =
+    match read_baseline () with
+    | Some b -> b
+    | None ->
+      (* First run on this tree: record the current measurement as the
+         threshold, with the fixed allocation cap the zero-alloc test
+         also enforces. *)
+      let cap = 8192.0 in
+      write_json baseline_path
+        (Obs.Json.Obj
+           [
+             ("ns_per_run", Obs.Json.Num ns_per_run);
+             ("max_minor_words_per_run", Obs.Json.Num cap);
+           ]);
+      Printf.printf "perfgate: no threshold recorded yet; wrote %s\n"
+        baseline_path;
+      (ns_per_run, cap)
+  in
+  let threshold_ns, words_cap = baseline in
+  let allowed_ns = 2.0 *. threshold_ns in
+  let time_ok = ns_per_run <= allowed_ns in
+  let alloc_ok = words_per_run <= words_cap in
+  write_json artifact_path
+    (Obs.Json.Obj
+       [
+         ("benchmark", Obs.Json.Str "sim:perf-two-level");
+         ("ns_per_run", Obs.Json.Num ns_per_run);
+         ("threshold_ns_per_run", Obs.Json.Num threshold_ns);
+         ("allowed_ns_per_run", Obs.Json.Num allowed_ns);
+         ("minor_words_per_run", Obs.Json.Num words_per_run);
+         ("max_minor_words_per_run", Obs.Json.Num words_cap);
+         ("cycles", Obs.Json.int r1.Sim.Perf.cycles);
+         ("instructions", Obs.Json.int r1.Sim.Perf.instructions);
+         ("pass", Obs.Json.Bool (time_ok && alloc_ok));
+       ]);
+  Printf.printf
+    "perfgate: sim:perf-two-level %.2f ms/run (threshold %.2f ms, allowed \
+     %.2f ms), %.0f minor words/run (cap %.0f); wrote %s\n"
+    (ns_per_run /. 1e6) (threshold_ns /. 1e6) (allowed_ns /. 1e6)
+    words_per_run words_cap artifact_path;
+  if not time_ok then
+    Printf.eprintf
+      "perfgate: FAIL — ns_per_run regressed more than 2x over %s\n"
+      baseline_path;
+  if not alloc_ok then
+    Printf.eprintf
+      "perfgate: FAIL — steady-state run allocates %.0f minor words (cap \
+       %.0f); the cycle loop is allocating again\n"
+      words_per_run words_cap;
+  if not (time_ok && alloc_ok) then exit 1

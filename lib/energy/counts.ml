@@ -96,6 +96,28 @@ let add_write t level dp ?pc ?(n = 1) () =
   | Some a, Some pc -> attr_bump a.awrites a c pc n
   | _ -> ()
 
+(* Hot-loop variants: plain labelled ints, so calls box nothing —
+   [add_read t l dp ~pc () ] allocates a [Some pc] per call, which is
+   most of what the traffic simulator's attribution path allocated.
+   [pc = -1] counts in the aggregate and is dropped from attribution,
+   exactly like an out-of-range [?pc]. *)
+
+let bump_read t level dp ~pc ~n =
+  let c = cell level dp in
+  t.reads.(c) <- t.reads.(c) + n;
+  match t.attrib with Some a -> attr_bump a.areads a c pc n | None -> ()
+
+let bump_write t level dp ~pc ~n =
+  let c = cell level dp in
+  t.writes.(c) <- t.writes.(c) + n;
+  match t.attrib with Some a -> attr_bump a.awrites a c pc n | None -> ()
+
+let bump_rfc_probe t ~pc ~n =
+  t.probes <- t.probes + n;
+  match t.attrib with
+  | Some a when pc >= 0 && pc < a.instrs -> a.aprobes.(pc) <- a.aprobes.(pc) + n
+  | _ -> ()
+
 let add_rfc_probe t ?pc ?(n = 1) () =
   t.probes <- t.probes + n;
   match (t.attrib, pc) with

@@ -25,6 +25,19 @@ val add_write : t -> Model.level -> Model.datapath -> ?pc:int -> ?n:int -> unit 
 val add_rfc_probe : t -> ?pc:int -> ?n:int -> unit -> unit
 (** RFC tag lookups that miss (tag energy, no data access). *)
 
+(** {2 Allocation-free variants}
+
+    Same counting semantics as the [add_*] functions, with plain
+    labelled int arguments instead of options: a call allocates nothing
+    (the [?pc] optionals box a [Some] per call).  Pass [pc = -1] for "no
+    attribution" — it counts in the aggregate and is dropped from the
+    attribution table, like any out-of-range pc.  These are what the
+    simulators' per-instruction paths use. *)
+
+val bump_read : t -> Model.level -> Model.datapath -> pc:int -> n:int -> unit
+val bump_write : t -> Model.level -> Model.datapath -> pc:int -> n:int -> unit
+val bump_rfc_probe : t -> pc:int -> n:int -> unit
+
 (** {1 Per-instruction attribution}
 
     Off by default: [create] allocates no side table and the [?pc]

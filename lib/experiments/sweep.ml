@@ -89,7 +89,10 @@ let run (opts : Options.t) (e : Workloads.Registry.entry) scheme ~entries =
         merge_traffic
           (List.map
              (fun ctx ->
-               Sim.Traffic.run ~warps:opts.Options.warps ~seed:opts.Options.seed ctx
+               (* Domain-local scratch: each sweep worker reuses one set
+                  of walker/outstanding buffers across all its runs. *)
+               Sim.Traffic.run ~warps:opts.Options.warps ~seed:opts.Options.seed
+                 ~scratch:(Sim.Scratch.domain_local ()) ctx
                  (sim_scheme opts ctx scheme ~entries))
              (contexts e))
       in

@@ -16,9 +16,19 @@ val create : ?max_dynamic:int -> Ir.Kernel.t -> warp:int -> seed:int -> t
 (** [max_dynamic] (default 100_000) caps the dynamic instruction count
     as a termination guard. *)
 
+val reset : t -> ?max_dynamic:int -> Ir.Kernel.t -> warp:int -> seed:int -> unit
+(** Reinitialize in place for a fresh walk, reusing the per-block
+    counter arrays when the kernel's block count fits — the simulator
+    scratch ({!Scratch}) path that keeps repeated runs allocation-free. *)
+
 val peek : t -> Ir.Instr.t option
 (** Next instruction to execute; [None] once the kernel returned or
     the cap was reached. *)
+
+val peek_id : t -> int
+(** Id of the next instruction, or [-1] once finished.  Allocation-free
+    (unlike {!peek}, which boxes an option per call) — the form the
+    cycle loops use together with the {!Dec} instruction arrays. *)
 
 val advance : t -> unit
 (** Consume the current instruction, resolving the block terminator

@@ -105,6 +105,7 @@ val run :
   ?max_dynamic_per_warp:int ->
   ?max_cycles:int ->
   ?mrf_banks:int ->
+  ?scratch:Scratch.t ->
   scheduler:scheduler ->
   policy:policy ->
   Alloc.Context.t ->
@@ -117,4 +118,10 @@ val run :
     operands collide on a bank takes extra operand-fetch cycles — the
     operand buffering of Fig. 1(c) hides the base multi-cycle fetch,
     but same-bank operands serialize.  Omitted = ideal operand fetch
-    (the paper's performance model). *)
+    (the paper's performance model).
+
+    [scratch] holds every per-run buffer (defaults to this domain's
+    {!Scratch.domain_local}): after a warm-up run, the cycle loop
+    allocates no minor words in steady state (recorders off) and
+    repeated runs reuse all simulation memory.  Results are identical
+    whatever scratch is passed. *)

@@ -29,10 +29,10 @@ let clusters_of ?(threads_per_warp = 32) mask =
   done;
   !c
 
-let run_warp ?(threads_per_warp = 32) ?(max_dynamic = 100_000) (k : Ir.Kernel.t) ~warp ~seed
-    ~on_instr =
-  let cfg = Analysis.Cfg.of_kernel k in
-  let postdom = Analysis.Postdom.compute k cfg in
+(* [postdom] is hoisted to a parameter so multi-warp drivers compute
+   the CFG and post-dominator tree once per kernel, not once per warp. *)
+let run_warp_pre ?(threads_per_warp = 32) ?(max_dynamic = 100_000) postdom (k : Ir.Kernel.t)
+    ~warp ~seed ~on_instr =
   let nb = Ir.Kernel.block_count k in
   let full_mask = if threads_per_warp >= 62 then invalid_arg "Simt: threads_per_warp too large"
     else (1 lsl threads_per_warp) - 1
@@ -72,16 +72,16 @@ let run_warp ?(threads_per_warp = 32) ?(max_dynamic = 100_000) (k : Ir.Kernel.t)
       else begin
         let b = k.Ir.Kernel.blocks.(top.block) in
         (* Execute the block's instructions under the mask. *)
-        Array.iter
-          (fun (i : Ir.Instr.t) ->
-            if !continue_run then begin
-              incr executed;
-              thread_instrs := !thread_instrs + popcount top.mask;
-              on_instr i ~active:(popcount top.mask)
-                ~clusters:(clusters_of ~threads_per_warp top.mask);
-              if !executed >= max_dynamic then continue_run := false
-            end)
-          b.Ir.Block.instrs;
+        let instrs = b.Ir.Block.instrs in
+        for ii = 0 to Array.length instrs - 1 do
+          if !continue_run then begin
+            incr executed;
+            thread_instrs := !thread_instrs + popcount top.mask;
+            on_instr instrs.(ii) ~active:(popcount top.mask)
+              ~clusters:(clusters_of ~threads_per_warp top.mask);
+            if !executed >= max_dynamic then continue_run := false
+          end
+        done;
         if !continue_run then begin
           let uniform_goto nb_block =
             if nb_block = top.rpc then begin
@@ -152,6 +152,11 @@ let run_warp ?(threads_per_warp = 32) ?(max_dynamic = 100_000) (k : Ir.Kernel.t)
     divergent_branches = !divergent;
     reconvergences = !reconverged;
   }
+
+let run_warp ?threads_per_warp ?max_dynamic (k : Ir.Kernel.t) ~warp ~seed ~on_instr =
+  let cfg = Analysis.Cfg.of_kernel k in
+  let postdom = Analysis.Postdom.compute k cfg in
+  run_warp_pre ?threads_per_warp ?max_dynamic postdom k ~warp ~seed ~on_instr
 
 type traffic_result = {
   counts : Energy.Counts.t;
@@ -231,10 +236,11 @@ let traffic ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp (ctx : Alloc.Co
              ~n:clusters ()
        | _, _ -> ())
   in
+  let postdom = Analysis.Postdom.compute k (Analysis.Cfg.of_kernel k) in
   let stats = ref None in
   for w = 0 to warps - 1 do
     warp_instr := 0;
-    let s = run_warp ?max_dynamic:max_dynamic_per_warp k ~warp:w ~seed ~on_instr in
+    let s = run_warp_pre ?max_dynamic:max_dynamic_per_warp postdom k ~warp:w ~seed ~on_instr in
     stats := Some (match !stats with None -> s | Some prev -> merge_stats prev s)
   done;
   if co then

@@ -32,49 +32,14 @@ let audit_level = function
   | Energy.Model.Lrf -> Obs.Audit.Lrf
   | Energy.Model.Rfc -> Obs.Audit.Rfc
 
-let datapath_of_op op =
-  if Ir.Op.is_shared_datapath op then Energy.Model.Shared else Energy.Model.Private
-
-(* Liveness of [r] just before instruction [i] executes. *)
-let live_before (ctx : Alloc.Context.t) (i : Ir.Instr.t) r =
-  List.exists (Ir.Reg.equal r) i.Ir.Instr.srcs
-  || (i.Ir.Instr.dst <> Some r
-      && Analysis.Liveness.live_after_instr ctx.Alloc.Context.liveness ~instr_id:i.Ir.Instr.id r)
-
-(* Per-warp outstanding long-latency writes, resolved after a fixed
-   warp-local instruction distance (see interface). *)
-module Outstanding = struct
-  type t = {
-    shadow : int;
-    mutable pending : (Ir.Reg.t * int) list;  (* reg, warp-local issue index *)
-  }
-
-  let create ~shadow = { shadow; pending = [] }
-
-  let expire t ~now =
-    t.pending <- List.filter (fun (_, issued) -> now - issued < t.shadow) t.pending
-
-  let add t r ~now =
-    expire t ~now;
-    t.pending <- (r, now) :: List.filter (fun (x, _) -> not (Ir.Reg.equal x r)) t.pending
-
-  let blocks_on t r ~now =
-    expire t ~now;
-    List.exists (fun (x, _) -> Ir.Reg.equal x r) t.pending
-
-  let any t ~now =
-    expire t ~now;
-    t.pending <> []
-
-  let clear t = t.pending <- []
-end
-
 (* Dynamic-instruction window width for the counter tracks. *)
 let counter_window = 32
 
 let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latency_shadow = 50)
-    ?(attribution = false) (ctx : Alloc.Context.t) scheme =
+    ?(attribution = false) ?scratch (ctx : Alloc.Context.t) scheme =
+  let s = match scratch with Some s -> s | None -> Scratch.domain_local () in
   let k = ctx.Alloc.Context.kernel in
+  let dec = Scratch.dec_for s ctx in
   let partition = ctx.Alloc.Context.partition in
   let num_strands = max 1 (Strand.Partition.num_strands partition) in
   let per_strand = Array.init num_strands (fun _ -> Energy.Counts.create ()) in
@@ -92,7 +57,7 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
   let co = Obs.Counters.is_enabled () in
   (* Per-level accesses per window of warp-local dynamic instructions,
      summed across warps; window index is the simulated timestamp. *)
-  let level_bins = Array.init 3 (fun _ -> Hashtbl.create 32) in
+  let level_bins = Array.init 3 (fun _ -> Hashtbl.create (if co then 32 else 0)) in
   let bin_bump tbl w n =
     if n <> 0 then
       match Hashtbl.find_opt tbl w with
@@ -100,6 +65,66 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
       | None -> Hashtbl.add tbl w (ref n)
   in
   let level_total c l = Energy.Counts.reads c l + Energy.Counts.writes c l in
+  let nr = max 1 k.Ir.Kernel.num_regs in
+  let max_dynamic = match max_dynamic_per_warp with Some m -> m | None -> 100_000 in
+  Scratch.ensure_warps s ~warps ~num_regs:nr;
+  Scratch.ensure_outstanding s nr;
+  (* All loop helpers take every variable as an argument: a [let rec]
+     closing over locals of an enclosing per-call function would
+     allocate a closure on each call. *)
+  let rec src_mem srcs base p n r = p < n && (srcs.(base + p) = r || src_mem srcs base (p + 1) n r) in
+  (* Liveness of [r] just before instruction [id] executes. *)
+  let live_before_id id r =
+    src_mem dec.Dec.srcs (id * Dec.max_srcs) 0 dec.Dec.nsrcs.(id) r
+    || (dec.Dec.dst.(id) <> r
+        && Analysis.Liveness.live_after_instr ctx.Alloc.Context.liveness ~instr_id:id r)
+  in
+  (* Per-warp outstanding long-latency writes — a flat (register, issue
+     index) buffer in the scratch, compacted as entries resolve after a
+     fixed warp-local instruction distance.  Entry order is immaterial:
+     the observables are membership and non-emptiness. *)
+  let rec out_keep reg at n now i m =
+    if i >= n then m
+    else if now - at.(i) < long_latency_shadow then begin
+      reg.(m) <- reg.(i);
+      at.(m) <- at.(i);
+      out_keep reg at n now (i + 1) (m + 1)
+    end
+    else out_keep reg at n now (i + 1) m
+  in
+  let o_expire now =
+    s.Scratch.out_len <- out_keep s.Scratch.out_reg s.Scratch.out_at s.Scratch.out_len now 0 0
+  in
+  let rec out_drop reg at n r i m =
+    if i >= n then m
+    else if reg.(i) = r then out_drop reg at n r (i + 1) m
+    else begin
+      reg.(m) <- reg.(i);
+      at.(m) <- at.(i);
+      out_drop reg at n r (i + 1) (m + 1)
+    end
+  in
+  let o_add r now =
+    o_expire now;
+    let reg = s.Scratch.out_reg in
+    let at = s.Scratch.out_at in
+    let m = out_drop reg at s.Scratch.out_len r 0 0 in
+    reg.(m) <- r;
+    at.(m) <- now;
+    s.Scratch.out_len <- m + 1
+  in
+  let rec out_mem reg n r i = i < n && (reg.(i) = r || out_mem reg n r (i + 1)) in
+  let o_blocks r now =
+    o_expire now;
+    out_mem s.Scratch.out_reg s.Scratch.out_len r 0
+  in
+  let rec any_blocks srcs base p n now =
+    p < n && (o_blocks srcs.(base + p) now || any_blocks srcs base (p + 1) n now)
+  in
+  let o_any now =
+    o_expire now;
+    s.Scratch.out_len > 0
+  in
   (* Precomputed static facts for the hardware scheme. *)
   let shared_consumer =
     let a = Array.make (Ir.Kernel.instr_count k) false in
@@ -124,8 +149,8 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
     s
   in
   let run_warp warp =
-    let cf = Cf.create ?max_dynamic:max_dynamic_per_warp k ~warp ~seed in
-    let outstanding = Outstanding.create ~shadow:long_latency_shadow in
+    let cf = Scratch.cf s warp ~max_dynamic k ~warp ~seed in
+    s.Scratch.out_len <- 0;
     let rfc, hw_lrf =
       match scheme with
       | Hw opts ->
@@ -133,18 +158,15 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
           if opts.with_lrf then Some (Machine.Tagged_cache.create ~entries:1) else None )
       | Baseline | Sw _ -> (None, None)
     in
-    let counts_for (i : Ir.Instr.t) =
-      per_strand.(Strand.Partition.strand_of_instr partition i.Ir.Instr.id)
-    in
-    (* Every Energy.Counts.add_write below is mirrored by an audit
-       placement event (guarded on [au] so the common disabled path
-       keeps the seed's direct calls): summing Place events per level
-       therefore reproduces the Energy.Counts write totals exactly. *)
+    (* Every Energy.Counts write below is mirrored by an audit placement
+       event (guarded on [au] so the common disabled path stays a plain
+       counter bump): summing Place events per level therefore
+       reproduces the Energy.Counts write totals exactly. *)
     let emit_place level ~instr =
       Obs.Audit.emit (Obs.Audit.Place { warp; instr; level = audit_level level })
     in
     let place c level dp ~instr =
-      Energy.Counts.add_write c level dp ~pc:instr ();
+      Energy.Counts.bump_write c level dp ~pc:instr ~n:1;
       if au then emit_place level ~instr
     in
     let desched ~instr cause =
@@ -158,7 +180,7 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
     (* Writeback one evicted RFC value if still live at the eviction point. *)
     let writeback_rfc_evict c ~liveness_check ~instr reg =
       if liveness_check reg then begin
-        Energy.Counts.add_read c Energy.Model.Rfc Energy.Model.Private ~pc:instr ();
+        Energy.Counts.bump_read c Energy.Model.Rfc Energy.Model.Private ~pc:instr ~n:1;
         evict ~instr Energy.Model.Rfc ~writeback:true;
         place c Energy.Model.Mrf Energy.Model.Private ~instr
       end
@@ -170,15 +192,14 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
         (Machine.Tagged_cache.insert cache reg);
       place c Energy.Model.Rfc Energy.Model.Private ~instr
     in
-    let flush_caches c (i : Ir.Instr.t) =
-      let instr = i.Ir.Instr.id in
-      let liveness_check = live_before ctx i in
+    let flush_caches c instr =
+      let liveness_check = live_before_id instr in
       Option.iter
         (fun lrf ->
           List.iter
             (fun r ->
               if liveness_check r then begin
-                Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ~pc:instr ();
+                Energy.Counts.bump_read c Energy.Model.Lrf Energy.Model.Private ~pc:instr ~n:1;
                 evict ~instr Energy.Model.Lrf ~writeback:true;
                 place c Energy.Model.Mrf Energy.Model.Private ~instr
               end
@@ -190,7 +211,7 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
           List.iter
             (fun r ->
               if liveness_check r then begin
-                Energy.Counts.add_read c Energy.Model.Rfc Energy.Model.Private ~pc:instr ();
+                Energy.Counts.bump_read c Energy.Model.Rfc Energy.Model.Private ~pc:instr ~n:1;
                 evict ~instr Energy.Model.Rfc ~writeback:true;
                 place c Energy.Model.Mrf Energy.Model.Private ~instr
               end
@@ -198,14 +219,29 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
             (Machine.Tagged_cache.flush cache))
         rfc
     in
+    (* Audit Fill events for the Sw scheme, walked without a per-step
+       closure. *)
+    let rec emit_fills id = function
+      | [] -> ()
+      | (pos, entry) :: tl ->
+        emit_place Energy.Model.Orf ~instr:id;
+        Obs.Audit.emit (Obs.Audit.Fill { warp; instr = id; pos; entry });
+        emit_fills id tl
+    in
+    let rec count_fills = function [] -> 0 | _ :: tl -> 1 + count_fills tl in
     let rec step () =
-      match Cf.peek cf with
-      | None -> if Cf.hit_cap cf then incr capped_warps
-      | Some i ->
-        let id = i.Ir.Instr.id in
+      let id = Cf.peek_id cf in
+      if id < 0 then begin
+        if Cf.hit_cap cf then incr capped_warps
+      end
+      else begin
         let now = Cf.dynamic_count cf in
-        let c = counts_for i in
-        let consumer_dp = datapath_of_op i.Ir.Instr.op in
+        let c = per_strand.(Strand.Partition.strand_of_instr partition id) in
+        let consumer_dp =
+          if dec.Dec.shared_dp.(id) then Energy.Model.Shared else Energy.Model.Private
+        in
+        let ns = dec.Dec.nsrcs.(id) in
+        let d = dec.Dec.dst.(id) in
         (* Per-window counter tracks are deltas over this instruction's
            aggregate counts — exact for every scheme, including cache
            evictions charged to the instruction that triggered them. *)
@@ -214,117 +250,109 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
         let b_lrf = if co then level_total c Energy.Model.Lrf else 0 in
         (match scheme with
          | Baseline ->
-           List.iter
-             (fun _ -> Energy.Counts.add_read c Energy.Model.Mrf consumer_dp ~pc:id ())
-             i.Ir.Instr.srcs;
-           if Option.is_some i.Ir.Instr.dst then begin
-             Energy.Counts.add_write c Energy.Model.Mrf consumer_dp ~pc:id ();
+           Energy.Counts.bump_read c Energy.Model.Mrf consumer_dp ~pc:id ~n:ns;
+           if d >= 0 then begin
+             Energy.Counts.bump_write c Energy.Model.Mrf consumer_dp ~pc:id ~n:1;
              if au then emit_place Energy.Model.Mrf ~instr:id
            end
          | Sw { placement; _ } ->
            (* Compiler-scheduled deschedule point. *)
-           if Strand.Partition.starts_strand partition id && Outstanding.any outstanding ~now
-           then begin
+           if dec.Dec.starts_strand.(id) && o_any now then begin
              desched ~instr:id Obs.Audit.Sw_boundary;
-             Outstanding.clear outstanding
+             s.Scratch.out_len <- 0
            end;
-           List.iteri
-             (fun pos _ ->
-               match Alloc.Placement.src placement ~instr:id ~pos with
-               | Alloc.Placement.From_mrf ->
-                 Energy.Counts.add_read c Energy.Model.Mrf consumer_dp ~pc:id ()
-               | Alloc.Placement.From_orf _ ->
-                 Energy.Counts.add_read c Energy.Model.Orf consumer_dp ~pc:id ()
-               | Alloc.Placement.From_lrf _ ->
-                 Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ~pc:id ())
-             i.Ir.Instr.srcs;
-           List.iter
-             (fun (pos, entry) ->
-               Energy.Counts.add_write c Energy.Model.Orf consumer_dp ~pc:id ();
-               if au then begin
-                 emit_place Energy.Model.Orf ~instr:id;
-                 Obs.Audit.emit (Obs.Audit.Fill { warp; instr = id; pos; entry })
-               end)
-             (Alloc.Placement.fills_of placement ~instr:id);
-           (match i.Ir.Instr.dst, Alloc.Placement.dest placement ~instr:id with
-            | Some d, Some dest ->
+           for pos = 0 to ns - 1 do
+             match Alloc.Placement.src placement ~instr:id ~pos with
+             | Alloc.Placement.From_mrf ->
+               Energy.Counts.bump_read c Energy.Model.Mrf consumer_dp ~pc:id ~n:1
+             | Alloc.Placement.From_orf _ ->
+               Energy.Counts.bump_read c Energy.Model.Orf consumer_dp ~pc:id ~n:1
+             | Alloc.Placement.From_lrf _ ->
+               Energy.Counts.bump_read c Energy.Model.Lrf Energy.Model.Private ~pc:id ~n:1
+           done;
+           let fills = Alloc.Placement.fills_of placement ~instr:id in
+           (match fills with
+            | [] -> ()
+            | _ ->
+              Energy.Counts.bump_write c Energy.Model.Orf consumer_dp ~pc:id
+                ~n:(count_fills fills);
+              if au then emit_fills id fills);
+           (match Alloc.Placement.dest placement ~instr:id with
+            | Some dest when d >= 0 ->
               if dest.Alloc.Placement.to_mrf then begin
-                Energy.Counts.add_write c Energy.Model.Mrf consumer_dp ~pc:id ();
+                Energy.Counts.bump_write c Energy.Model.Mrf consumer_dp ~pc:id ~n:1;
                 if au then emit_place Energy.Model.Mrf ~instr:id
               end;
               if Option.is_some dest.Alloc.Placement.to_orf then begin
-                Energy.Counts.add_write c Energy.Model.Orf consumer_dp ~pc:id ();
+                Energy.Counts.bump_write c Energy.Model.Orf consumer_dp ~pc:id ~n:1;
                 if au then emit_place Energy.Model.Orf ~instr:id
               end;
               if Option.is_some dest.Alloc.Placement.to_lrf then begin
-                Energy.Counts.add_write c Energy.Model.Lrf Energy.Model.Private ~pc:id ();
+                Energy.Counts.bump_write c Energy.Model.Lrf Energy.Model.Private ~pc:id ~n:1;
                 if au then emit_place Energy.Model.Lrf ~instr:id
               end;
-              if Ir.Instr.is_long_latency i then Outstanding.add outstanding d ~now
-            | _, _ -> ())
+              if dec.Dec.is_ll.(id) then o_add d now
+            | _ -> ())
          | Hw opts ->
            let cache = Option.get rfc in
            (* Deschedule on an unresolved long-latency dependence. *)
-           let blocks =
-             List.exists (fun r -> Outstanding.blocks_on outstanding r ~now) i.Ir.Instr.srcs
-           in
-           if blocks then begin
+           if any_blocks dec.Dec.srcs (id * Dec.max_srcs) 0 ns now then begin
              desched ~instr:id Obs.Audit.Hw_dependence;
-             if not opts.never_flush then flush_caches c i;
-             Outstanding.clear outstanding
+             if not opts.never_flush then flush_caches c id;
+             s.Scratch.out_len <- 0
            end;
-           List.iter
-             (fun r ->
-               let lrf_hit =
-                 consumer_dp = Energy.Model.Private
-                 && (match hw_lrf with
-                     | Some lrf -> Machine.Tagged_cache.contains lrf r
-                     | None -> false)
-               in
-               if lrf_hit then
-                 Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ~pc:id ()
-               else if Machine.Tagged_cache.contains cache r then
-                 Energy.Counts.add_read c Energy.Model.Rfc consumer_dp ~pc:id ()
-               else begin
-                 Energy.Counts.add_rfc_probe c ~pc:id ();
-                 Energy.Counts.add_read c Energy.Model.Mrf consumer_dp ~pc:id ()
-               end)
-             i.Ir.Instr.srcs;
-           (match i.Ir.Instr.dst with
-            | None -> ()
-            | Some d ->
-              let liveness_check r =
-                Analysis.Liveness.live_after_instr ctx.Alloc.Context.liveness ~instr_id:id r
-              in
-              if Ir.Instr.is_long_latency i then begin
-                (* Long-latency results bypass the hierarchy (Sec. 2.2). *)
-                place c Energy.Model.Mrf consumer_dp ~instr:id;
-                Machine.Tagged_cache.remove cache d;
-                Option.iter (fun lrf -> Machine.Tagged_cache.remove lrf d) hw_lrf;
-                Outstanding.add outstanding d ~now
-              end
-              else begin
-                match hw_lrf with
-                | Some lrf
-                  when consumer_dp = Energy.Model.Private && not shared_consumer.(id) ->
-                  (* LRF insert; evicted value cascades into the RFC. *)
-                  Option.iter
-                    (fun evicted ->
-                      if liveness_check evicted then begin
-                        Energy.Counts.add_read c Energy.Model.Lrf Energy.Model.Private ~pc:id ();
-                        evict ~instr:id Energy.Model.Lrf ~writeback:true;
-                        insert_rfc c cache ~liveness_check ~instr:id evicted
-                      end
-                      else evict ~instr:id Energy.Model.Lrf ~writeback:false)
-                    (Machine.Tagged_cache.insert lrf d);
-                  place c Energy.Model.Lrf Energy.Model.Private ~instr:id;
-                  Machine.Tagged_cache.remove cache d
-                | Some _ | None ->
-                  insert_rfc c cache ~liveness_check ~instr:id d;
-                  Option.iter (fun lrf -> Machine.Tagged_cache.remove lrf d) hw_lrf
-              end);
+           for pos = 0 to ns - 1 do
+             let r = dec.Dec.srcs.((id * Dec.max_srcs) + pos) in
+             let lrf_hit =
+               consumer_dp = Energy.Model.Private
+               && (match hw_lrf with
+                   | Some lrf -> Machine.Tagged_cache.contains lrf r
+                   | None -> false)
+             in
+             if lrf_hit then
+               Energy.Counts.bump_read c Energy.Model.Lrf Energy.Model.Private ~pc:id ~n:1
+             else if Machine.Tagged_cache.contains cache r then
+               Energy.Counts.bump_read c Energy.Model.Rfc consumer_dp ~pc:id ~n:1
+             else begin
+               Energy.Counts.bump_rfc_probe c ~pc:id ~n:1;
+               Energy.Counts.bump_read c Energy.Model.Mrf consumer_dp ~pc:id ~n:1
+             end
+           done;
+           if d >= 0 then begin
+             let liveness_check r =
+               Analysis.Liveness.live_after_instr ctx.Alloc.Context.liveness ~instr_id:id r
+             in
+             if dec.Dec.is_ll.(id) then begin
+               (* Long-latency results bypass the hierarchy (Sec. 2.2). *)
+               place c Energy.Model.Mrf consumer_dp ~instr:id;
+               Machine.Tagged_cache.remove cache d;
+               Option.iter (fun lrf -> Machine.Tagged_cache.remove lrf d) hw_lrf;
+               o_add d now
+             end
+             else begin
+               match hw_lrf with
+               | Some lrf when consumer_dp = Energy.Model.Private && not shared_consumer.(id)
+                 ->
+                 (* LRF insert; evicted value cascades into the RFC. *)
+                 Option.iter
+                   (fun evicted ->
+                     if liveness_check evicted then begin
+                       Energy.Counts.bump_read c Energy.Model.Lrf Energy.Model.Private ~pc:id
+                         ~n:1;
+                       evict ~instr:id Energy.Model.Lrf ~writeback:true;
+                       insert_rfc c cache ~liveness_check ~instr:id evicted
+                     end
+                     else evict ~instr:id Energy.Model.Lrf ~writeback:false)
+                   (Machine.Tagged_cache.insert lrf d);
+                 place c Energy.Model.Lrf Energy.Model.Private ~instr:id;
+                 Machine.Tagged_cache.remove cache d
+               | Some _ | None ->
+                 insert_rfc c cache ~liveness_check ~instr:id d;
+                 Option.iter (fun lrf -> Machine.Tagged_cache.remove lrf d) hw_lrf
+             end
+           end;
            if opts.flush_on_backward_branch && Hashtbl.mem backward_block_last_instr id then
-             flush_caches c i);
+             flush_caches c id);
         if co then begin
           let w = now / counter_window in
           bin_bump level_bins.(0) w (level_total c Energy.Model.Mrf - b_mrf);
@@ -333,6 +361,7 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
         end;
         Cf.advance cf;
         step ()
+      end
     in
     step ();
     dynamic_instrs := !dynamic_instrs + Cf.dynamic_count cf
@@ -366,7 +395,8 @@ let run_inner ?(warps = 32) ?(seed = 0x5eed) ?max_dynamic_per_warp ?(long_latenc
     capped_warps = !capped_warps;
   }
 
-let run ?warps ?seed ?max_dynamic_per_warp ?long_latency_shadow ?attribution ctx scheme =
+let run ?warps ?seed ?max_dynamic_per_warp ?long_latency_shadow ?attribution ?scratch ctx
+    scheme =
   Obs.Span.with_span "simulate" (fun () ->
-      run_inner ?warps ?seed ?max_dynamic_per_warp ?long_latency_shadow ?attribution ctx
-        scheme)
+      run_inner ?warps ?seed ?max_dynamic_per_warp ?long_latency_shadow ?attribution ?scratch
+        ctx scheme)

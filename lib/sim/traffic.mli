@@ -52,12 +52,17 @@ val run :
   ?max_dynamic_per_warp:int ->
   ?long_latency_shadow:int ->
   ?attribution:bool ->
+  ?scratch:Scratch.t ->
   Alloc.Context.t ->
   scheme ->
   result
 (** [warps] defaults to 32 (Table 2's machine-resident warps);
     [long_latency_shadow] defaults to 50 (400 DRAM cycles divided by a
     warp's 1-in-8 issue share under the two-level scheduler).
+
+    [scratch] (default: this domain's {!Scratch.domain_local}) supplies
+    the reusable walker state and outstanding-operation buffers; results
+    are identical whatever scratch is passed.
 
     [attribution] (default [false]) enables the per-instruction
     attribution tables of {!Energy.Counts} on [per_strand] and the

@@ -1,6 +1,7 @@
 type t = {
   strand_of_instr : int array;
   starts : bool array;
+  starts_bits : Util.Bitset.t;    (* same content as [starts], O(1) words *)
   intervals : (int * int) array;  (* strand id -> first, last instr id *)
 }
 
@@ -123,13 +124,17 @@ let compute ?(kinds = all_boundaries) (k : Ir.Kernel.t) (cfg : Analysis.Cfg.t)
       (fun id strand ->
         if starts.(id) then Obs.Audit.emit (Obs.Audit.Strand_boundary { instr = id; strand }))
       strand_of_instr;
-  { strand_of_instr; starts; intervals }
+  let starts_bits = Util.Bitset.create ni in
+  Array.iteri (fun id b -> if b then Util.Bitset.set starts_bits id) starts;
+  { strand_of_instr; starts; starts_bits; intervals }
 
 let num_strands t = Array.length t.intervals
 
 let strand_of_instr t id = t.strand_of_instr.(id)
 
 let starts_strand t id = t.starts.(id)
+
+let starts_bits t = t.starts_bits
 
 let same_strand t a b = t.strand_of_instr.(a) = t.strand_of_instr.(b)
 

@@ -50,6 +50,12 @@ val starts_strand : t -> int -> bool
     two-level scheduler deschedules a warp at such an instruction iff
     it still has outstanding long-latency operations. *)
 
+val starts_bits : t -> Util.Bitset.t
+(** The {!starts_strand} predicate as a bitset over instruction ids —
+    the form the simulator predecode ({!Sim.Dec}) copies out once per
+    kernel so the cycle loop never calls back into this module.  Shared
+    with the partition; callers must not mutate it. *)
+
 val same_strand : t -> int -> int -> bool
 
 val strand_interval : t -> int -> int * int

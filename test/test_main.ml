@@ -11,6 +11,7 @@ let () =
       ("alloc", Test_alloc.suite);
       ("machine", Test_machine.suite);
       ("sim", Test_sim.suite);
+      ("perf-golden", Test_perf_golden.suite);
       ("simt", Test_simt.suite);
       ("trace", Test_trace.suite);
       ("variable-orf", Test_variable_orf.suite);
