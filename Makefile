@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench fmt parity regress explain-smoke timeline-smoke engine-smoke perfgate ci clean
+.PHONY: all build test bench fmt parity regress explain-smoke timeline-smoke engine-smoke trend-smoke perfgate ci clean
 
 all: build
 
@@ -80,6 +80,23 @@ engine-smoke: build
 	  --report-out _build/engine-fig13.html > _build/engine-fig13.txt
 	@echo "engine smoke OK: categories sum to wall x domains; output parity holds"
 
+# Trend smoke (see docs/observability.md): append three deterministic
+# history records from the same tree, then gate on them.  Identical
+# runs must classify as stable on every gated series (trend --check
+# exits 0); the self-contained dashboard lands under _build/ for CI to
+# upload.
+trend-smoke: build
+	rm -f _build/trend-history.jsonl
+	dune exec bin/rfh.exe -- fig13 --warps 8 -b VectorAdd,MatrixMul,Reduction,cp \
+	  --history-out _build/trend-history.jsonl > /dev/null
+	dune exec bin/rfh.exe -- fig13 --warps 8 -b VectorAdd,MatrixMul,Reduction,cp \
+	  --history-out _build/trend-history.jsonl > /dev/null
+	dune exec bin/rfh.exe -- fig13 --warps 8 -b VectorAdd,MatrixMul,Reduction,cp \
+	  --history-out _build/trend-history.jsonl > /dev/null
+	dune exec bin/rfh.exe -- trend --history _build/trend-history.jsonl --check \
+	  --html-out _build/trend-dashboard.html > _build/trend.txt
+	@echo "trend smoke OK: three identical runs classify stable; gate exit 0"
+
 # Performance gate (see docs/performance.md): time the
 # sim:perf-two-level microbenchmark and measure its steady-state
 # allocation, failing if ns_per_run regresses >2x over the committed
@@ -89,7 +106,7 @@ engine-smoke: build
 perfgate: build
 	dune exec bench/perfgate.exe
 
-ci: fmt build test parity regress explain-smoke timeline-smoke engine-smoke perfgate
+ci: fmt build test parity regress explain-smoke timeline-smoke engine-smoke trend-smoke perfgate
 
 clean:
 	dune clean

@@ -41,6 +41,18 @@ let jobs =
   | n when n >= 1 -> n
   | _ -> Util.Pool.default_jobs ()
 
+(* Where the cross-run history record lands (--history FILE to
+   redirect, --no-history to skip — tests run the harness in temp
+   trees that have no baselines/). *)
+let history_path =
+  let rec scan = function
+    | "--history" :: v :: _ -> Some v
+    | "--no-history" :: _ -> None
+    | _ :: rest -> scan rest
+    | [] -> Some "baselines/history.jsonl"
+  in
+  scan (List.tl (Array.to_list Sys.argv))
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate the paper's evaluation.                          *)
 
@@ -245,6 +257,41 @@ let run_all_comparison () =
 
 let engine_curve_jobs = [ 1; 2; 4; 8 ]
 
+(* Engine shares of the widest run's wall x domains budget, plus the
+   Part 4 warning as data: run_all losing to serial at jobs=2.  Both
+   land in the history record so rfh trend can watch them drift. *)
+let engine_history_summary reports =
+  let jobs2_slower =
+    match reports with
+    | (base : Obs.Engine.report) :: rest ->
+      List.exists
+        (fun (r : Obs.Engine.report) ->
+          r.Obs.Engine.jobs = 2 && r.Obs.Engine.wall_ns > 0
+          && float_of_int base.Obs.Engine.wall_ns /. float_of_int r.Obs.Engine.wall_ns
+             < 1.0)
+        rest
+    | [] -> false
+  in
+  let engine =
+    match List.rev reports with
+    | [] -> None
+    | (widest : Obs.Engine.report) :: _ ->
+      let agg = Obs.Engine.agg_categories widest in
+      let budget =
+        List.fold_left (fun acc (_, v) -> acc + v) 0 (Obs.Engine.cat_list agg)
+      in
+      if budget = 0 then None
+      else
+        let share ns = float_of_int ns /. float_of_int budget in
+        Some
+          {
+            Obs.History.eng_useful = share agg.Obs.Engine.useful_ns;
+            eng_spawn = share agg.Obs.Engine.spawn_ns;
+            eng_idle = share agg.Obs.Engine.idle_ns;
+          }
+  in
+  (engine, jobs2_slower)
+
 let engine_curve () =
   let runs =
     List.map
@@ -302,35 +349,37 @@ let engine_curve () =
        rest
    | [] -> ());
   let base_wall = match reports with r :: _ -> r.Obs.Engine.wall_ns | [] -> 0 in
-  Obs.Json.Arr
-    (List.map
-       (fun (r : Obs.Engine.report) ->
-         let agg = Obs.Engine.agg_categories r in
-         let budget =
-           List.fold_left
-             (fun acc (reg : Obs.Engine.region) ->
-               acc + (reg.Obs.Engine.wall_ns * reg.Obs.Engine.domains))
-             0 r.Obs.Engine.regions
-         in
-         Obs.Json.Obj
-           [
-             ("jobs", Obs.Json.int r.Obs.Engine.jobs);
-             ("wall_s", Obs.Json.Num (float_of_int r.Obs.Engine.wall_ns /. 1e9));
-             ( "speedup",
-               Obs.Json.Num
-                 (if r.Obs.Engine.wall_ns = 0 then 1.0
-                  else float_of_int base_wall /. float_of_int r.Obs.Engine.wall_ns) );
-             ("budget_ns", Obs.Json.int budget);
-             ( "breakdown_ns",
-               Obs.Json.Obj
-                 (List.map
-                    (fun (name, v) -> (name, Obs.Json.int v))
-                    (Obs.Engine.cat_list agg)) );
-             ("report", Obs.Engine.to_json r);
-           ])
-       reports)
+  ( Obs.Json.Arr
+      (List.map
+         (fun (r : Obs.Engine.report) ->
+           let agg = Obs.Engine.agg_categories r in
+           let budget =
+             List.fold_left
+               (fun acc (reg : Obs.Engine.region) ->
+                 acc + (reg.Obs.Engine.wall_ns * reg.Obs.Engine.domains))
+               0 r.Obs.Engine.regions
+           in
+           Obs.Json.Obj
+             [
+               ("jobs", Obs.Json.int r.Obs.Engine.jobs);
+               ("wall_s", Obs.Json.Num (float_of_int r.Obs.Engine.wall_ns /. 1e9));
+               ( "speedup",
+                 Obs.Json.Num
+                   (if r.Obs.Engine.wall_ns = 0 then 1.0
+                    else float_of_int base_wall /. float_of_int r.Obs.Engine.wall_ns) );
+               ("budget_ns", Obs.Json.int budget);
+               ( "breakdown_ns",
+                 Obs.Json.Obj
+                   (List.map
+                      (fun (name, v) -> (name, Obs.Json.int v))
+                      (Obs.Engine.cat_list agg)) );
+               ("report", Obs.Engine.to_json r);
+             ])
+         reports),
+    reports )
 
 let () =
+  let wall0 = Obs.Clock.now_ns () in
   print_reproduction ();
   print_endline "==================================================================";
   print_endline " Bechamel: cold-regeneration cost per artefact + pipeline stages";
@@ -350,11 +399,31 @@ let () =
   print_endline " Engine profile: run_all wall-clock curve across jobs settings";
   print_endline "==================================================================";
   print_newline ();
-  write_json "BENCH_engine.json" (engine_curve ());
+  let engine_json, engine_reports = engine_curve () in
+  write_json "BENCH_engine.json" engine_json;
   (* Full run manifest + HTML report over the headline options, so every
      bench run leaves the same machine-readable record the regression
      gate consumes. *)
   let manifest = Experiments.Run_manifest.collect report_options in
   write_json "BENCH_manifest.json" (Obs.Manifest.to_json manifest);
   Obs.Html_report.write_file ~path:"BENCH_report.html" manifest;
-  Printf.printf "wrote BENCH_report.html\n"
+  Printf.printf "wrote BENCH_report.html\n";
+  (* One history record merging everything this run measured; the
+     append is timed so the overhead claim in docs/observability.md
+     stays checkable on every run. *)
+  let engine, jobs2_slower = engine_history_summary engine_reports in
+  let wall_s = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) wall0) /. 1e3 in
+  let record =
+    Obs.History.of_manifest ?engine ~jobs2_slower ~source:"bench" ~wall_s manifest
+  in
+  write_json "BENCH_history.json" (Obs.History.to_json record);
+  match history_path with
+  | None -> ()
+  | Some path ->
+    let t0 = Obs.Clock.now_ns () in
+    Obs.History.append ~path record;
+    let append_ms = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) t0) in
+    Printf.printf "appended history record -> %s (%.3f ms, %.5f%% of %.1f s wall)\n"
+      path append_ms
+      (100.0 *. append_ms /. 1e3 /. wall_s)
+      wall_s

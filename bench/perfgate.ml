@@ -13,14 +13,36 @@
      steady-state loop allocates nothing, so a run costs only the
      result record — a constant independent of cycle count.
 
-   The measured numbers land in _build/perfgate.json for CI to upload,
-   so the trajectory is recorded even when the gate passes.  If the
-   threshold file does not exist yet it is recorded from the current
-   measurement (the regress-gate convention). *)
+   The probe is timed --runs times (default 5); the gate compares the
+   median, and the p90 rides along as a tail-latency indicator.  The
+   measured numbers land in _build/perfgate.json for CI to upload, so
+   the trajectory is recorded even when the gate passes, and one
+   history record is appended to baselines/history.jsonl (--history to
+   redirect, --no-history to skip) so rfh trend sees the cross-run
+   series.  If the threshold file does not exist yet it is recorded
+   from the current measurement (the regress-gate convention). *)
 
 let baseline_path = "baselines/perfgate.json"
 let artifact_path = "_build/perfgate.json"
-let timed_runs = 9
+let default_timed_runs = 5
+
+let arg_value name =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
+
+let timed_runs =
+  match Option.map int_of_string_opt (arg_value "--runs") with
+  | Some (Some n) when n > 0 -> n
+  | Some _ -> prerr_endline "perfgate: --runs wants a positive integer"; exit 2
+  | None -> default_timed_runs
+
+let history_path =
+  if Array.exists (( = ) "--no-history") Sys.argv then None
+  else Some (Option.value ~default:"baselines/history.jsonl" (arg_value "--history"))
 
 (* Same workload and configuration as the sim:perf-two-level stage
    test in bench/main.ml, so the two numbers are comparable. *)
@@ -34,6 +56,12 @@ let median a =
   let a = Array.copy a in
   Array.sort compare a;
   a.(Array.length a / 2)
+
+let p90 a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  let n = Array.length a in
+  a.(max 0 (int_of_float (ceil (0.9 *. float_of_int n)) - 1))
 
 let read_baseline () =
   if not (Sys.file_exists baseline_path) then None
@@ -58,6 +86,7 @@ let write_json path json =
   close_out oc
 
 let () =
+  let wall0 = Obs.Clock.now_ns () in
   let ctx = bench_ctx () in
   (* Two warm-up runs fill the domain-local scratch and the predecode
      cache, so both the allocation probe and the timed runs see steady
@@ -78,6 +107,7 @@ let () =
         Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0))
   in
   let ns_per_run = median samples in
+  let p90_ns = p90 samples in
   let baseline =
     match read_baseline () with
     | Some b -> b
@@ -105,6 +135,8 @@ let () =
        [
          ("benchmark", Obs.Json.Str "sim:perf-two-level");
          ("ns_per_run", Obs.Json.Num ns_per_run);
+         ("p90_ns_per_run", Obs.Json.Num p90_ns);
+         ("timed_runs", Obs.Json.int timed_runs);
          ("threshold_ns_per_run", Obs.Json.Num threshold_ns);
          ("allowed_ns_per_run", Obs.Json.Num allowed_ns);
          ("minor_words_per_run", Obs.Json.Num words_per_run);
@@ -114,10 +146,37 @@ let () =
          ("pass", Obs.Json.Bool (time_ok && alloc_ok));
        ]);
   Printf.printf
-    "perfgate: sim:perf-two-level %.2f ms/run (threshold %.2f ms, allowed \
-     %.2f ms), %.0f minor words/run (cap %.0f); wrote %s\n"
-    (ns_per_run /. 1e6) (threshold_ns /. 1e6) (allowed_ns /. 1e6)
-    words_per_run words_cap artifact_path;
+    "perfgate: sim:perf-two-level %.2f ms/run median over %d, p90 %.2f ms \
+     (threshold %.2f ms, allowed %.2f ms), %.0f minor words/run (cap %.0f); \
+     wrote %s\n"
+    (ns_per_run /. 1e6) timed_runs (p90_ns /. 1e6) (threshold_ns /. 1e6)
+    (allowed_ns /. 1e6) words_per_run words_cap artifact_path;
+  (match history_path with
+  | None -> ()
+  | Some path ->
+    let record =
+      {
+        Obs.History.timestamp = Obs.Host.utc_now ();
+        source = "perfgate";
+        host = Obs.Host.fingerprint ();
+        jobs = 1;
+        wall_s =
+          Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) wall0) /. 1000.0;
+        benches = [];
+        perfgate =
+          Some
+            {
+              Obs.History.pg_ns_per_run = ns_per_run;
+              pg_p90_ns = p90_ns;
+              pg_minor_words = words_per_run;
+              pg_runs = timed_runs;
+            };
+        engine = None;
+        jobs2_slower = None;
+      }
+    in
+    Obs.History.append ~path record;
+    Printf.printf "perfgate: history record -> %s\n" path);
   if not time_ok then
     Printf.eprintf
       "perfgate: FAIL — ns_per_run regressed more than 2x over %s\n"

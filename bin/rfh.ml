@@ -3,6 +3,10 @@
 
 open Cmdliner
 
+(* Captured at startup so --history-out records the whole invocation's
+   wall time, not just the manifest collection's. *)
+let start_ns = Obs.Clock.now_ns ()
+
 let opts_of ~warps ~seed ~benchmarks ~jobs =
   let base = { (Experiments.Options.default ()) with Experiments.Options.warps; seed } in
   let base = Experiments.Options.with_jobs base jobs in
@@ -49,6 +53,14 @@ let report_out_arg =
   let doc = "Write a self-contained HTML run report to $(docv)." in
   Arg.(value & opt (some string) None & info [ "report-out" ] ~docv:"FILE" ~doc)
 
+let history_out_arg =
+  let doc =
+    "Append one cross-run history record (JSONL, see $(b,rfh trend)) to $(docv).  The \
+     record carries per-benchmark IPC/energy/stall shares plus the host fingerprint and \
+     the invocation's wall time."
+  in
+  Arg.(value & opt (some string) None & info [ "history-out" ] ~docv:"FILE" ~doc)
+
 let rec mkdirs dir =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
     mkdirs (Filename.dirname dir);
@@ -69,14 +81,27 @@ let write_manifest_outputs ?compare m ~manifest_out ~report_out =
     (fun path -> emit "report" path (fun path -> Obs.Html_report.write_file ?compare ~path m))
     report_out
 
-(* --manifest-out / --report-out ride on any figure command: the
-   manifest collection runs after the command's own output (it installs
-   its own audit sink, so it must not race the command's). *)
-let collect_outputs ?entries ?lrf opts ~manifest_out ~report_out =
-  if manifest_out <> None || report_out <> None then
-    write_manifest_outputs
-      (Experiments.Run_manifest.collect ?entries ?lrf opts)
-      ~manifest_out ~report_out
+let elapsed_wall_s () =
+  Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) start_ns) /. 1000.0
+
+let append_history m path =
+  mkdirs (Filename.dirname path);
+  (try
+     Obs.History.append ~path
+       (Obs.History.of_manifest ~source:"rfh" ~wall_s:(elapsed_wall_s ()) m)
+   with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+  Printf.printf "history -> %s\n" path
+
+(* --manifest-out / --report-out / --history-out ride on any figure
+   command: the manifest collection runs after the command's own output
+   (it installs its own audit sink, so it must not race the
+   command's). *)
+let collect_outputs ?entries ?lrf opts ~manifest_out ~report_out ~history_out =
+  if manifest_out <> None || report_out <> None || history_out <> None then begin
+    let m = Experiments.Run_manifest.collect ?entries ?lrf opts in
+    write_manifest_outputs m ~manifest_out ~report_out;
+    Option.iter (append_history m) history_out
+  end
 
 (* [-v] is an alias for installing the human-readable audit printer:
    allocator and simulator decisions flow through Obs.Audit, not a
@@ -114,31 +139,31 @@ let artefact_cmd (name, artefact) =
     | "tables" -> "Echo the configuration tables 2-4."
     | _ -> "Experiment."
   in
-  let run warps seed benchmarks jobs csv metrics manifest_out report_out =
+  let run warps seed benchmarks jobs csv metrics manifest_out report_out history_out =
     let opts = opts_of ~warps ~seed ~benchmarks ~jobs in
     print_tables csv (Experiments.Report.tables_of opts artefact);
     print_metrics_if metrics;
-    collect_outputs opts ~manifest_out ~report_out
+    collect_outputs opts ~manifest_out ~report_out ~history_out
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ warps_arg $ seed_arg $ benchmarks_arg $ jobs_arg $ csv_arg $ metrics_arg
-      $ manifest_out_arg $ report_out_arg)
+      $ manifest_out_arg $ report_out_arg $ history_out_arg)
 
 let all_cmd =
   let doc = "Regenerate every table and figure." in
-  let run warps seed benchmarks jobs csv metrics manifest_out report_out =
+  let run warps seed benchmarks jobs csv metrics manifest_out report_out history_out =
     let opts = opts_of ~warps ~seed ~benchmarks ~jobs in
     List.iter
       (fun (_, a) -> print_tables csv (Experiments.Report.tables_of opts a))
       Experiments.Report.artefact_names;
     print_metrics_if metrics;
-    collect_outputs opts ~manifest_out ~report_out
+    collect_outputs opts ~manifest_out ~report_out ~history_out
   in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
       const run $ warps_arg $ seed_arg $ benchmarks_arg $ jobs_arg $ csv_arg $ metrics_arg
-      $ manifest_out_arg $ report_out_arg)
+      $ manifest_out_arg $ report_out_arg $ history_out_arg)
 
 let kernels_cmd =
   let doc = "List the benchmarks, or print one kernel's PTX-like code." in
@@ -610,7 +635,7 @@ let profile_cmd =
     Obs.Audit.disable ();
     Obs.Span.set_enabled false;
     collect_outputs ~entries ~lrf (opts_of ~warps ~seed ~benchmarks:names ~jobs) ~manifest_out
-      ~report_out;
+      ~report_out ~history_out:None;
     (* Cache behaviour: the always-on memo counters make hit rates
        visible without engine profiling.  Printed last so a manifest
        collection above (--manifest-out/--report-out) is included. *)
@@ -713,6 +738,122 @@ let baseline_check_cmd =
 let baseline_cmd =
   let doc = "Record or check the regression-gate golden manifest." in
   Cmd.group (Cmd.info "baseline" ~doc) [ baseline_record_cmd; baseline_check_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* trend: drift analysis over the cross-run performance history.       *)
+
+let history_default_path = "baselines/history.jsonl"
+
+let short_rev rev = if String.length rev > 10 then String.sub rev 0 10 else rev
+
+let trend_cmd =
+  let doc =
+    "Analyze the cross-run performance history for sustained drift: robust per-series \
+     statistics (median/MAD), change-point segmentation and a stable/improved/regressed/\
+     noisy verdict per series.  With $(b,--check), gate CI on it."
+  in
+  let history_arg =
+    let doc =
+      "History JSONL file, appended to by the bench harness, the perfgate and any command's \
+       $(b,--history-out)."
+    in
+    Arg.(value & opt string history_default_path & info [ "history" ] ~docv:"FILE" ~doc)
+  in
+  let html_out_arg =
+    let doc = "Write a self-contained HTML trend dashboard (inline SVG sparklines) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "html-out" ] ~docv:"FILE" ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Gate mode: exit 1 when any gated series shows a sustained regression, 2 when the \
+       history holds fewer than 3 records (0 = clean)."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run history_path html_out check csv =
+    let records, rejected = Obs.History.load ~path:history_path in
+    let recs = Array.of_list records in
+    let g = Obs.Trend.gate records in
+    let title =
+      Printf.sprintf "Trend over %d record%s (%s)%s" (Array.length recs)
+        (if Array.length recs = 1 then "" else "s")
+        history_path
+        (if rejected = 0 then ""
+         else Printf.sprintf " — %d undecodable line%s skipped" rejected
+                (if rejected = 1 then "" else "s"))
+    in
+    let table =
+      Util.Table.create ~title
+        ~columns:
+          [ "series"; "n"; "median"; "MAD"; "latest"; "z"; "shift"; "verdict";
+            "change points"; "trend" ]
+    in
+    List.iter
+      (fun (a : Obs.Trend.analysis) ->
+        let s = a.Obs.Trend.a_series in
+        let values = Array.map snd s.Obs.Trend.points in
+        Util.Table.add_row table
+          [
+            (s.Obs.Trend.s_name ^ if s.Obs.Trend.s_gated then "" else " (ungated)");
+            string_of_int (Array.length values);
+            Printf.sprintf "%.4g" a.Obs.Trend.a_median;
+            Printf.sprintf "%.4g" a.Obs.Trend.a_mad;
+            Printf.sprintf "%.4g" a.Obs.Trend.a_latest;
+            Printf.sprintf "%.2f" a.Obs.Trend.a_latest_z;
+            Printf.sprintf "%+.1f%%" (100.0 *. a.Obs.Trend.a_shift);
+            Obs.Trend.verdict_name a.Obs.Trend.a_verdict;
+            (match a.Obs.Trend.a_change_points with
+            | [] -> "-"
+            | cps ->
+              String.concat ", "
+                (List.map
+                   (fun cp ->
+                     let idx = fst s.Obs.Trend.points.(cp) in
+                     Printf.sprintf "#%d@%s" idx
+                       (short_rev (recs.(idx).Obs.History.host : Obs.Host.t).git_rev))
+                   cps));
+            Obs.Trend.sparkline values;
+          ])
+      g.Obs.Trend.g_analyses;
+    if csv then (print_endline (Util.Table.csv table); print_newline ())
+    else Util.Table.print table;
+    Option.iter
+      (fun path ->
+        mkdirs (Filename.dirname path);
+        (try Obs.Html_report.write_trend_page ~history_path ~records ~rejected ~path g
+         with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+        Printf.printf "trend dashboard -> %s\n" path)
+      html_out;
+    (* Exit-code contract (documented in docs/observability.md): without
+       --check the command always exits 0; with it, 0 = no sustained
+       drift in a gated series, 1 = drift (stderr names each offending
+       series with its change-point record and rev), 2 = fewer than 3
+       records. *)
+    if check then
+      match g.Obs.Trend.g_exit with
+      | 0 -> print_endline "trend check: OK — no sustained drift in any gated series."
+      | 2 ->
+        Printf.eprintf
+          "trend check: only %d record%s in %s\n\
+           exit 2: need at least 3 history records to judge drift (1 = drift, 0 = clean).\n"
+          (Array.length recs)
+          (if Array.length recs = 1 then "" else "s")
+          history_path;
+        exit 2
+      | _ ->
+        List.iter
+          (fun (f : Obs.Trend.failure) ->
+            Printf.eprintf "trend check: %s regressed %.4g -> %.4g at record %d (rev %s)\n"
+              f.Obs.Trend.f_series f.Obs.Trend.f_before f.Obs.Trend.f_after
+              f.Obs.Trend.f_index (short_rev f.Obs.Trend.f_rev))
+          g.Obs.Trend.g_failures;
+        prerr_endline
+          "trend check: FAILED — exit 1: a gated series shows a sustained regression \
+           (0 = clean, 2 = not enough history).";
+        exit 1
+  in
+  Cmd.v (Cmd.info "trend" ~doc)
+    Term.(const run $ history_arg $ html_out_arg $ check_arg $ csv_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain: decision-level introspection of one benchmark's allocation
@@ -1518,6 +1659,6 @@ let () =
   let cmds =
     List.map artefact_cmd Experiments.Report.artefact_names
     @ [ all_cmd; kernels_cmd; allocate_cmd; compile_cmd; selfcheck_cmd; trace_cmd; profile_cmd;
-        baseline_cmd; explain_cmd; timeline_cmd; engine_cmd ]
+        baseline_cmd; trend_cmd; explain_cmd; timeline_cmd; engine_cmd ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -148,7 +148,8 @@ let collect ?(entries = 3) ?(lrf = Alloc.Config.Split) (opts : Options.t) =
             |> List.sort (fun a b -> compare a.Obs.Manifest.phase b.Obs.Manifest.phase)
           in
           {
-            Obs.Manifest.options =
+            Obs.Manifest.meta = Obs.Host.fingerprint ();
+            options =
               {
                 Obs.Manifest.warps = opts.Options.warps;
                 seed = opts.Options.seed;

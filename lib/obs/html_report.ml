@@ -51,7 +51,12 @@ h3 { font-size: 1.05em; margin-top: 1.5em; } h4 { font-size: .95em; }
 .hm-pc { width: 3em; text-align: right; color: #5b6472; }
 .hm-strand { width: 2.5em; color: #5b6472; }
 .hm-row code { background: transparent; flex: 1; }
-.hm-pj { color: #5b6472; white-space: nowrap; }|}
+.hm-pj { color: #5b6472; white-space: nowrap; }
+.v-stable { color: #207020; } .v-improved { color: #20609a; font-weight: 600; }
+.v-regressed { color: #a02020; font-weight: 600; } .v-noisy { color: #9a7020; }
+td.spark { padding: .1em .3em; } td.spark svg { display: block; }
+.gate-fail { background: #fbeeee; border: 1px solid #d4a0a0; padding: .6em .9em; }
+.gate-ok { background: #eef6ee; border: 1px solid #b8d4b8; padding: .6em .9em; }|}
 
 let pf = Printf.bprintf
 let num = Printf.sprintf "%.4g"
@@ -499,3 +504,115 @@ let write_file ?compare ?explain ?engine ~path m =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (render ?compare ?explain ?engine m))
+
+(* ------------------------------------------------------------------ *)
+(* Trend dashboard: a standalone page over the cross-run history.
+   Sparklines are inline SVG (one polyline per series, change points
+   as vertical rules with the git rev in a <title> tooltip) — still no
+   scripts and no external assets.                                     *)
+
+let spark_w = 260.0
+let spark_h = 30.0
+
+let trend_sparkline_svg buf (recs : History.t array) (a : Trend.analysis) =
+  let pts = a.Trend.a_series.Trend.points in
+  let n = Array.length pts in
+  pf buf "<svg width=%.0f height=%.0f viewBox=\"0 0 %.0f %.0f\" role=img>"
+    spark_w spark_h spark_w spark_h;
+  if n > 0 then begin
+    let values = Array.map snd pts in
+    let lo = Array.fold_left Float.min values.(0) values in
+    let hi = Array.fold_left Float.max values.(0) values in
+    let x i = if n = 1 then spark_w /. 2.0 else 3.0 +. (spark_w -. 6.0) *. float_of_int i /. float_of_int (n - 1) in
+    let y v =
+      if hi = lo then spark_h /. 2.0
+      else 3.0 +. (spark_h -. 6.0) *. (1.0 -. ((v -. lo) /. (hi -. lo)))
+    in
+    List.iter
+      (fun cp ->
+        let rev = (recs.(fst pts.(cp)).History.host : Host.t).git_rev in
+        pf buf
+          "<line x1=%.1f y1=0 x2=%.1f y2=%.0f stroke=\"#a02020\" stroke-width=1.5><title>change point: record %d, rev %s</title></line>"
+          (x cp) (x cp) spark_h (fst pts.(cp))
+          (escape rev))
+      a.Trend.a_change_points;
+    pf buf "<polyline fill=none stroke=\"#5470c6\" stroke-width=1.5 points=\"";
+    Array.iteri (fun i v -> pf buf "%.1f,%.1f " (x i) (y v)) values;
+    pf buf "\"/>";
+    let last = values.(n - 1) in
+    pf buf "<circle cx=%.1f cy=%.1f r=2.2 fill=\"#1c2330\"/>" (x (n - 1)) (y last)
+  end;
+  pf buf "</svg>"
+
+let short_rev rev = if String.length rev > 10 then String.sub rev 0 10 else rev
+
+let render_trend_page ~history_path ~records ~rejected (g : Trend.gate_result) =
+  let recs = Array.of_list records in
+  let buf = Buffer.create 16384 in
+  pf buf "<!DOCTYPE html>\n<html lang=en>\n<head>\n<meta charset=utf-8>\n";
+  pf buf "<title>rfh trend dashboard</title>\n<style>\n%s\n</style>\n</head>\n<body>\n" style;
+  pf buf "<h1>rfh trend dashboard</h1>\n";
+  pf buf "<p class=muted>history: <code>%s</code> · %d record%s%s%s</p>\n"
+    (escape history_path) (Array.length recs)
+    (if Array.length recs = 1 then "" else "s")
+    (if rejected = 0 then "" else Printf.sprintf " · %d undecodable line%s skipped" rejected (if rejected = 1 then "" else "s"))
+    (match (records, List.rev records) with
+    | first :: _, last :: _ when Array.length recs > 1 ->
+      Printf.sprintf " · %s … %s" (escape first.History.timestamp) (escape last.History.timestamp)
+    | first :: _, _ -> Printf.sprintf " · %s" (escape first.History.timestamp)
+    | [], _ -> "");
+  (match g.Trend.g_exit with
+  | 2 ->
+    pf buf "<p class=gate-fail>Not enough history to judge drift (need at least 3 records).</p>\n"
+  | 1 ->
+    pf buf "<p class=gate-fail>Sustained drift detected in %d gated series:</p>\n<ul>\n"
+      (List.length g.Trend.g_failures);
+    List.iter
+      (fun (f : Trend.failure) ->
+        pf buf "<li><code>%s</code>: %s → %s at record %d (rev <code>%s</code>)</li>\n"
+          (escape f.Trend.f_series) (num f.Trend.f_before) (num f.Trend.f_after)
+          f.Trend.f_index
+          (escape (short_rev f.Trend.f_rev)))
+      g.Trend.g_failures;
+    pf buf "</ul>\n"
+  | _ -> pf buf "<p class=gate-ok>No sustained drift in any gated series.</p>\n");
+  if g.Trend.g_analyses <> [] then begin
+    pf buf "<h2>Series</h2><table>\n";
+    pf buf
+      "<tr><th class=l>series</th><th>n</th><th>median</th><th>MAD</th><th>latest</th><th>z</th><th class=l>trend</th><th>shift</th><th class=l>verdict</th><th class=l>change points</th></tr>\n";
+    List.iter
+      (fun (a : Trend.analysis) ->
+        let s = a.Trend.a_series in
+        let verdict = Trend.verdict_name a.Trend.a_verdict in
+        pf buf "<tr><td class=l><code>%s</code>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%.2f</td>"
+          (escape s.Trend.s_name)
+          (if s.Trend.s_gated then "" else " <span class=muted>(ungated)</span>")
+          (Array.length s.Trend.points)
+          (num a.Trend.a_median) (num a.Trend.a_mad) (num a.Trend.a_latest)
+          a.Trend.a_latest_z;
+        pf buf "<td class=\"l spark\">";
+        trend_sparkline_svg buf recs a;
+        pf buf "</td><td>%+.1f%%</td><td class=\"l v-%s\">%s</td><td class=l>%s</td></tr>\n"
+          (100.0 *. a.Trend.a_shift) verdict verdict
+          (if a.Trend.a_change_points = [] then "&mdash;"
+           else
+             String.concat ", "
+               (List.map
+                  (fun cp ->
+                    let idx = fst s.Trend.points.(cp) in
+                    Printf.sprintf "#%d <code>%s</code>" idx
+                      (escape (short_rev (recs.(idx).History.host : Host.t).git_rev)))
+                  a.Trend.a_change_points)))
+      g.Trend.g_analyses;
+    pf buf "</table>\n";
+    pf buf
+      "<p class=muted>z is a robust score (0.6745·(latest−median)/MAD); shift compares the last segment's median against the previous segment's. Gated series fail <code>rfh trend --check</code> on a sustained shift beyond their tolerance in the bad direction.</p>\n"
+  end;
+  pf buf "</body>\n</html>\n";
+  Buffer.contents buf
+
+let write_trend_page ~history_path ~records ~rejected ~path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render_trend_page ~history_path ~records ~rejected g))

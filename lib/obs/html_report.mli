@@ -46,3 +46,25 @@ val render_engine_page : Engine.report list -> string
 
 val write_engine_page : path:string -> Engine.report list -> unit
 (** @raise Sys_error on I/O failure. *)
+
+val render_trend_page :
+  history_path:string ->
+  records:History.t list ->
+  rejected:int ->
+  Trend.gate_result ->
+  string
+(** A standalone trend dashboard over the cross-run history (same
+    styling; sparklines are inline SVG with change points marked and
+    annotated with their git revisions) — what [rfh trend --html-out]
+    writes.  [rejected] is the undecodable-line count from
+    {!History.load}; an exit-2 gate renders a "not enough history"
+    banner instead of tables. *)
+
+val write_trend_page :
+  history_path:string ->
+  records:History.t list ->
+  rejected:int ->
+  path:string ->
+  Trend.gate_result ->
+  unit
+(** @raise Sys_error on I/O failure. *)

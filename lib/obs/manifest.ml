@@ -1,4 +1,4 @@
-let schema_version = 2
+let schema_version = 3
 
 type options = {
   warps : int;
@@ -46,6 +46,7 @@ type audit = { alloc_events : int; top_allocs : Json.t list }
 
 type t = {
   options : options;
+  meta : Host.t;
   benches : bench list;
   metrics : Metrics.snapshot;
   phases : phase list;
@@ -120,6 +121,10 @@ let to_json (m : t) =
       ("schema_version", Json.int schema_version);
       ("tool", Json.Str "rfh");
       ("options", options_to_json m.options);
+      (* Non-gated provenance: Regress ignores the whole "meta"
+         subtree, so a baseline recorded on one host checks cleanly on
+         another. *)
+      ("meta", Host.to_json m.meta);
       ("benches", Json.Arr (List.map bench_to_json m.benches));
       ("metrics", Metrics.to_json m.metrics);
       ("phases", Json.Arr (List.map phase_to_json m.phases));
@@ -266,6 +271,7 @@ let of_json j =
          schema_version)
   else
     let* options = Result.bind (field j "options" Option.some) options_of_json in
+    let* meta = Result.bind (field j "meta" Option.some) Host.of_json in
     let* benches =
       let* items = list_f j "benches" in
       List.fold_left
@@ -290,7 +296,7 @@ let of_json j =
     let* audit_j = field j "audit" Option.some in
     let* alloc_events = int_f audit_j "alloc_events" in
     let* top_allocs = list_f audit_j "top_allocs" in
-    Ok { options; benches; metrics; phases; audit = { alloc_events; top_allocs } }
+    Ok { options; meta; benches; metrics; phases; audit = { alloc_events; top_allocs } }
 
 let of_string s =
   match Json.parse s with

@@ -70,6 +70,11 @@ type audit = {
 
 type t = {
   options : options;
+  meta : Host.t;
+      (** host fingerprint (cores, OS, OCaml version, git rev/dirty) —
+          provenance only: {!Regress} ignores the whole [meta] section,
+          so baselines check cleanly across differing hosts (schema
+          v3) *)
   benches : bench list;
   metrics : Metrics.snapshot;
   phases : phase list;  (** sorted by phase name for stable diffs *)

@@ -9,8 +9,13 @@ let ok r = r.violations = []
 
 (* [options.jobs] is how the run was parallelised, not what it
    computed; a check at --jobs 4 must pass against a --jobs 1
-   baseline. *)
-let ignored_path path = path = "options.jobs"
+   baseline.  The manifest [meta] section (schema v3) is the host
+   fingerprint — provenance, not results: a baseline recorded on one
+   machine must check cleanly on another, so the whole subtree is
+   skipped, including keys present on only one side. *)
+let ignored_path path =
+  path = "options.jobs" || path = "meta"
+  || (String.length path >= 5 && String.sub path 0 5 = "meta.")
 
 let is_timing_path path =
   let suffix = ".total_ms" in
@@ -103,11 +108,13 @@ let diff_json ?(float_tol = 1e-9) ?timing_tol ~baseline ~current () =
           (fun (k, x) ->
             match List.assoc_opt k ys with
             | Some y -> go (join path k) x y
-            | None -> violate (join path k) "missing in current" (render x) "-")
+            | None ->
+              if not (ignored_path (join path k)) then
+                violate (join path k) "missing in current" (render x) "-")
           xs;
         List.iter
           (fun (k, y) ->
-            if not (List.mem_assoc k xs) then
+            if (not (List.mem_assoc k xs)) && not (ignored_path (join path k)) then
               violate (join path k) "extra in current" "-" (render y))
           ys
       | _ ->

@@ -14,6 +14,9 @@
       unless [timing_tol] is given;
     - [options.jobs] is ignored — parallelism must not change results,
       and the gate enforces exactly that by comparing everything else;
+    - the [meta] section (host fingerprint, schema v3) is ignored
+      wholesale — a baseline recorded on one host must check cleanly
+      on another;
     - missing/extra object keys, array length and type mismatches are
       always violations. *)
 

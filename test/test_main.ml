@@ -22,6 +22,8 @@ let () =
       ("transform", Test_transform.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
+      ("history", Test_history.suite);
+      ("trend", Test_trend.suite);
       ("explain", Test_explain.suite);
       ("timeline", Test_timeline.suite);
       ("engine", Test_engine.suite);

@@ -505,6 +505,37 @@ let test_regress_detects_perturbed_count () =
   check Alcotest.bool "options.jobs ignored" true
     (Obs.Regress.ok (Obs.Regress.diff_json ~baseline ~current:jobs_differ ()))
 
+(* The meta section is provenance, not results: a baseline recorded on
+   one host must check cleanly on a completely different one, and
+   against a pre-v3 manifest that has no meta section at all. *)
+let test_regress_ignores_meta () =
+  let m = collect_small () in
+  let baseline = Obs.Manifest.to_json m in
+  let other_host =
+    update [ "meta" ]
+      (fun _ ->
+        Obs.Json.Obj
+          [
+            ("cores", Obs.Json.int 128);
+            ("os", Obs.Json.Str "Win32");
+            ("ocaml", Obs.Json.Str "9.9.9");
+            ("git_rev", Obs.Json.Str "deadbeef");
+            ("git_dirty", Obs.Json.Bool true);
+          ])
+      baseline
+  in
+  check Alcotest.bool "differing host fingerprint checks clean" true
+    (Obs.Regress.ok (Obs.Regress.diff_json ~baseline ~current:other_host ()));
+  let no_meta =
+    match baseline with
+    | Obs.Json.Obj fields -> Obs.Json.Obj (List.filter (fun (k, _) -> k <> "meta") fields)
+    | _ -> Alcotest.fail "manifest JSON is not an object"
+  in
+  check Alcotest.bool "manifest without meta checks clean" true
+    (Obs.Regress.ok (Obs.Regress.diff_json ~baseline ~current:no_meta ()));
+  check Alcotest.bool "extra meta on current side checks clean" true
+    (Obs.Regress.ok (Obs.Regress.diff_json ~baseline:no_meta ~current:baseline ()))
+
 let test_regress_timing_tolerance () =
   let m = collect_small () in
   let baseline = Obs.Manifest.to_json m in
@@ -578,6 +609,7 @@ let suite =
     Alcotest.test_case "manifest byte-stability" `Quick (isolated test_manifest_byte_stability);
     Alcotest.test_case "regress self-diff ok" `Quick (isolated test_regress_self_diff_ok);
     Alcotest.test_case "regress flags perturbed count" `Quick (isolated test_regress_detects_perturbed_count);
+    Alcotest.test_case "regress ignores host meta" `Quick (isolated test_regress_ignores_meta);
     Alcotest.test_case "regress timing tolerance" `Quick (isolated test_regress_timing_tolerance);
     Alcotest.test_case "energy counts JSON round-trip" `Quick (isolated test_energy_counts_json_roundtrip);
     Alcotest.test_case "html report standalone" `Quick (isolated test_html_report_standalone);
