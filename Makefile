@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench fmt parity regress explain-smoke timeline-smoke engine-smoke trend-smoke perfgate ci clean
+.PHONY: all build test bench fmt parity regress explain-smoke timeline-smoke engine-smoke gc-smoke trend-smoke perfgate ci clean
 
 all: build
 
@@ -80,6 +80,19 @@ engine-smoke: build
 	  --report-out _build/engine-fig13.html > _build/engine-fig13.txt
 	@echo "engine smoke OK: categories sum to wall x domains; output parity holds"
 
+# GC-profiler smoke (see docs/observability.md): same window as the
+# engine smoke with the Runtime_events GC capture on; the command exits
+# 1 if any region's gc time exceeds its useful time, the 7-way budget
+# sum breaks, or output parity across jobs fails.  Tables, JSON, HTML
+# and the Perfetto trace (engine pid 4 + gc pid 5) land under _build/.
+gc-smoke: build
+	dune exec bin/rfh.exe -- gc fig13 --warps 8 --jobs 1,2 \
+	  -b VectorAdd,MatrixMul,Reduction,cp \
+	  --json-out _build/gc-fig13.json \
+	  --report-out _build/gc-fig13.html \
+	  --trace-out _build/gc-trace.json > _build/gc-fig13.txt
+	@echo "gc smoke OK: 0 <= gc <= useful in every region; output parity holds"
+
 # Trend smoke (see docs/observability.md): append three deterministic
 # history records from the same tree, then gate on them.  Identical
 # runs must classify as stable on every gated series (trend --check
@@ -106,7 +119,7 @@ trend-smoke: build
 perfgate: build
 	dune exec bench/perfgate.exe
 
-ci: fmt build test parity regress explain-smoke timeline-smoke engine-smoke trend-smoke perfgate
+ci: fmt build test parity regress explain-smoke timeline-smoke engine-smoke gc-smoke trend-smoke perfgate
 
 clean:
 	dune clean

@@ -290,7 +290,32 @@ let engine_history_summary reports =
             eng_idle = share agg.Obs.Engine.idle_ns;
           }
   in
-  (engine, jobs2_slower)
+  (* GC summary of the same widest window, when a capture ran: share
+     of useful, allocation volume, pause tail (the histogram summary
+     is in microseconds; history records nanoseconds). *)
+  let gc =
+    match List.rev reports with
+    | (widest : Obs.Engine.report) :: _ when widest.Obs.Engine.gc <> None ->
+      let mem =
+        match widest.Obs.Engine.gc with
+        | Some g -> Obs.Engine.gc_mem_totals g
+        | None -> assert false
+      in
+      let p50, p99 =
+        match Obs.Engine.gc_pause_summary widest with
+        | Some h -> (h.Obs.Metrics.p50 *. 1e3, h.Obs.Metrics.p99 *. 1e3)
+        | None -> (0.0, 0.0)
+      in
+      Some
+        {
+          Obs.History.hg_gc_share = Obs.Engine.gc_share widest;
+          hg_minor_words = mem.Obs.Engine.mt_minor_words;
+          hg_pause_p50_ns = p50;
+          hg_pause_p99_ns = p99;
+        }
+    | _ -> None
+  in
+  (engine, gc, jobs2_slower)
 
 let engine_curve () =
   let runs =
@@ -373,6 +398,8 @@ let engine_curve () =
                    (List.map
                       (fun (name, v) -> (name, Obs.Json.int v))
                       (Obs.Engine.cat_list agg)) );
+               ("gc_ns", Obs.Json.int agg.Obs.Engine.gc_ns);
+               ("gc_share", Obs.Json.Num (Obs.Engine.gc_share r));
                ("report", Obs.Engine.to_json r);
              ])
          reports),
@@ -411,10 +438,11 @@ let () =
   (* One history record merging everything this run measured; the
      append is timed so the overhead claim in docs/observability.md
      stays checkable on every run. *)
-  let engine, jobs2_slower = engine_history_summary engine_reports in
+  let engine, gc, jobs2_slower = engine_history_summary engine_reports in
   let wall_s = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) wall0) /. 1e3 in
   let record =
-    Obs.History.of_manifest ?engine ~jobs2_slower ~source:"bench" ~wall_s manifest
+    Obs.History.of_manifest ?engine ?gc ~jobs2_slower ~source:"bench" ~wall_s
+      manifest
   in
   write_json "BENCH_history.json" (Obs.History.to_json record);
   match history_path with

@@ -1653,12 +1653,166 @@ let engine_cmd =
       const run $ target_arg $ warps_arg $ seed_arg $ benchmarks_arg $ jobs_list_arg
       $ trace_out_arg $ json_out_arg $ report_out_arg)
 
+(* ------------------------------------------------------------------ *)
+(* gc: the GC view of the same profiled windows — how much of useful
+   task time is the collector, what was allocated, how long pauses are. *)
+
+let gc_cmd =
+  let doc =
+    "Profile the host runtime's GC while regenerating one artefact (or $(b,all)) at each \
+     requested $(b,--jobs) setting: every Eprof region's useful time is split exactly into \
+     compute + gc from Runtime_events pauses, with Gc.quick_stat allocation deltas per \
+     region and a pause-duration histogram (p50/p99).  Exits 1 if any accounting \
+     invariant fails or the rendered tables differ across jobs settings.  \
+     $(b,--trace-out) writes a Perfetto trace with per-domain GC pause slices (pid 5) \
+     next to the engine task slices (pid 4); $(b,--json-out) writes the reports (gc \
+     capture included) as JSON; $(b,--report-out) writes the HTML engine+GC report."
+  in
+  let target_arg =
+    Arg.(
+      value
+      & pos 0 string "fig13"
+      & info [] ~docv:"TARGET" ~doc:"Artefact to regenerate (fig2..tables, or 'all').")
+  in
+  let jobs_list_arg =
+    let doc = "Comma-separated worker-domain settings to profile, e.g. 1,2,4,8." in
+    Arg.(value & opt (list int) [ 1; 2 ] & info [ "jobs"; "j" ] ~docv:"N,N,..." ~doc)
+  in
+  let trace_out_arg =
+    let doc =
+      "Write a Chrome trace-event JSON file: phase spans (pid 1), per-domain engine \
+       task/wait slices (pid 4) and per-domain GC pause slices (pid 5), all against one \
+       monotonic epoch."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let json_out_arg =
+    let doc =
+      "Write the engine reports (one per jobs setting, gc capture included) as a JSON \
+       array to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "json-out" ] ~docv:"FILE" ~doc)
+  in
+  let run target warps seed benchmarks jobs_list trace_out json_out report_out =
+    let artefacts =
+      if target = "all" then List.map snd Experiments.Report.artefact_names
+      else
+        match List.assoc_opt target Experiments.Report.artefact_names with
+        | Some a -> [ a ]
+        | None ->
+          prerr_endline
+            ("unknown target: " ^ target ^ " (expected 'all' or one of "
+            ^ String.concat ", " (List.map fst Experiments.Report.artefact_names)
+            ^ ")");
+          exit 1
+    in
+    let jobs_list = List.sort_uniq compare (List.map (fun j -> max 1 j) jobs_list) in
+    let jobs_list = if jobs_list = [] then [ 1 ] else jobs_list in
+    if trace_out <> None then begin
+      Obs.Span.reset ();
+      Obs.Span.set_enabled true
+    end;
+    let failures = ref [] in
+    let check what ok = if not ok then failures := what :: !failures in
+    let runs =
+      List.map
+        (fun j ->
+          Experiments.Report.clear_caches ();
+          let opts = opts_of ~warps ~seed ~benchmarks ~jobs:j in
+          let rendered, report =
+            Obs.Engine.profile ~label:target ~jobs:j (fun () ->
+                List.concat_map
+                  (fun a -> List.map Util.Table.render (Experiments.Report.tables_of opts a))
+                  artefacts)
+          in
+          (j, String.concat "\n" rendered, report))
+        jobs_list
+    in
+    let reports = List.map (fun (_, _, r) -> r) runs in
+    (match runs with
+     | [] -> ()
+     | (j0, out0, _) :: rest ->
+       List.iter
+         (fun (j, out, _) ->
+           check (Printf.sprintf "rendered tables at jobs=%d byte-identical to jobs=%d" j j0)
+             (String.equal out out0))
+         rest);
+    List.iter
+      (fun (r : Obs.Engine.report) ->
+        check (Printf.sprintf "jobs=%d: gc capture present" r.Obs.Engine.jobs)
+          (r.Obs.Engine.gc <> None);
+        List.iter
+          (fun violation -> check (Printf.sprintf "jobs=%d: %s" r.Obs.Engine.jobs violation) false)
+          (Obs.Engine.check r))
+      reports;
+    Util.Table.print (Obs.Engine.gc_summary_table reports);
+    Util.Table.print (Obs.Engine.gc_mem_table reports);
+    List.iter (fun r -> Util.Table.print (Obs.Engine.gc_region_table r)) reports;
+    Option.iter
+      (fun path ->
+        mkdirs (Filename.dirname path);
+        let j = Obs.Json.Arr (List.map Obs.Engine.to_json reports) in
+        (try
+           let oc = open_out path in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () ->
+               Obs.Json.to_channel oc j;
+               output_char oc '\n')
+         with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+        Printf.printf "gc json: %d reports -> %s\n" (List.length reports) path)
+      json_out;
+    Option.iter
+      (fun path ->
+        mkdirs (Filename.dirname path);
+        (try Obs.Html_report.write_engine_page ~path reports
+         with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+        Printf.printf "gc report -> %s\n" path)
+      report_out;
+    (match trace_out with
+     | None -> ()
+     | Some path ->
+       let spans = Obs.Span.spans () in
+       Obs.Span.set_enabled false;
+       let base_ns =
+         List.fold_left
+           (fun acc (r : Obs.Engine.report) -> min acc r.Obs.Engine.epoch_ns)
+           (match spans with
+            | [] -> (match reports with [] -> 0L | r :: _ -> r.Obs.Engine.epoch_ns)
+            | _ -> Obs.Trace_export.earliest_span_ns spans)
+           reports
+       in
+       let extra =
+         List.concat_map (Obs.Engine.trace_events ~base_ns) reports
+         @ List.concat_map (Obs.Engine.gc_trace_events ~base_ns) reports
+       in
+       mkdirs (Filename.dirname path);
+       (try Obs.Trace_export.write_file ~path ~process_name:"rfh gc" ~base_ns ~extra spans
+        with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+       Printf.printf "trace: %d spans + %d engine/gc rows -> %s\n" (List.length spans)
+         (List.length extra) path);
+    if !failures <> [] then begin
+      prerr_endline "gc: self-checks FAILED:";
+      List.iter (fun f -> prerr_endline ("  " ^ f)) (List.rev !failures);
+      exit 1
+    end
+    else
+      Printf.printf
+        "gc: all self-checks passed (%d jobs settings; 0 <= gc <= useful in every region; \
+         rendered tables byte-identical)\n"
+        (List.length jobs_list)
+  in
+  Cmd.v (Cmd.info "gc" ~doc)
+    Term.(
+      const run $ target_arg $ warps_arg $ seed_arg $ benchmarks_arg $ jobs_list_arg
+      $ trace_out_arg $ json_out_arg $ report_out_arg)
+
 let () =
   let doc = "compile-time managed multi-level register file hierarchy (MICRO 2011) reproduction" in
   let info = Cmd.info "rfh" ~version:"1.0.0" ~doc in
   let cmds =
     List.map artefact_cmd Experiments.Report.artefact_names
     @ [ all_cmd; kernels_cmd; allocate_cmd; compile_cmd; selfcheck_cmd; trace_cmd; profile_cmd;
-        baseline_cmd; trend_cmd; explain_cmd; timeline_cmd; engine_cmd ]
+        baseline_cmd; trend_cmd; explain_cmd; timeline_cmd; engine_cmd; gc_cmd ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

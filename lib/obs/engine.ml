@@ -12,6 +12,11 @@ type categories = {
   memo_wait_ns : int;
   dispatch_ns : int;
   idle_ns : int;
+  gc_ns : int;
+      (* NOT an eighth budget category: gc is a sub-split of [useful_ns]
+         (collector time inside task intervals, from Gcprof pauses), so
+         it is excluded from [cat_total]/[cat_list] and the seven-way
+         sum stays exact.  compute = useful - gc by definition. *)
 }
 
 let cat_zero =
@@ -23,6 +28,7 @@ let cat_zero =
     memo_wait_ns = 0;
     dispatch_ns = 0;
     idle_ns = 0;
+    gc_ns = 0;
   }
 
 let cat_add a b =
@@ -34,6 +40,7 @@ let cat_add a b =
     memo_wait_ns = a.memo_wait_ns + b.memo_wait_ns;
     dispatch_ns = a.dispatch_ns + b.dispatch_ns;
     idle_ns = a.idle_ns + b.idle_ns;
+    gc_ns = a.gc_ns + b.gc_ns;
   }
 
 let cat_total c =
@@ -83,6 +90,7 @@ type report = {
   locks : Util.Eprof.lock_stats list;
   memos : Util.Eprof.memo_stats list;
   slices : slice list;
+  gc : Gcprof.capture option;
 }
 
 (* ---- analysis ---------------------------------------------------- *)
@@ -101,7 +109,7 @@ type racc = {
 
 let overlap a0 a1 b0 b1 = max 0 (min a1 b1 - max a0 b0)
 
-let analyze ~label ~jobs ~epoch_ns ~wall_ns ~locks ~memos (events : Util.Eprof.event list) =
+let analyze ~label ~jobs ~epoch_ns ~wall_ns ~locks ~memos ?gc (events : Util.Eprof.event list) =
   let regions : (int, racc) Hashtbl.t = Hashtbl.create 16 in
   let get id =
     match Hashtbl.find_opt regions id with
@@ -181,6 +189,19 @@ let analyze ~label ~jobs ~epoch_ns ~wall_ns ~locks ~memos (events : Util.Eprof.e
         let prev = Option.value ~default:[] (Hashtbl.find_opt assigned id) in
         Hashtbl.replace assigned id ((kind = `Lock, dom, start, stop) :: prev))
     !waits;
+  (* GC pauses attributable to a domain: resolved, and of a collecting
+     kind (condition waits etc. are not charged). *)
+  let gc_pauses =
+    match gc with
+    | None -> []
+    | Some (g : Gcprof.capture) ->
+      List.filter_map
+        (fun (p : Gcprof.pause) ->
+          if p.gp_dom >= 0 && Gcprof.counts_as_gc p.gp_kind then
+            Some (p.gp_dom, p.gp_start_ns, p.gp_start_ns + p.gp_dur_ns)
+          else None)
+        g.c_pauses
+  in
   let analyzed =
     List.map
       (fun (id, r, rend) ->
@@ -218,6 +239,19 @@ let analyze ~label ~jobs ~epoch_ns ~wall_ns ~locks ~memos (events : Util.Eprof.e
           let memow = clipped false in
           let dispatch = w1 - w0 - busy in
           let useful = busy - lockw - memow in
+          (* GC inside this domain's task intervals.  Same clipping as
+             waits, then clamped to [useful]: a pause can overlap a
+             wait interval (the collector runs while we spin on a
+             memo), and double-charging would push compute negative. *)
+          let gc_raw =
+            List.fold_left
+              (fun acc (pd, ps, pe) ->
+                if pd = dom then
+                  acc + List.fold_left (fun a (_, _, ts, te) -> a + overlap ps pe ts te) 0 tasks
+                else acc)
+              0 gc_pauses
+          in
+          let gc = max 0 (min gc_raw useful) in
           if dom = r.a_caller then
             {
               useful_ns = useful;
@@ -227,6 +261,7 @@ let analyze ~label ~jobs ~epoch_ns ~wall_ns ~locks ~memos (events : Util.Eprof.e
               memo_wait_ns = memow;
               dispatch_ns = dispatch;
               idle_ns = wall - spawn_total - (w1 - w0) - teardown_total;
+              gc_ns = gc;
             }
           else
             {
@@ -236,6 +271,7 @@ let analyze ~label ~jobs ~epoch_ns ~wall_ns ~locks ~memos (events : Util.Eprof.e
               memo_wait_ns = memow;
               dispatch_ns = dispatch;
               idle_ns = wall - (w1 - w0);
+              gc_ns = gc;
             }
         in
         let cats = List.fold_left (fun acc w -> cat_add acc (per_domain w)) cat_zero workers in
@@ -285,7 +321,7 @@ let analyze ~label ~jobs ~epoch_ns ~wall_ns ~locks ~memos (events : Util.Eprof.e
       (fun a b -> if a.s_start_ns <> b.s_start_ns then compare a.s_start_ns b.s_start_ns else compare a.s_dom b.s_dom)
       (task_slices @ wait_slices)
   in
-  { label; jobs; epoch_ns; wall_ns; regions = analyzed; locks; memos; slices }
+  { label; jobs; epoch_ns; wall_ns; regions = analyzed; locks; memos; slices; gc }
 
 let diff_lock_stats (later : Util.Eprof.lock_stats list) (earlier : Util.Eprof.lock_stats list) =
   List.map
@@ -317,23 +353,27 @@ let diff_memo_stats (later : Util.Eprof.memo_stats list) (earlier : Util.Eprof.m
         })
     later
 
-let profile ?(label = "run") ~jobs f =
+let profile ?(label = "run") ?(gcprof = true) ~jobs f =
   let locks0 = Util.Eprof.lock_stats () in
   let memos0 = Util.Eprof.memo_stats () in
+  (* Eprof first: Gcprof timestamps resolve against its epoch. *)
   Util.Eprof.start ();
+  if gcprof then Gcprof.start ();
   match f () with
   | exception e ->
     let bt = Printexc.get_raw_backtrace () in
+    if gcprof then ignore (Gcprof.stop () : Gcprof.capture);
     Util.Eprof.stop ();
     Printexc.raise_with_backtrace e bt
   | v ->
     let wall_ns = Util.Eprof.now_rel_ns () in
+    let gc = if gcprof then Some (Gcprof.stop ()) else None in
     Util.Eprof.stop ();
     let epoch_ns = Util.Eprof.epoch_ns () in
     let locks = diff_lock_stats (Util.Eprof.lock_stats ()) locks0 in
     let memos = diff_memo_stats (Util.Eprof.memo_stats ()) memos0 in
     let events = Util.Eprof.events () in
-    (v, analyze ~label ~jobs ~epoch_ns ~wall_ns ~locks ~memos events)
+    (v, analyze ~label ~jobs ~epoch_ns ~wall_ns ~locks ~memos ?gc events)
 
 (* ---- invariants -------------------------------------------------- *)
 
@@ -350,10 +390,31 @@ let check r =
       let total = cat_total reg.cats in
       if total <> budget then
         fail "%s: categories sum to %d ns, budget wall*domains = %d ns" where total budget;
+      (* gc is a sub-split of useful, so compute = useful - gc must be
+         exact and non-negative: 0 <= gc <= useful. *)
+      if reg.cats.gc_ns < 0 then fail "%s: gc is negative (%d ns)" where reg.cats.gc_ns;
+      if reg.cats.gc_ns > reg.cats.useful_ns then
+        fail "%s: gc %d ns exceeds useful %d ns" where reg.cats.gc_ns reg.cats.useful_ns;
       if reg.domains < 1 then fail "%s: no worker domains recorded" where;
       if reg.req_jobs >= 1 && reg.domains > reg.req_jobs then
         fail "%s: %d domains exceed requested jobs" where reg.domains)
     r.regions;
+  (match r.gc with
+  | None -> ()
+  | Some g ->
+    if g.Gcprof.c_lost_events < 0 then fail "gc: negative lost_events";
+    if g.Gcprof.c_unmatched < 0 then fail "gc: negative unmatched";
+    List.iter
+      (fun (p : Gcprof.pause) ->
+        if p.gp_dur_ns < 0 then
+          fail "gc pause (ring %d, %s): negative duration %d ns" p.gp_ring
+            (Gcprof.kind_name p.gp_kind) p.gp_dur_ns)
+      g.Gcprof.c_pauses;
+    List.iter
+      (fun (m : Gcprof.region_mem) ->
+        if m.gm_minor_collections < 0 || m.gm_major_collections < 0 then
+          fail "gc region %d: negative collection count" m.gm_region)
+      g.Gcprof.c_region_mem);
   List.iter
     (fun (m : Util.Eprof.memo_stats) ->
       if m.lookups <> m.hits + m.misses + m.waits then
@@ -410,11 +471,20 @@ let speedup_table reports =
 let budget_of r =
   List.fold_left (fun acc (reg : region) -> acc + (reg.wall_ns * reg.domains)) 0 r.regions
 
+(* The GC sub-split is shown as a fraction of useful (not of budget):
+   it answers "how much of what looked like work was the collector",
+   and the seven budget columns still sum to 100%. *)
+let gc_share_str (c : categories) =
+  if c.gc_ns = 0 && c.useful_ns = 0 then "-"
+  else Printf.sprintf "%.1f%%" (pct c.gc_ns c.useful_ns)
+
 let breakdown_table reports =
   let t =
     Util.Table.create ~title:"Engine overhead breakdown (% of region budget = wall x domains)"
       ~columns:
-        ([ "Jobs"; "Budget ms" ] @ List.map (fun c -> String.capitalize_ascii c) category_names)
+        ([ "Jobs"; "Budget ms" ]
+        @ List.map (fun c -> String.capitalize_ascii c) category_names
+        @ [ "Gc/useful" ])
   in
   List.iter
     (fun r ->
@@ -422,7 +492,8 @@ let breakdown_table reports =
       let agg = agg_categories r in
       Util.Table.add_row t
         ([ string_of_int r.jobs; Printf.sprintf "%.1f" (ms budget) ]
-        @ List.map (fun (_, v) -> Printf.sprintf "%.1f%%" (pct v budget)) (cat_list agg)))
+        @ List.map (fun (_, v) -> Printf.sprintf "%.1f%%" (pct v budget)) (cat_list agg)
+        @ [ gc_share_str agg ]))
     reports;
   t
 
@@ -432,7 +503,8 @@ let region_table r =
       ~title:(Printf.sprintf "Parallel regions (jobs=%d)" r.jobs)
       ~columns:
         ([ "Region"; "Doms"; "Tasks"; "Wall ms" ]
-        @ List.map (fun c -> String.capitalize_ascii c) category_names)
+        @ List.map (fun c -> String.capitalize_ascii c) category_names
+        @ [ "Gc/useful" ])
   in
   List.iter
     (fun (reg : region) ->
@@ -444,7 +516,8 @@ let region_table r =
            string_of_int reg.tasks;
            Printf.sprintf "%.2f" (ms reg.wall_ns);
          ]
-        @ List.map (fun (_, v) -> Printf.sprintf "%.1f%%" (pct v budget)) (cat_list reg.cats)))
+        @ List.map (fun (_, v) -> Printf.sprintf "%.1f%%" (pct v budget)) (cat_list reg.cats)
+        @ [ gc_share_str reg.cats ]))
     r.regions;
   t
 
@@ -496,6 +569,153 @@ let memo_stats_table stats =
   memo_rows t stats;
   t
 
+(* ---- GC rendering ------------------------------------------------ *)
+
+let gc_share r =
+  let agg = agg_categories r in
+  if agg.useful_ns = 0 then 0.0 else float_of_int agg.gc_ns /. float_of_int agg.useful_ns
+
+let count_kind k (g : Gcprof.capture) =
+  List.length (List.filter (fun (p : Gcprof.pause) -> p.Gcprof.gp_kind = k) g.c_pauses)
+
+(* A private registry: the default registry's snapshot is embedded in
+   run manifests, whose bytes must not depend on whether profiling ran. *)
+let gc_pause_summary r =
+  match r.gc with
+  | None -> None
+  | Some g ->
+    let reg = Metrics.create_registry () in
+    let h = Metrics.histogram ~registry:reg "gc.pause_us" in
+    List.iter
+      (fun (p : Gcprof.pause) ->
+        if Gcprof.counts_as_gc p.gp_kind then
+          Metrics.observe h (float_of_int p.gp_dur_ns /. 1e3))
+      g.c_pauses;
+    let snap = Metrics.snapshot ~registry:reg () in
+    List.assoc_opt "gc.pause_us" snap.Metrics.histograms
+
+type mem_totals = {
+  mt_minor_words : float;
+  mt_promoted_words : float;
+  mt_major_words : float;
+  mt_minor_collections : int;
+  mt_major_collections : int;
+}
+
+let gc_mem_totals (g : Gcprof.capture) =
+  List.fold_left
+    (fun acc (m : Gcprof.region_mem) ->
+      {
+        mt_minor_words = acc.mt_minor_words +. m.gm_minor_words;
+        mt_promoted_words = acc.mt_promoted_words +. m.gm_promoted_words;
+        mt_major_words = acc.mt_major_words +. m.gm_major_words;
+        mt_minor_collections = acc.mt_minor_collections + m.gm_minor_collections;
+        mt_major_collections = acc.mt_major_collections + m.gm_major_collections;
+      })
+    {
+      mt_minor_words = 0.0;
+      mt_promoted_words = 0.0;
+      mt_major_words = 0.0;
+      mt_minor_collections = 0;
+      mt_major_collections = 0;
+    }
+    g.c_region_mem
+
+let mwords w = Printf.sprintf "%.2f" (w /. 1e6)
+
+let gc_summary_table reports =
+  let t =
+    Util.Table.create ~title:"GC pauses (share of useful task time)"
+      ~columns:
+        [
+          "Jobs"; "Useful ms"; "GC ms"; "GC share"; "Minor"; "Major"; "Barrier"; "p50 us";
+          "p99 us"; "Lost"; "Unmatched";
+        ]
+  in
+  List.iter
+    (fun r ->
+      match r.gc with
+      | None -> ()
+      | Some g ->
+        let agg = agg_categories r in
+        let hs = gc_pause_summary r in
+        let p f = match hs with Some h -> Printf.sprintf "%.1f" (f h) | None -> "-" in
+        Util.Table.add_row t
+          [
+            string_of_int r.jobs;
+            Printf.sprintf "%.1f" (ms agg.useful_ns);
+            Printf.sprintf "%.2f" (ms agg.gc_ns);
+            Printf.sprintf "%.1f%%" (pct agg.gc_ns agg.useful_ns);
+            string_of_int (count_kind Gcprof.Minor g);
+            string_of_int (count_kind Gcprof.Major g);
+            string_of_int (count_kind Gcprof.Barrier g);
+            p (fun h -> h.Metrics.p50);
+            p (fun h -> h.Metrics.p99);
+            string_of_int g.c_lost_events;
+            string_of_int g.c_unmatched;
+          ])
+    reports;
+  t
+
+let gc_mem_table reports =
+  let t =
+    Util.Table.create ~title:"GC memory (Gc.quick_stat deltas over profiled regions)"
+      ~columns:
+        [
+          "Jobs"; "Minor Mw"; "Promoted Mw"; "Major Mw"; "Minor GCs"; "Major GCs"; "Alloc Mw/s";
+        ]
+  in
+  List.iter
+    (fun r ->
+      match r.gc with
+      | None -> ()
+      | Some g ->
+        let mt = gc_mem_totals g in
+        let agg = agg_categories r in
+        let useful_s = float_of_int agg.useful_ns /. 1e9 in
+        let rate = if useful_s > 0.0 then mt.mt_minor_words /. 1e6 /. useful_s else 0.0 in
+        Util.Table.add_row t
+          [
+            string_of_int r.jobs;
+            mwords mt.mt_minor_words;
+            mwords mt.mt_promoted_words;
+            mwords mt.mt_major_words;
+            string_of_int mt.mt_minor_collections;
+            string_of_int mt.mt_major_collections;
+            Printf.sprintf "%.1f" rate;
+          ])
+    reports;
+  t
+
+let gc_region_table r =
+  let t =
+    Util.Table.create
+      ~title:(Printf.sprintf "Per-region GC (jobs=%d)" r.jobs)
+      ~columns:
+        [ "Region"; "Doms"; "Useful ms"; "GC ms"; "GC share"; "Minor Mw"; "Promoted Mw"; "Minor GCs" ]
+  in
+  let mem_of id =
+    match r.gc with
+    | None -> None
+    | Some g -> List.find_opt (fun (m : Gcprof.region_mem) -> m.gm_region = id) g.c_region_mem
+  in
+  List.iter
+    (fun (reg : region) ->
+      let m f d = match mem_of reg.id with Some m -> f m | None -> d in
+      Util.Table.add_row t
+        [
+          Printf.sprintf "%s#%d" reg.label reg.id;
+          string_of_int reg.domains;
+          Printf.sprintf "%.2f" (ms reg.cats.useful_ns);
+          Printf.sprintf "%.3f" (ms reg.cats.gc_ns);
+          gc_share_str reg.cats;
+          m (fun x -> mwords x.gm_minor_words) "-";
+          m (fun x -> mwords x.gm_promoted_words) "-";
+          m (fun x -> string_of_int x.gm_minor_collections) "-";
+        ])
+    r.regions;
+  t
+
 (* ---- interchange ------------------------------------------------- *)
 
 let json_of_cats c =
@@ -507,11 +727,46 @@ let json_of_cats c =
     ("memo_wait_ns", Json.int c.memo_wait_ns);
     ("dispatch_ns", Json.int c.dispatch_ns);
     ("idle_ns", Json.int c.idle_ns);
+    ("gc_ns", Json.int c.gc_ns);
   ]
+
+let json_of_capture (g : Gcprof.capture) =
+  Json.Obj
+    [
+      ( "pauses",
+        Json.Arr
+          (List.map
+             (fun (p : Gcprof.pause) ->
+               Json.Obj
+                 [
+                   ("ring", Json.int p.gp_ring);
+                   ("dom", Json.int p.gp_dom);
+                   ("kind", Json.Str (Gcprof.kind_name p.gp_kind));
+                   ("start_ns", Json.int p.gp_start_ns);
+                   ("dur_ns", Json.int p.gp_dur_ns);
+                 ])
+             g.c_pauses) );
+      ( "region_mem",
+        Json.Arr
+          (List.map
+             (fun (m : Gcprof.region_mem) ->
+               Json.Obj
+                 [
+                   ("region", Json.int m.gm_region);
+                   ("minor_words", Json.Num m.gm_minor_words);
+                   ("promoted_words", Json.Num m.gm_promoted_words);
+                   ("major_words", Json.Num m.gm_major_words);
+                   ("minor_collections", Json.int m.gm_minor_collections);
+                   ("major_collections", Json.int m.gm_major_collections);
+                 ])
+             g.c_region_mem) );
+      ("lost_events", Json.int g.c_lost_events);
+      ("unmatched", Json.int g.c_unmatched);
+    ]
 
 let to_json r =
   Json.Obj
-    [
+    ([
       ("label", Json.Str r.label);
       ("jobs", Json.int r.jobs);
       (* As a string: monotonic nanosecond epochs can exceed exact
@@ -575,6 +830,7 @@ let to_json r =
                  ])
              r.slices) );
     ]
+    @ match r.gc with None -> [] | Some g -> [ ("gc", json_of_capture g) ])
 
 let of_json j =
   let ( let* ) = Result.bind in
@@ -606,7 +862,9 @@ let of_json j =
     let* memo_wait_ns = int_field v "memo_wait_ns" in
     let* dispatch_ns = int_field v "dispatch_ns" in
     let* idle_ns = int_field v "idle_ns" in
-    Ok { useful_ns; spawn_ns; teardown_ns; lock_wait_ns; memo_wait_ns; dispatch_ns; idle_ns }
+    (* Absent in pre-GC reports; the split defaults to all-compute. *)
+    let gc_ns = Option.value ~default:0 (Option.bind (Json.member "gc_ns" v) Json.to_int) in
+    Ok { useful_ns; spawn_ns; teardown_ns; lock_wait_ns; memo_wait_ns; dispatch_ns; idle_ns; gc_ns }
   in
   let* regions =
     let* xs = arr_field j "regions" in
@@ -660,11 +918,60 @@ let of_json j =
         Ok { s_name; s_cat; s_dom; s_start_ns; s_dur_ns })
       xs
   in
-  Ok { label; jobs; epoch_ns; wall_ns; regions; locks; memos; slices }
+  let num_field v name =
+    match Option.bind (Json.member name v) Json.to_num with Some n -> Ok n | None -> err name
+  in
+  let* gc =
+    match Json.member "gc" j with
+    | None -> Ok None
+    | Some g ->
+      let* pauses =
+        let* xs = arr_field g "pauses" in
+        all
+          (fun v ->
+            let* gp_ring = int_field v "ring" in
+            let* gp_dom = int_field v "dom" in
+            let* kind_s = str_field v "kind" in
+            let* gp_kind =
+              match Gcprof.kind_of_name kind_s with Some k -> Ok k | None -> err "kind"
+            in
+            let* gp_start_ns = int_field v "start_ns" in
+            let* gp_dur_ns = int_field v "dur_ns" in
+            Ok { Gcprof.gp_ring; gp_dom; gp_kind; gp_start_ns; gp_dur_ns })
+          xs
+      in
+      let* region_mem =
+        let* xs = arr_field g "region_mem" in
+        all
+          (fun v ->
+            let* gm_region = int_field v "region" in
+            let* gm_minor_words = num_field v "minor_words" in
+            let* gm_promoted_words = num_field v "promoted_words" in
+            let* gm_major_words = num_field v "major_words" in
+            let* gm_minor_collections = int_field v "minor_collections" in
+            let* gm_major_collections = int_field v "major_collections" in
+            Ok
+              {
+                Gcprof.gm_region;
+                gm_minor_words;
+                gm_promoted_words;
+                gm_major_words;
+                gm_minor_collections;
+                gm_major_collections;
+              })
+          xs
+      in
+      let* c_lost_events = int_field g "lost_events" in
+      let* c_unmatched = int_field g "unmatched" in
+      Ok
+        (Some
+           { Gcprof.c_pauses = pauses; c_region_mem = region_mem; c_lost_events; c_unmatched })
+  in
+  Ok { label; jobs; epoch_ns; wall_ns; regions; locks; memos; slices; gc }
 
 (* ---- trace export ------------------------------------------------ *)
 
-let trace_pid = 4
+let trace_pid = Trace_export.engine_pid
 
 let trace_events ~base_ns r =
   let rel ns = Clock.ns_to_us (Int64.sub (Int64.add r.epoch_ns (Int64.of_int ns)) base_ns) in
@@ -735,3 +1042,66 @@ let trace_events ~base_ns r =
       r.slices
   in
   (process_metadata :: thread_metadata) @ region_events @ slice_events
+
+(* An unresolved pause (ring never handshook) still renders, on a
+   sentinel row, so nothing silently disappears from the trace. *)
+let gc_unresolved_tid = 9999
+
+let gc_trace_events ~base_ns r =
+  match r.gc with
+  | None -> []
+  | Some g ->
+    let pid = Trace_export.gc_pid in
+    let rel ns = Clock.ns_to_us (Int64.sub (Int64.add r.epoch_ns (Int64.of_int ns)) base_ns) in
+    let tid_of dom = if dom >= 0 then dom else gc_unresolved_tid in
+    let tids =
+      List.sort_uniq compare (List.map (fun (p : Gcprof.pause) -> tid_of p.gp_dom) g.c_pauses)
+    in
+    let process_metadata =
+      Json.Obj
+        [
+          ("name", Json.Str "process_name");
+          ("ph", Json.Str "M");
+          ("pid", Json.int pid);
+          ("tid", Json.int 0);
+          ("args", Json.Obj [ ("name", Json.Str "rfh gc (wall clock)") ]);
+        ]
+    in
+    let thread_metadata =
+      List.map
+        (fun tid ->
+          Json.Obj
+            [
+              ("name", Json.Str "thread_name");
+              ("ph", Json.Str "M");
+              ("pid", Json.int pid);
+              ("tid", Json.int tid);
+              ( "args",
+                Json.Obj
+                  [
+                    ( "name",
+                      Json.Str
+                        (if tid = gc_unresolved_tid then "unresolved"
+                         else if tid = 0 then "domain 0 (main)"
+                         else Printf.sprintf "domain %d" tid) );
+                  ] );
+            ])
+        tids
+    in
+    let pause_events =
+      List.map
+        (fun (p : Gcprof.pause) ->
+          Json.Obj
+            [
+              ("name", Json.Str ("gc:" ^ Gcprof.kind_name p.gp_kind));
+              ("cat", Json.Str ("gc." ^ Gcprof.kind_name p.gp_kind));
+              ("ph", Json.Str "X");
+              ("ts", Json.Num (rel p.gp_start_ns));
+              ("dur", Json.Num (Clock.ns_to_us (Int64.of_int p.gp_dur_ns)));
+              ("pid", Json.int pid);
+              ("tid", Json.int (tid_of p.gp_dom));
+              ("args", Json.Obj [ ("ring", Json.int p.gp_ring) ]);
+            ])
+        g.c_pauses
+    in
+    (process_metadata :: thread_metadata) @ pause_events

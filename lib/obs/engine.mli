@@ -28,7 +28,15 @@
     stay disjoint by construction; {!check} re-verifies the sum and
     every component's sign, and [rfh engine] exits 1 if it ever
     fails.  Nested regions are each exact in isolation (an outer
-    region's [useful] contains its inner regions' whole budgets). *)
+    region's [useful] contains its inner regions' whole budgets).
+
+    When {!Gcprof} ran over the window (the {!profile} default),
+    [useful] is further split into [compute + gc]: [gc_ns] is the
+    collector time ({!Gcprof} pauses of a collecting kind) overlapping
+    the domain's work items, clamped into [[0, useful_ns]], so
+    [compute = useful - gc] is exact by construction.  It is a
+    sub-split, not an eighth category — the seven-way budget sum is
+    unchanged. *)
 
 type categories = {
   useful_ns : int;
@@ -38,10 +46,12 @@ type categories = {
   memo_wait_ns : int;
   dispatch_ns : int;
   idle_ns : int;
+  gc_ns : int;  (** sub-split of [useful_ns]; 0 without a {!Gcprof} capture *)
 }
 
 val cat_total : categories -> int
-(** Sum of all seven categories. *)
+(** Sum of all seven categories ([gc_ns] excluded: it is part of
+    [useful_ns]). *)
 
 val category_names : string list
 (** Display order: useful, spawn, teardown, lock wait, memo wait,
@@ -79,19 +89,23 @@ type report = {
   locks : Util.Eprof.lock_stats list;  (** deltas over the window *)
   memos : Util.Eprof.memo_stats list;  (** deltas over the window *)
   slices : slice list;     (** per-domain task/wait slices for traces *)
+  gc : Gcprof.capture option;  (** the window's GC capture, when one ran *)
 }
 
-val profile : ?label:string -> jobs:int -> (unit -> 'a) -> 'a * report
+val profile : ?label:string -> ?gcprof:bool -> jobs:int -> (unit -> 'a) -> 'a * report
 (** Run the thunk with the {!Util.Eprof} recorder on and analyze the
     recording.  The recorder is stopped (and on exceptions, the
     recording discarded) on the way out.  Not reentrant: one profiled
-    window at a time. *)
+    window at a time.  [gcprof] (default [true]) also runs a
+    {!Gcprof} capture over the window, filling [report.gc] and the
+    per-region [gc_ns] sub-split. *)
 
 val check : report -> string list
 (** Accounting invariant violations, [[]] when sound: per region,
-    every category [>= 0] and their sum [= wall_ns * domains]; per
-    memo table, [lookups = hits + misses + waits]; per lock,
-    [contended <= acquisitions]. *)
+    every category [>= 0], their sum [= wall_ns * domains] and
+    [0 <= gc_ns <= useful_ns]; per memo table,
+    [lookups = hits + misses + waits]; per lock,
+    [contended <= acquisitions]; per GC pause, duration [>= 0]. *)
 
 val region_seconds : report -> float
 (** Total wall seconds inside parallel regions (serial remainder =
@@ -120,16 +134,53 @@ val memo_stats_table : Util.Eprof.memo_stats list -> Util.Table.t
 (** Hit-rate table for cumulative {!Util.Eprof.memo_stats} snapshots
     (used by [rfh profile], where no engine window is recorded). *)
 
+(** {1 GC rendering}
+
+    All of these render from [report.gc] and the per-region [gc_ns]
+    sub-split; reports without a capture contribute no rows (or
+    [None]). *)
+
+val gc_share : report -> float
+(** Aggregate [gc / useful] over all regions ([0.] when no useful
+    time was recorded). *)
+
+val gc_pause_summary : report -> Metrics.hist_summary option
+(** Pause-duration histogram summary in {e microseconds} over the
+    window's collecting pauses (minor/major/barrier), built in a
+    private {!Metrics} registry so the default registry — embedded in
+    run manifests — is never touched. *)
+
+type mem_totals = {
+  mt_minor_words : float;
+  mt_promoted_words : float;
+  mt_major_words : float;
+  mt_minor_collections : int;
+  mt_major_collections : int;
+}
+
+val gc_mem_totals : Gcprof.capture -> mem_totals
+(** Region-mem deltas summed over every profiled region. *)
+
+val gc_summary_table : report list -> Util.Table.t
+(** One row per report: useful vs GC ms, GC share of useful, pause
+    counts by kind, p50/p99 pause, lost/unmatched event counts. *)
+
+val gc_mem_table : report list -> Util.Table.t
+(** One row per report: minor/promoted/major megawords, collection
+    counts, allocation rate (minor megawords per useful second). *)
+
+val gc_region_table : report -> Util.Table.t
+(** Per-region useful/GC split and memory deltas for one report. *)
+
 (** {1 Interchange} *)
 
 val to_json : report -> Json.t
 val of_json : Json.t -> (report, string) result
 
 val trace_pid : int
-(** Process row for engine slices in exported traces: pid 4,
-    wall-clock time base — distinct from spans (pid 1, wall clock),
-    counters (pid 2, simulated time) and warp timelines (pid 3,
-    cycles). *)
+(** Process row for engine slices in exported traces:
+    {!Trace_export.engine_pid} (wall-clock time base — see the pid
+    registry in {!Trace_export}). *)
 
 val trace_events : base_ns:int64 -> report -> Json.t list
 (** Perfetto rows for one report: process/thread metadata plus one
@@ -138,3 +189,10 @@ val trace_events : base_ns:int64 -> report -> Json.t list
     timestamp subtracted from every event — pass a common base (e.g.
     the earliest span or epoch) so engine rows align with span
     rows. *)
+
+val gc_trace_events : base_ns:int64 -> report -> Json.t list
+(** Perfetto rows for the report's GC capture on
+    {!Trace_export.gc_pid}: one "X" slice per pause, on the resolved
+    domain's tid (unresolved pauses land on a sentinel "unresolved"
+    row).  Same time base and [base_ns] convention as
+    {!trace_events}; empty without a capture. *)

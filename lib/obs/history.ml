@@ -12,9 +12,21 @@ type perfgate = {
   pg_p90_ns : float;
   pg_minor_words : float;
   pg_runs : int;
+  (* Added after the first committed records; encoded only when
+     present so existing history lines keep decoding (and re-encode
+     byte-identically). *)
+  pg_promoted_words : float option;
+  pg_major_words : float option;
 }
 
 type engine = { eng_useful : float; eng_spawn : float; eng_idle : float }
+
+type gc = {
+  hg_gc_share : float;  (* gc / useful over the widest engine window *)
+  hg_minor_words : float;
+  hg_pause_p50_ns : float;
+  hg_pause_p99_ns : float;
+}
 
 type t = {
   timestamp : string;
@@ -25,6 +37,7 @@ type t = {
   benches : bench_point list;
   perfgate : perfgate option;
   engine : engine option;
+  gc : gc option;
   jobs2_slower : bool option;
 }
 
@@ -44,7 +57,7 @@ let bench_point_of_bench (b : Manifest.bench) =
         b.Manifest.stalls;
   }
 
-let of_manifest ?timestamp ?host ?perfgate ?engine ?jobs2_slower ~source ~wall_s
+let of_manifest ?timestamp ?host ?perfgate ?engine ?gc ?jobs2_slower ~source ~wall_s
     (m : Manifest.t) =
   {
     timestamp = (match timestamp with Some s -> s | None -> Host.utc_now ());
@@ -55,6 +68,7 @@ let of_manifest ?timestamp ?host ?perfgate ?engine ?jobs2_slower ~source ~wall_s
     benches = List.map bench_point_of_bench m.Manifest.benches;
     perfgate;
     engine;
+    gc;
     jobs2_slower;
   }
 
@@ -73,12 +87,24 @@ let bench_point_to_json p =
     ]
 
 let perfgate_to_json g =
+  let opt name = function Some v -> [ (name, Json.Num v) ] | None -> [] in
+  Json.Obj
+    ([
+       ("ns_per_run", Json.Num g.pg_ns_per_run);
+       ("p90_ns", Json.Num g.pg_p90_ns);
+       ("minor_words", Json.Num g.pg_minor_words);
+       ("runs", Json.int g.pg_runs);
+     ]
+    @ opt "promoted_words" g.pg_promoted_words
+    @ opt "major_words" g.pg_major_words)
+
+let gc_to_json g =
   Json.Obj
     [
-      ("ns_per_run", Json.Num g.pg_ns_per_run);
-      ("p90_ns", Json.Num g.pg_p90_ns);
-      ("minor_words", Json.Num g.pg_minor_words);
-      ("runs", Json.int g.pg_runs);
+      ("gc_share", Json.Num g.hg_gc_share);
+      ("minor_words", Json.Num g.hg_minor_words);
+      ("pause_p50_ns", Json.Num g.hg_pause_p50_ns);
+      ("pause_p99_ns", Json.Num g.hg_pause_p99_ns);
     ]
 
 let engine_to_json e =
@@ -103,6 +129,7 @@ let to_json (r : t) =
      ]
     @ opt "perfgate" perfgate_to_json r.perfgate
     @ opt "engine" engine_to_json r.engine
+    @ opt "gc" gc_to_json r.gc
     @ opt "jobs2_slower" (fun b -> Json.Bool b) r.jobs2_slower)
 
 let to_string r = Json.to_string (to_json r)
@@ -145,7 +172,23 @@ let perfgate_of_json j =
   let* pg_p90_ns = field j "p90_ns" Json.to_num in
   let* pg_minor_words = field j "minor_words" Json.to_num in
   let* pg_runs = field j "runs" Json.to_int in
-  Ok { pg_ns_per_run; pg_p90_ns; pg_minor_words; pg_runs }
+  let opt name = Option.bind (Json.member name j) Json.to_num in
+  Ok
+    {
+      pg_ns_per_run;
+      pg_p90_ns;
+      pg_minor_words;
+      pg_runs;
+      pg_promoted_words = opt "promoted_words";
+      pg_major_words = opt "major_words";
+    }
+
+let gc_of_json j =
+  let* hg_gc_share = field j "gc_share" Json.to_num in
+  let* hg_minor_words = field j "minor_words" Json.to_num in
+  let* hg_pause_p50_ns = field j "pause_p50_ns" Json.to_num in
+  let* hg_pause_p99_ns = field j "pause_p99_ns" Json.to_num in
+  Ok { hg_gc_share; hg_minor_words; hg_pause_p50_ns; hg_pause_p99_ns }
 
 let engine_of_json j =
   let* eng_useful = field j "useful" Json.to_num in
@@ -177,13 +220,14 @@ let of_json j =
     in
     let* perfgate = opt_field j "perfgate" perfgate_of_json in
     let* engine = opt_field j "engine" engine_of_json in
+    let* gc = opt_field j "gc" gc_of_json in
     let* jobs2_slower =
       opt_field j "jobs2_slower" (fun v ->
           match Json.to_bool v with
           | Some b -> Ok b
           | None -> Error "history: \"jobs2_slower\" not a bool")
     in
-    Ok { timestamp; source; host; jobs; wall_s; benches; perfgate; engine; jobs2_slower }
+    Ok { timestamp; source; host; jobs; wall_s; benches; perfgate; engine; gc; jobs2_slower }
 
 let of_string s =
   let* j = Json.parse s in

@@ -35,12 +35,25 @@ type perfgate = {
   pg_p90_ns : float;
   pg_minor_words : float;
   pg_runs : int;  (** timed runs the median/p90 summarize *)
+  pg_promoted_words : float option;
+      (** promoted words per probed run; [None] in records written
+          before the promotion gate existed (field omitted from the
+          encoding, so old lines round-trip byte-identically) *)
+  pg_major_words : float option;  (** major words per probed run *)
 }
 
 type engine = {
   eng_useful : float;  (** share of the parallel-region budget (0..1) *)
   eng_spawn : float;
   eng_idle : float;
+}
+
+type gc = {
+  hg_gc_share : float;
+      (** gc / useful (0..1) over the widest engine window's regions *)
+  hg_minor_words : float;  (** summed region quick_stat deltas *)
+  hg_pause_p50_ns : float;
+  hg_pause_p99_ns : float;
 }
 
 type t = {
@@ -52,6 +65,7 @@ type t = {
   benches : bench_point list;
   perfgate : perfgate option;
   engine : engine option;
+  gc : gc option;  (** GC capture summary of the same window as [engine] *)
   jobs2_slower : bool option;
       (** Part 4's warning: run_all at jobs=2 lost to serial *)
 }
@@ -61,6 +75,7 @@ val of_manifest :
   ?host:Host.t ->
   ?perfgate:perfgate ->
   ?engine:engine ->
+  ?gc:gc ->
   ?jobs2_slower:bool ->
   source:string ->
   wall_s:float ->

@@ -43,6 +43,7 @@ td.l, th.l { text-align: left; }
 .eg-teardown { background: #f0924e; } .eg-lock-wait { background: #ee6666; }
 .eg-memo-wait { background: #9a60b4; } .eg-dispatch { background: #73c0de; }
 .eg-idle { background: #d4d9e1; }
+.eg-compute { background: #91cc75; } .eg-gc { background: #c4543f; }
 .muted { color: #5b6472; }
 code { background: #f2f3f6; padding: 0 .25em; }
 h3 { font-size: 1.05em; margin-top: 1.5em; } h4 { font-size: .95em; }
@@ -460,6 +461,80 @@ let engine_section buf (reports : Engine.report list) =
         pf buf "</table>\n"
       end))
 
+(* GC section: the compute/gc sub-split of useful time from the
+   Gcprof capture riding on each engine report.  Rendered separately
+   from the seven-way budget bars: gc is a slice of useful, not an
+   eighth category. *)
+let gc_section buf (reports : Engine.report list) =
+  let with_gc = List.filter (fun (r : Engine.report) -> r.Engine.gc <> None) reports in
+  if with_gc <> [] then begin
+    pf buf "<h2>GC profile</h2>\n";
+    pf buf
+      "<p class=muted>collector time inside task intervals (Runtime_events pauses), split out \
+       of each region's useful budget: useful = compute + gc exactly</p>\n";
+    pf buf "<table>\n";
+    pf buf
+      "<tr><th>jobs</th><th>useful ms</th><th>gc ms</th><th>gc share</th><th>minor</th><th>major</th><th>barrier</th><th>p50 &micro;s</th><th>p99 &micro;s</th><th>minor Mw</th><th>promoted Mw</th><th>alloc Mw/s</th><th>lost</th></tr>\n";
+    List.iter
+      (fun (r : Engine.report) ->
+        match r.Engine.gc with
+        | None -> ()
+        | Some g ->
+          let agg = Engine.agg_categories r in
+          let mt = Engine.gc_mem_totals g in
+          let share =
+            if agg.Engine.useful_ns = 0 then 0.0
+            else 100.0 *. float_of_int agg.Engine.gc_ns /. float_of_int agg.Engine.useful_ns
+          in
+          let useful_s = float_of_int agg.Engine.useful_ns /. 1e9 in
+          let rate =
+            if useful_s > 0.0 then mt.Engine.mt_minor_words /. 1e6 /. useful_s else 0.0
+          in
+          let count k =
+            List.length
+              (List.filter (fun (p : Gcprof.pause) -> p.Gcprof.gp_kind = k) g.Gcprof.c_pauses)
+          in
+          let p sel =
+            match Engine.gc_pause_summary r with
+            | Some h -> Printf.sprintf "%.1f" (sel h)
+            | None -> "-"
+          in
+          pf buf
+            "<tr><td>%d</td><td>%.1f</td><td>%.2f</td><td>%.1f%%</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td><td>%s</td><td>%.2f</td><td>%.2f</td><td>%.1f</td><td>%d</td></tr>\n"
+            r.Engine.jobs
+            (engine_ms agg.Engine.useful_ns)
+            (engine_ms agg.Engine.gc_ns)
+            share (count Gcprof.Minor) (count Gcprof.Major) (count Gcprof.Barrier)
+            (p (fun h -> h.Metrics.p50))
+            (p (fun h -> h.Metrics.p99))
+            (mt.Engine.mt_minor_words /. 1e6)
+            (mt.Engine.mt_promoted_words /. 1e6)
+            rate g.Gcprof.c_lost_events)
+      with_gc;
+    pf buf "</table>\n";
+    pf buf "<p class=legend>";
+    List.iter
+      (fun name ->
+        pf buf "<span><span class=\"swatch eg-%s\"></span>%s</span>" name name)
+      [ "compute"; "gc" ];
+    pf buf "</p>\n";
+    List.iter
+      (fun (r : Engine.report) ->
+        let agg = Engine.agg_categories r in
+        let useful = Float.max 1e-9 (float_of_int agg.Engine.useful_ns) in
+        let gc_pct = 100.0 *. float_of_int agg.Engine.gc_ns /. useful in
+        pf buf "<div class=bench-bar><span class=label>jobs=%d</span>" r.Engine.jobs;
+        pf buf "<span class=track><span class=bar>";
+        pf buf "<span class=\"eg-compute\" style=\"width:%.2f%%\" title=\"compute: %.2f ms\"></span>"
+          (100.0 -. gc_pct)
+          (engine_ms (agg.Engine.useful_ns - agg.Engine.gc_ns));
+        if gc_pct > 0.01 then
+          pf buf "<span class=\"eg-gc\" style=\"width:%.2f%%\" title=\"gc: %.2f ms\"></span>"
+            gc_pct (engine_ms agg.Engine.gc_ns);
+        pf buf "</span></span></div>\n")
+      with_gc
+  end
+
 let render_engine_page (reports : Engine.report list) =
   let buf = Buffer.create 16384 in
   pf buf "<!DOCTYPE html>\n<html lang=en>\n<head>\n<meta charset=utf-8>\n";
@@ -469,6 +544,7 @@ let render_engine_page (reports : Engine.report list) =
   | r :: _ -> pf buf "<p class=muted>target: %s</p>\n" (escape r.Engine.label)
   | [] -> ());
   engine_section buf reports;
+  gc_section buf reports;
   pf buf "</body>\n</html>\n";
   Buffer.contents buf
 
@@ -494,7 +570,11 @@ let render ?compare ?explain ?engine (m : Manifest.t) =
   phase_table buf m;
   metrics_section buf m;
   audit_section buf m;
-  (match engine with None | Some [] -> () | Some reports -> engine_section buf reports);
+  (match engine with
+  | None | Some [] -> ()
+  | Some reports ->
+    engine_section buf reports;
+    gc_section buf reports);
   (match explain with None | Some [] -> () | Some reports -> explain_section buf reports);
   pf buf "</body>\n</html>\n";
   Buffer.contents buf

@@ -1,14 +1,32 @@
-(* Counter tracks live on their own pid: their timestamps are simulated
-   time (cycles / instruction windows), not wall clock, and mixing the
-   two time bases on one process row would render nonsense.  Keeping
-   them separate also keeps the counter rows byte-deterministic for a
-   fixed seed while the span rows stay timing-tolerant. *)
+(* The process-row (pid) registry for every track this repo can merge
+   into one Perfetto trace.  Each data source gets its own pid — both
+   because several run on different time bases (simulated cycles
+   vs. wall clock) that would render nonsense interleaved on one row,
+   and so independently-generated fragments can always be concatenated
+   without collisions.  All pid constants live here; nothing else may
+   hardcode one. *)
+
+(* Wall-clock simulator spans ([Obs.Span]). *)
+let spans_pid = 1
+
+(* Counter tracks: timestamps are simulated time (cycles / instruction
+   windows), byte-deterministic for a fixed seed while the span rows
+   stay timing-tolerant. *)
 let counters_pid = 2
 
 (* Warp timeline slices share the counters' simulated time base but get
    their own process row: one thread per warp, so the run opens in
    Perfetto as a pipeline waterfall. *)
 let timeline_pid = 3
+
+(* Host-engine decomposition rows ([Obs.Engine.trace_events]), wall
+   clock, one thread per worker domain. *)
+let engine_pid = 4
+
+(* GC pause rows ([Obs.Engine.gc_trace_events]), wall clock, one
+   thread per worker domain — lines up under the engine track so a
+   task slice and the collector time inside it are one vertical. *)
+let gc_pid = 5
 
 let json_of_timeline (ivs : Timeline.interval list) =
   let warps = List.sort_uniq compare (List.map (fun iv -> iv.Timeline.warp) ivs) in
@@ -121,7 +139,7 @@ let json_of_spans ?(process_name = "rfh") ?(counters = []) ?(timeline = []) ?bas
       [
         ("name", Json.Str "process_name");
         ("ph", Json.Str "M");
-        ("pid", Json.int 1);
+        ("pid", Json.int spans_pid);
         ("tid", Json.int 0);
         ("args", Json.Obj [ ("name", Json.Str process_name) ]);
       ]
@@ -139,7 +157,7 @@ let json_of_spans ?(process_name = "rfh") ?(counters = []) ?(timeline = []) ?bas
           [
             ("name", Json.Str "thread_name");
             ("ph", Json.Str "M");
-            ("pid", Json.int 1);
+            ("pid", Json.int spans_pid);
             ("tid", Json.int did);
             ( "args",
               Json.Obj
@@ -162,7 +180,7 @@ let json_of_spans ?(process_name = "rfh") ?(counters = []) ?(timeline = []) ?bas
             ("ph", Json.Str "X");
             ("ts", Json.Num (Clock.ns_to_us (Int64.sub s.Span.ts_ns base)));
             ("dur", Json.Num (Clock.ns_to_us s.Span.dur_ns));
-            ("pid", Json.int 1);
+            ("pid", Json.int spans_pid);
             ("tid", Json.int s.Span.domain);
             ("args", Json.Obj [ ("depth", Json.int s.Span.depth) ]);
           ])

@@ -31,6 +31,27 @@
     trace events (already rebased by the caller) to the [traceEvents]
     array. *)
 
+(** {1 Process-row registry}
+
+    Every track source that can appear in a merged trace owns exactly
+    one Perfetto process id, assigned here and nowhere else, so
+    independently generated fragments never collide. *)
+
+val spans_pid : int
+(** [1] — wall-clock simulator spans ({!Span}). *)
+
+val counters_pid : int
+(** [2] — counter tracks, simulated time ({!Counters}). *)
+
+val timeline_pid : int
+(** [3] — per-warp pipeline timeline, simulated time ({!Timeline}). *)
+
+val engine_pid : int
+(** [4] — host-engine decomposition rows ({!Engine.trace_events}). *)
+
+val gc_pid : int
+(** [5] — GC pause rows ({!Engine.gc_trace_events}). *)
+
 val earliest_span_ns : Span.span list -> int64
 (** The default rebase point: the earliest span timestamp (0 when
     there are no spans). *)

@@ -227,6 +227,7 @@ let series_of_history (records : History.t list) =
   in
   let pg f r = Option.map f r.History.perfgate in
   let eng f r = Option.map f r.History.engine in
+  let gcm f r = Option.map f r.History.gc in
   let tail =
     [
       (* ns/run and minor words gate CI; the tolerances are wide
@@ -238,12 +239,25 @@ let series_of_history (records : History.t list) =
         (collect (pg (fun g -> g.History.pg_p90_ns)));
       mk "perfgate.minor_words" Lower_better 0.5 true
         (collect (pg (fun g -> g.History.pg_minor_words)));
+      mk "perfgate.promoted_words" Lower_better 0.5 true
+        (collect (fun r -> Option.bind r.History.perfgate (fun g -> g.History.pg_promoted_words)));
+      mk "perfgate.major_words" Lower_better 0.5 true
+        (collect (fun r -> Option.bind r.History.perfgate (fun g -> g.History.pg_major_words)));
       mk "engine.useful" Higher_better 0.2 false
         (collect (eng (fun e -> e.History.eng_useful)));
       mk "engine.spawn" Lower_better 0.2 false
         (collect (eng (fun e -> e.History.eng_spawn)));
       mk "engine.idle" Lower_better 0.2 false
         (collect (eng (fun e -> e.History.eng_idle)));
+      (* GC share gates: a creeping collector bill shows up here long
+         before wall time moves.  Pause p99 stays advisory — tail
+         pauses are scheduler noise across hosts. *)
+      mk "gc.share" Lower_better 0.35 true
+        (collect (gcm (fun g -> g.History.hg_gc_share)));
+      mk "gc.minor_words" Lower_better 0.5 true
+        (collect (gcm (fun g -> g.History.hg_minor_words)));
+      mk "gc.pause_p99_ns" Lower_better 0.5 false
+        (collect (gcm (fun g -> g.History.hg_pause_p99_ns)));
       mk "wall_s" Lower_better 0.5 false
         (collect (fun (r : History.t) -> Some r.History.wall_s));
     ]

@@ -87,8 +87,9 @@ val series_of_history : History.t list -> series list
     IPC (gated, higher better, tol 5%) and normalized energy (gated,
     lower better, tol 5%) in first-seen bench order, then perfgate
     ns-per-run (gated, tol 35% — it is wall-clock), p90 (ungated),
-    minor words (gated, tol 50%), engine shares (ungated), wall time
-    (ungated). *)
+    minor/promoted/major words (gated, tol 50%), engine shares
+    (ungated), GC share of useful (gated, tol 35%), GC minor words
+    (gated, tol 50%), GC pause p99 (ungated), wall time (ungated). *)
 
 type failure = {
   f_series : string;

@@ -27,10 +27,25 @@ type event =
 let mu = Mutex.create ()
 let events_rev : event list ref = ref []
 
+(* Observer hooks (Obs.Gcprof).  Both are one atomic load when not
+   installed, and they run on the *emitting* domain — which is the
+   point: an installed emit hook can snapshot that domain's GC
+   counters at region boundaries, and a worker-start hook can tag the
+   domain's runtime ring buffer before its first task runs.  Hooks are
+   invoked outside [mu] so they may take their own locks freely. *)
+let emit_hook : (event -> unit) option Atomic.t = Atomic.make None
+let worker_start_hook : (unit -> unit) option Atomic.t = Atomic.make None
+let set_emit_hook h = Atomic.set emit_hook h
+let set_worker_start_hook h = Atomic.set worker_start_hook h
+
+let worker_start () =
+  match Atomic.get worker_start_hook with None -> () | Some f -> f ()
+
 let emit ev =
   Mutex.lock mu;
   events_rev := ev :: !events_rev;
-  Mutex.unlock mu
+  Mutex.unlock mu;
+  match Atomic.get emit_hook with None -> () | Some f -> f ev
 
 let events () =
   Mutex.lock mu;

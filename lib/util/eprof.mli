@@ -83,6 +83,24 @@ val emit : event -> unit
 val events : unit -> event list
 (** Recorded events in emission order. *)
 
+(** {1 Observer hooks}
+
+    [Obs.Gcprof] rides on the recorder through two hooks.  Both cost
+    one atomic load when not installed and run on the {e emitting}
+    domain: the emit hook sees every {!emit}ed event (after it is
+    recorded), so it can snapshot per-domain GC counters at
+    [Region_begin]/[Region_end]; the worker-start hook fires at the
+    top of every profiled worker loop ({!worker_start}, called by
+    {!Pool}), before the first task, so the observer can tag the
+    domain's runtime ring buffer ahead of any GC it may trigger. *)
+
+val set_emit_hook : (event -> unit) option -> unit
+val set_worker_start_hook : (unit -> unit) option -> unit
+
+val worker_start : unit -> unit
+(** Invoke the worker-start hook if one is installed (called by
+    {!Pool} at the start of each profiled worker loop). *)
+
 (** {1 Profiled locks}
 
     A profiled mutex costs nothing when recording is off

@@ -28,6 +28,7 @@ let run_team ~jobs ~label f (arr : 'a array) : ('b, exn * Printexc.raw_backtrace
          { region; label; jobs; caller = Eprof.self (); t = Eprof.now_rel_ns () });
   let worker () =
     let dom = if prof then Eprof.self () else 0 in
+    if prof then Eprof.worker_start ();
     let w0 = if prof then Eprof.now_rel_ns () else 0 in
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
@@ -85,6 +86,7 @@ let serial_map_profiled ~label f xs =
   let region = Eprof.new_region () in
   let dom = Eprof.self () in
   Eprof.emit (Eprof.Region_begin { region; label; jobs = 1; caller = dom; t = Eprof.now_rel_ns () });
+  Eprof.worker_start ();
   let w0 = Eprof.now_rel_ns () in
   Fun.protect
     ~finally:(fun () ->

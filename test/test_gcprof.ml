@@ -1,0 +1,306 @@
+(* Gcprof tests: the compute+gc sub-split of the engine profiler's
+   useful time (exact at every jobs setting), quick_stat region deltas,
+   tolerance of lost ring events, the history gc section's JSONL
+   round-trip, trend gating on a GC-share step, and manifest
+   byte-parity with the GC recorder on or off. *)
+
+let check = Alcotest.check
+
+(* Every test switches global recorders; never leave either on. *)
+let isolated f () =
+  Fun.protect
+    ~finally:(fun () ->
+      if Obs.Gcprof.enabled () then ignore (Obs.Gcprof.stop () : Obs.Gcprof.capture);
+      Util.Eprof.stop ())
+    f
+
+let busy_work x =
+  let acc = ref x in
+  for i = 1 to 20_000 do
+    acc := (!acc * 31) + i
+  done;
+  !acc
+
+(* Enough allocation to force minor collections inside the region. *)
+let alloc_work x =
+  let acc = ref 0 in
+  for _ = 1 to 50 do
+    acc := !acc + List.length (List.init 4_000 (fun i -> (x * i) + 1))
+  done;
+  !acc
+
+(* --- compute + gc = useful, exactly, at jobs 1 and 4 ---------------- *)
+
+let test_gc_split_exact () =
+  List.iter
+    (fun jobs ->
+      let _, report =
+        Obs.Engine.profile ~label:"gcsplit" ~jobs (fun () ->
+            Util.Pool.parallel_map ~jobs ~label:"gcsplit.map" alloc_work
+              (List.init 16 Fun.id))
+      in
+      check Alcotest.bool
+        (Printf.sprintf "capture present at jobs=%d" jobs)
+        true
+        (report.Obs.Engine.gc <> None);
+      check Alcotest.(list string)
+        (Printf.sprintf "no invariant violations at jobs=%d" jobs)
+        [] (Obs.Engine.check report);
+      List.iter
+        (fun (reg : Obs.Engine.region) ->
+          let c = reg.Obs.Engine.cats in
+          (* The sub-split contract, restated without Engine.check:
+             gc is carved out of useful, so compute = useful - gc is
+             non-negative and the 7-way budget sum is untouched. *)
+          check Alcotest.bool "0 <= gc <= useful" true
+            (c.Obs.Engine.gc_ns >= 0 && c.Obs.Engine.gc_ns <= c.Obs.Engine.useful_ns);
+          check Alcotest.int "budget sum ignores the sub-split"
+            (reg.Obs.Engine.wall_ns * reg.Obs.Engine.domains)
+            (Obs.Engine.cat_total c))
+        report.Obs.Engine.regions;
+      let share = Obs.Engine.gc_share report in
+      check Alcotest.bool "gc share is a fraction of useful" true
+        (share >= 0.0 && share <= 1.0))
+    [ 1; 4 ]
+
+(* --- quick_stat deltas: allocating vs quiet regions ----------------- *)
+
+let test_region_mem_deltas () =
+  let _, report =
+    Obs.Engine.profile ~label:"mem" ~jobs:1 (fun () ->
+        ignore (Util.Pool.parallel_map ~jobs:1 ~label:"mem.alloc" alloc_work [ 1; 2 ]);
+        ignore (Util.Pool.parallel_map ~jobs:1 ~label:"mem.quiet" busy_work [ 1; 2 ]))
+  in
+  let g = match report.Obs.Engine.gc with Some g -> g | None -> Alcotest.fail "no capture" in
+  let label_of id =
+    match
+      List.find_opt (fun (r : Obs.Engine.region) -> r.Obs.Engine.id = id)
+        report.Obs.Engine.regions
+    with
+    | Some r -> r.Obs.Engine.label
+    | None -> Alcotest.failf "region_mem names unknown region %d" id
+  in
+  let words lbl =
+    List.filter_map
+      (fun (m : Obs.Gcprof.region_mem) ->
+        if label_of m.Obs.Gcprof.gm_region = lbl then Some m.Obs.Gcprof.gm_minor_words
+        else None)
+      g.Obs.Gcprof.c_region_mem
+    |> List.fold_left ( +. ) 0.0
+  in
+  (* One Gc.quick_stat snapshot pair per region: the allocator shows
+     up in its own region's delta, not the quiet one's. *)
+  check Alcotest.bool "allocating region recorded megaword-scale minor words" true
+    (words "mem.alloc" > 100_000.0);
+  check Alcotest.bool "quiet region allocates orders of magnitude less" true
+    (words "mem.quiet" < words "mem.alloc" /. 10.0);
+  (* Deltas are monotone counters read twice; none can be negative. *)
+  List.iter
+    (fun (m : Obs.Gcprof.region_mem) ->
+      check Alcotest.bool "non-negative deltas" true
+        (m.Obs.Gcprof.gm_minor_words >= 0.0
+        && m.Obs.Gcprof.gm_promoted_words >= 0.0
+        && m.Obs.Gcprof.gm_major_words >= 0.0
+        && m.Obs.Gcprof.gm_minor_collections >= 0
+        && m.Obs.Gcprof.gm_major_collections >= 0))
+    g.Obs.Gcprof.c_region_mem
+
+(* --- lost ring events degrade the capture, never the report --------- *)
+
+let test_lost_events_tolerated () =
+  let _, report =
+    Obs.Engine.profile ~label:"lost" ~jobs:2 (fun () ->
+        Util.Pool.parallel_map ~jobs:2 ~label:"lost.map" alloc_work (List.init 8 Fun.id))
+  in
+  let g = match report.Obs.Engine.gc with Some g -> g | None -> Alcotest.fail "no capture" in
+  (* Simulate an overrun ring: the consumer reports dropped events and
+     an unmatched phase end.  Attribution degrades (some pauses
+     missing) but every invariant and the JSON round-trip survive. *)
+  let degraded =
+    { report with Obs.Engine.gc = Some { g with Obs.Gcprof.c_lost_events = 7; c_unmatched = 2 } }
+  in
+  check Alcotest.(list string) "degraded capture passes check" []
+    (Obs.Engine.check degraded);
+  let s = Obs.Json.to_string (Obs.Engine.to_json degraded) in
+  match Obs.Json.parse s with
+  | Error e -> Alcotest.failf "degraded report does not re-parse: %s" e
+  | Ok j -> (
+    match Obs.Engine.of_json j with
+    | Error e -> Alcotest.failf "degraded report does not decode: %s" e
+    | Ok r' ->
+      check Alcotest.bool "lost/unmatched counts survive the round-trip" true
+        (match r'.Obs.Engine.gc with
+        | Some g' -> g'.Obs.Gcprof.c_lost_events = 7 && g'.Obs.Gcprof.c_unmatched = 2
+        | None -> false);
+      check Alcotest.string "re-encodes byte-identically" s
+        (Obs.Json.to_string (Obs.Engine.to_json r')))
+
+(* --- history gc section: JSONL round-trip + byte stability ---------- *)
+
+let history_record ~gc =
+  {
+    Obs.History.timestamp = "2026-08-08T00:00:00Z";
+    source = "test";
+    host =
+      {
+        Obs.Host.cores = 8;
+        os = "Unix";
+        ocaml = "5.1.1";
+        git_rev = "deadbeef";
+        git_dirty = false;
+      };
+    jobs = 2;
+    wall_s = 1.5;
+    benches = [];
+    perfgate = None;
+    engine = None;
+    gc;
+    jobs2_slower = None;
+  }
+
+let test_history_gc_roundtrip () =
+  let r =
+    history_record
+      ~gc:
+        (Some
+           {
+             Obs.History.hg_gc_share = 0.182;
+             hg_minor_words = 9_700_000.0;
+             hg_pause_p50_ns = 142_000.0;
+             hg_pause_p99_ns = 3_143_000.0;
+           })
+  in
+  let once = Obs.History.to_string r in
+  (match Obs.History.of_string once with
+  | Error e -> Alcotest.fail e
+  | Ok decoded ->
+    check Alcotest.string "encode/decode/re-encode is byte-stable" once
+      (Obs.History.to_string decoded);
+    (match decoded.Obs.History.gc with
+    | Some g -> check (Alcotest.float 1e-9) "gc share survives" 0.182 g.Obs.History.hg_gc_share
+    | None -> Alcotest.fail "gc section lost"));
+  (* Records without a capture omit the section entirely — the
+     pre-gcprof encoding — so old committed lines stay byte-stable. *)
+  let bare = Obs.History.to_string (history_record ~gc:None) in
+  check Alcotest.bool "no gc key without a capture" false
+    (Obs.Json.member "gc"
+       (Result.get_ok (Obs.Json.parse bare))
+    <> None);
+  match Obs.History.of_string bare with
+  | Error e -> Alcotest.fail e
+  | Ok decoded ->
+    check Alcotest.bool "absent section decodes to None" true
+      (decoded.Obs.History.gc = None);
+    check Alcotest.string "bare record also byte-stable" bare
+      (Obs.History.to_string decoded)
+
+(* --- trend gate fires on a sustained GC-share step ------------------ *)
+
+let jitter = [| 0.3; -0.2; 0.1; -0.4; 0.25; 0.0; -0.1; 0.35; -0.3; 0.15; -0.25; 0.05 |]
+
+let gc_history ~step =
+  List.init 12 (fun i ->
+      let base = if step && i >= 8 then 0.15 else 0.05 in
+      {
+        (history_record
+           ~gc:
+             (Some
+                {
+                  Obs.History.hg_gc_share = base +. (jitter.(i) /. 1000.0);
+                  hg_minor_words = 9.7e6 +. (jitter.(i) *. 1000.0);
+                  hg_pause_p50_ns = 140_000.0;
+                  hg_pause_p99_ns = 3_000_000.0;
+                }))
+        with
+        Obs.History.timestamp = Printf.sprintf "2026-08-%02dT00:00:00Z" (i + 1);
+        host =
+          {
+            Obs.Host.cores = 8;
+            os = "Unix";
+            ocaml = "5.1.1";
+            git_rev = Printf.sprintf "rev%03d" i;
+            git_dirty = false;
+          };
+      })
+
+let test_trend_gates_gc_share_step () =
+  let g = Obs.Trend.gate (gc_history ~step:true) in
+  check Alcotest.int "3x gc-share step fails the gate" 1 g.Obs.Trend.g_exit;
+  check Alcotest.bool "failure names gc.share" true
+    (List.exists
+       (fun (f : Obs.Trend.failure) -> f.Obs.Trend.f_series = "gc.share")
+       g.Obs.Trend.g_failures);
+  let clean = Obs.Trend.gate (gc_history ~step:false) in
+  check Alcotest.int "flat gc share passes" 0 clean.Obs.Trend.g_exit
+
+(* --- manifest byte-parity with the GC recorder on or off ------------ *)
+
+let benches = [ "VectorAdd"; "Reduction"; "cp" ]
+
+let rec scrub = function
+  | Obs.Json.Obj fields ->
+    Obs.Json.Obj
+      (List.map
+         (fun (k, v) ->
+           if k = "total_ms" || k = "jobs" then (k, Obs.Json.Num 0.0) else (k, scrub v))
+         fields)
+  | Obs.Json.Arr xs -> Obs.Json.Arr (List.map scrub xs)
+  | j -> j
+
+let collect_scrubbed ~jobs =
+  Obs.Metrics.reset ();
+  Obs.Span.reset ();
+  Experiments.Sweep.clear_caches ();
+  let opts =
+    Experiments.Options.with_jobs
+      (Experiments.Options.with_benchmarks
+         { (Experiments.Options.default ()) with Experiments.Options.warps = 4 }
+         benches)
+      jobs
+  in
+  let m = Experiments.Run_manifest.collect opts in
+  Obs.Json.to_string (scrub (Obs.Manifest.to_json m))
+
+let test_manifest_parity_gcprof_off_and_on () =
+  check Alcotest.bool "gc recorder starts off" false (Obs.Gcprof.enabled ());
+  let off_serial = collect_scrubbed ~jobs:1 in
+  let off_par = collect_scrubbed ~jobs:4 in
+  check Alcotest.string "gcprof-off manifests byte-identical at jobs 1 vs 4"
+    off_serial off_par;
+  Obs.Gcprof.start ();
+  let on_serial = collect_scrubbed ~jobs:1 in
+  let on_par = collect_scrubbed ~jobs:4 in
+  ignore (Obs.Gcprof.stop () : Obs.Gcprof.capture);
+  check Alcotest.string "gcprof-on manifest matches gcprof-off" off_serial on_serial;
+  check Alcotest.string "gcprof-on parity holds at jobs=4" off_serial on_par
+
+(* --- disabled recorder leaves no trace in reports ------------------- *)
+
+let test_disabled_recorder_reports_no_gc () =
+  check Alcotest.bool "gc recorder is off" false (Obs.Gcprof.enabled ());
+  let _, report =
+    Obs.Engine.profile ~label:"nogc" ~gcprof:false ~jobs:2 (fun () ->
+        Util.Pool.parallel_map ~jobs:2 ~label:"nogc.map" alloc_work (List.init 8 Fun.id))
+  in
+  check Alcotest.bool "no capture" true (report.Obs.Engine.gc = None);
+  List.iter
+    (fun (reg : Obs.Engine.region) ->
+      check Alcotest.int "gc_ns identically zero" 0 reg.Obs.Engine.cats.Obs.Engine.gc_ns)
+    report.Obs.Engine.regions;
+  check Alcotest.(list string) "report still exact" [] (Obs.Engine.check report);
+  (* And the JSON carries no gc object to keep pre-gcprof decoders happy. *)
+  check Alcotest.bool "no gc key in the JSON" true
+    (Obs.Json.member "gc" (Obs.Engine.to_json report) = None)
+
+let suite =
+  [
+    Alcotest.test_case "compute+gc = useful exactly" `Quick (isolated test_gc_split_exact);
+    Alcotest.test_case "region quick_stat deltas" `Quick (isolated test_region_mem_deltas);
+    Alcotest.test_case "lost events tolerated" `Quick (isolated test_lost_events_tolerated);
+    Alcotest.test_case "history gc round-trip" `Quick (isolated test_history_gc_roundtrip);
+    Alcotest.test_case "trend gates gc share" `Quick (isolated test_trend_gates_gc_share_step);
+    Alcotest.test_case "manifest parity with gcprof" `Quick
+      (isolated test_manifest_parity_gcprof_off_and_on);
+    Alcotest.test_case "disabled recorder is invisible" `Quick
+      (isolated test_disabled_recorder_reports_no_gc);
+  ]

@@ -30,8 +30,18 @@ let sample_record ?(rev = "cafe0000") ?(timestamp = "2026-08-08T00:00:00Z") () =
           pg_p90_ns = 1.8e6;
           pg_minor_words = 320.0;
           pg_runs = 5;
+          pg_promoted_words = Some 12.0;
+          pg_major_words = Some 40.0;
         };
     engine = Some { Obs.History.eng_useful = 0.4; eng_spawn = 0.1; eng_idle = 0.5 };
+    gc =
+      Some
+        {
+          Obs.History.hg_gc_share = 0.18;
+          hg_minor_words = 9.7e6;
+          hg_pause_p50_ns = 142000.0;
+          hg_pause_p99_ns = 3143000.0;
+        };
     jobs2_slower = Some true;
   }
 

@@ -27,5 +27,6 @@ let () =
       ("explain", Test_explain.suite);
       ("timeline", Test_timeline.suite);
       ("engine", Test_engine.suite);
+      ("gcprof", Test_gcprof.suite);
       ("properties", Test_properties.suite);
     ]

@@ -119,8 +119,11 @@ let record i ~ns =
           pg_p90_ns = ns *. 1.2;
           pg_minor_words = 320.0;
           pg_runs = 5;
+          pg_promoted_words = None;
+          pg_major_words = None;
         };
     engine = None;
+    gc = None;
     jobs2_slower = None;
   }
 
