@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench fmt parity regress explain-smoke timeline-smoke engine-smoke gc-smoke trend-smoke perfgate ci clean
+.PHONY: all build test bench fmt parity regress explain-smoke timeline-smoke engine-smoke gc-smoke trend-smoke why-smoke perfgate ci clean
 
 all: build
 
@@ -110,6 +110,28 @@ trend-smoke: build
 	  --html-out _build/trend-dashboard.html > _build/trend.txt
 	@echo "trend smoke OK: three identical runs classify stable; gate exit 0"
 
+# Root-cause smoke (see docs/observability.md): record a manifest +
+# explain stream, copy them, flip exactly one allocation decision in
+# the copy (first ORF placement -> MRF), and `rfh why` must name that
+# move as the #1 cause with its attribution self-check passing —
+# byte-identically across two runs.  The JSON and HTML analyses land
+# under _build/ for CI to upload.
+why-smoke: build
+	dune exec bin/rfh.exe -- baseline record --warps 8 -b mm,cp \
+	  --baseline _build/why-base.json > /dev/null
+	dune exec bin/rfh.exe -- explain mm --warps 8 \
+	  --jsonl-out _build/why-base.jsonl > /dev/null
+	sed -E '0,/"to":"orf"/s//"to":"mrf"/' _build/why-base.jsonl > _build/why-cand.jsonl
+	dune exec bin/rfh.exe -- why _build/why-base.json _build/why-base.json \
+	  --explain-a _build/why-base.jsonl --explain-b _build/why-cand.jsonl \
+	  --json-out _build/why.json --report-out _build/why.html > _build/why.txt
+	dune exec bin/rfh.exe -- why _build/why-base.json _build/why-base.json \
+	  --explain-a _build/why-base.jsonl --explain-b _build/why-cand.jsonl \
+	  --json-out _build/why-rerun.json > /dev/null
+	cmp _build/why.json _build/why-rerun.json
+	grep -q 'top cause — MatrixMul: moved orf -> mrf' _build/why.txt
+	@echo "why smoke OK: the flipped decision ranks #1; analysis is byte-deterministic"
+
 # Performance gate (see docs/performance.md): time the
 # sim:perf-two-level microbenchmark and measure its steady-state
 # allocation, failing if ns_per_run regresses >2x over the committed
@@ -119,7 +141,7 @@ trend-smoke: build
 perfgate: build
 	dune exec bench/perfgate.exe
 
-ci: fmt build test parity regress explain-smoke timeline-smoke engine-smoke gc-smoke trend-smoke perfgate
+ci: fmt build test parity regress explain-smoke timeline-smoke engine-smoke gc-smoke trend-smoke why-smoke perfgate
 
 clean:
 	dune clean

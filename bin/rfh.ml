@@ -705,10 +705,26 @@ let baseline_check_cmd =
     in
     Arg.(value & opt (some float) None & info [ "timing-tol" ] ~docv:"TOL" ~doc)
   in
+  let json_out_arg =
+    let doc =
+      "Write the machine-readable violations report (ok flag, compared count, violation \
+       list) to $(docv) — written on success and failure alike."
+    in
+    Arg.(value & opt (some string) None & info [ "json-out" ] ~docv:"FILE" ~doc)
+  in
+  let why_arg =
+    let doc =
+      "On failure, also print the ranked root-cause diagnosis (metric and stall-share \
+       deltas between the golden manifest and the fresh run) to stderr.  Exit codes are \
+       unchanged."
+    in
+    Arg.(value & flag & info [ "why" ] ~doc)
+  in
   (* Exit-code contract (documented in docs/observability.md): 0 = the
      run matches the golden manifest, 1 = a compared field drifted,
      2 = the baseline file is missing or unreadable. *)
-  let run warps seed benchmarks jobs path float_tol timing_tol manifest_out report_out =
+  let run warps seed benchmarks jobs path float_tol timing_tol manifest_out report_out
+      json_out why =
     match Obs.Manifest.read_file ~path with
     | Error msg ->
       Printf.eprintf
@@ -723,7 +739,32 @@ let baseline_check_cmd =
       write_manifest_outputs ~compare:baseline current ~manifest_out ~report_out;
       let report = Obs.Regress.diff ~float_tol ?timing_tol ~baseline ~current () in
       Util.Table.print (Obs.Regress.to_table report);
+      Option.iter
+        (fun path ->
+          mkdirs (Filename.dirname path);
+          (try
+             let oc = open_out path in
+             Fun.protect
+               ~finally:(fun () -> close_out oc)
+               (fun () ->
+                 output_string oc (Obs.Json.to_string (Obs.Regress.to_json report));
+                 output_char oc '\n')
+           with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+          Printf.printf "violations json -> %s\n" path)
+        json_out;
       if not (Obs.Regress.ok report) then begin
+        if why then begin
+          let r = Obs.Rootcause.analyze ~baseline ~candidate:current () in
+          prerr_string (Obs.Rootcause.to_table ~top:10 r);
+          match Obs.Rootcause.top_cause r with
+          | Some c ->
+            Printf.eprintf "baseline why: top cause — %s: %s — %s\n" c.Obs.Rootcause.c_bench
+              c.Obs.Rootcause.c_what c.Obs.Rootcause.c_delta
+          | None ->
+            prerr_endline
+              "baseline why: no metric or stall cause found — the drift is in a field the \
+               probes do not summarize (see the violations table)."
+        end;
         prerr_endline
           "baseline check: FAILED — exit 1: a compared field drifted from the golden \
            manifest (0 = match, 2 = baseline missing or unreadable).";
@@ -733,7 +774,8 @@ let baseline_check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ baseline_warps_arg $ seed_arg $ benchmarks_arg $ jobs_arg $ baseline_path_arg
-      $ float_tol_arg $ timing_tol_arg $ manifest_out_arg $ report_out_arg)
+      $ float_tol_arg $ timing_tol_arg $ manifest_out_arg $ report_out_arg $ json_out_arg
+      $ why_arg)
 
 let baseline_cmd =
   let doc = "Record or check the regression-gate golden manifest." in
@@ -770,7 +812,15 @@ let trend_cmd =
     in
     Arg.(value & flag & info [ "check" ] ~doc)
   in
-  let run history_path html_out check csv =
+  let why_arg =
+    let doc =
+      "With $(b,--check), on failure also print a ranked root-cause diagnosis to stderr: \
+       each offending record is diffed against the nearest earlier record with the same \
+       source.  Exit codes are unchanged."
+    in
+    Arg.(value & flag & info [ "why" ] ~doc)
+  in
+  let run history_path html_out check why csv =
     let records, rejected = Obs.History.load ~path:history_path in
     let recs = Array.of_list records in
     let g = Obs.Trend.gate records in
@@ -843,17 +893,182 @@ let trend_cmd =
       | _ ->
         List.iter
           (fun (f : Obs.Trend.failure) ->
-            Printf.eprintf "trend check: %s regressed %.4g -> %.4g at record %d (rev %s)\n"
+            Printf.eprintf
+              "trend check: %s regressed %.4g -> %.4g at record %d (rev %s, source %s, \
+               jobs %d)\n"
               f.Obs.Trend.f_series f.Obs.Trend.f_before f.Obs.Trend.f_after
-              f.Obs.Trend.f_index (short_rev f.Obs.Trend.f_rev))
+              f.Obs.Trend.f_index (short_rev f.Obs.Trend.f_rev) f.Obs.Trend.f_source
+              f.Obs.Trend.f_jobs)
           g.Obs.Trend.g_failures;
+        if why then begin
+          (* One diagnosis per offending record: diff it against the
+             nearest earlier record with the same source (same run
+             shape), falling back to the immediate predecessor. *)
+          let indices =
+            List.sort_uniq compare
+              (List.filter_map
+                 (fun (f : Obs.Trend.failure) ->
+                   if f.Obs.Trend.f_index > 0 then Some f.Obs.Trend.f_index else None)
+                 g.Obs.Trend.g_failures)
+          in
+          List.iter
+            (fun idx ->
+              let after = recs.(idx) in
+              let rec find i =
+                if i < 0 then idx - 1
+                else if recs.(i).Obs.History.source = after.Obs.History.source then i
+                else find (i - 1)
+              in
+              let before_idx = find (idx - 1) in
+              let before = recs.(before_idx) in
+              let r = Obs.Rootcause.of_history ~before ~after in
+              Printf.eprintf "trend why: record %d vs %d (source %s, jobs %d)\n" before_idx
+                idx after.Obs.History.source after.Obs.History.jobs;
+              prerr_string (Obs.Rootcause.to_table ~top:5 r);
+              match Obs.Rootcause.top_cause r with
+              | Some c ->
+                Printf.eprintf "trend why: top cause — %s: %s — %s\n" c.Obs.Rootcause.c_bench
+                  c.Obs.Rootcause.c_what c.Obs.Rootcause.c_delta
+              | None -> ())
+            indices
+        end;
         prerr_endline
           "trend check: FAILED — exit 1: a gated series shows a sustained regression \
            (0 = clean, 2 = not enough history).";
         exit 1
   in
   Cmd.v (Cmd.info "trend" ~doc)
-    Term.(const run $ history_arg $ html_out_arg $ check_arg $ csv_arg)
+    Term.(const run $ history_arg $ html_out_arg $ check_arg $ why_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* why: differential root-cause analysis of two run manifests.         *)
+
+let why_cmd =
+  let doc =
+    "Differential root-cause analysis of two run manifests: metric deltas (IPC, \
+     normalized energy, per-level RF energy), per-cause stall-share deltas and — with \
+     $(b,--explain-a)/$(b,--explain-b) — per-live-range allocation decision flips, \
+     combined into one deterministic ranked cause table.  Exits 0 when the analysis is \
+     produced (even with zero causes), 1 when the attribution self-check fails, 2 when \
+     an input is missing or unreadable."
+  in
+  let baseline_pos =
+    let doc = "Baseline run manifest (JSON, as written by $(b,--manifest-out))." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BASELINE" ~doc)
+  in
+  let candidate_pos =
+    let doc = "Candidate run manifest to explain against the baseline." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CANDIDATE" ~doc)
+  in
+  let explain_a_arg =
+    let doc =
+      "Baseline allocation-explain JSONL stream (from $(b,rfh explain --jsonl-out)); \
+       requires $(b,--explain-b)."
+    in
+    Arg.(value & opt (some string) None & info [ "explain-a" ] ~docv:"FILE" ~doc)
+  in
+  let explain_b_arg =
+    let doc = "Candidate allocation-explain JSONL stream; requires $(b,--explain-a)." in
+    Arg.(value & opt (some string) None & info [ "explain-b" ] ~docv:"FILE" ~doc)
+  in
+  let json_out_arg =
+    let doc =
+      "Write the machine-readable analysis (ranked causes, metric deltas, stall and \
+       explain summaries, self-check verdict) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "json-out" ] ~docv:"FILE" ~doc)
+  in
+  let report_out_arg =
+    let doc = "Write a self-contained HTML root-cause report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "report-out" ] ~docv:"FILE" ~doc)
+  in
+  let top_arg =
+    let doc =
+      "Show only the $(docv) highest-ranked causes in the table ($(b,--json-out) always \
+       carries all of them)."
+    in
+    Arg.(value & opt (some int) None & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let exit2 fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf
+          "why: %s\nexit 2: an input is missing or unreadable (1 = self-check failure, \
+           0 = analysis produced).\n"
+          msg;
+        exit 2)
+      fmt
+  in
+  let run baseline_path candidate_path explain_a explain_b json_out report_out top =
+    let read_manifest what path =
+      match Obs.Manifest.read_file ~path with
+      | Ok m -> m
+      | Error msg -> exit2 "cannot read %s manifest %s (%s)" what path msg
+    in
+    let baseline = read_manifest "baseline" baseline_path in
+    let candidate = read_manifest "candidate" candidate_path in
+    let explain =
+      match (explain_a, explain_b) with
+      | None, None -> None
+      | Some a, Some b ->
+        let load what path =
+          match Obs.Explain_diff.load_jsonl ~path with
+          | Error msg -> exit2 "cannot read %s explain stream %s (%s)" what path msg
+          | Ok (decisions, rejected) ->
+            if rejected > 0 then
+              Printf.eprintf "why: %d undecodable line%s skipped in %s\n" rejected
+                (if rejected = 1 then "" else "s")
+                path;
+            decisions
+        in
+        let da = load "baseline" a and db = load "candidate" b in
+        Some (Obs.Explain_diff.align ~a:da ~b:db)
+      | _ -> exit2 "--explain-a and --explain-b must be given together"
+    in
+    let r = Obs.Rootcause.analyze ?explain ~baseline ~candidate () in
+    print_string (Obs.Rootcause.delta_table r);
+    print_newline ();
+    print_string (Obs.Rootcause.to_table ?top r);
+    Option.iter
+      (fun path ->
+        mkdirs (Filename.dirname path);
+        (try
+           let oc = open_out path in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () ->
+               output_string oc (Obs.Json.to_string (Obs.Rootcause.to_json r));
+               output_char oc '\n')
+         with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+        Printf.printf "why json -> %s\n" path)
+      json_out;
+    Option.iter
+      (fun path ->
+        mkdirs (Filename.dirname path);
+        (try
+           Obs.Html_report.write_why_page ~baseline_label:baseline_path
+             ~candidate_label:candidate_path ~path r
+         with Sys_error msg -> prerr_endline ("cannot write " ^ msg); exit 1);
+        Printf.printf "why report -> %s\n" path)
+      report_out;
+    (match Obs.Rootcause.check r with
+    | [] -> ()
+    | issues ->
+      List.iter (fun i -> Printf.eprintf "why self-check: %s\n" i) issues;
+      prerr_endline
+        "why: FAILED — exit 1: the attribution self-check failed (0 = analysis produced, \
+         2 = input missing or unreadable).";
+      exit 1);
+    match Obs.Rootcause.top_cause r with
+    | Some c ->
+      Printf.printf "why: top cause — %s: %s — %s\n" c.Obs.Rootcause.c_bench
+        c.Obs.Rootcause.c_what c.Obs.Rootcause.c_delta
+    | None -> print_endline "why: no causes — the runs are equivalent under every probe."
+  in
+  Cmd.v (Cmd.info "why" ~doc)
+    Term.(
+      const run $ baseline_pos $ candidate_pos $ explain_a_arg $ explain_b_arg $ json_out_arg
+      $ report_out_arg $ top_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain: decision-level introspection of one benchmark's allocation
@@ -1813,6 +2028,6 @@ let () =
   let cmds =
     List.map artefact_cmd Experiments.Report.artefact_names
     @ [ all_cmd; kernels_cmd; allocate_cmd; compile_cmd; selfcheck_cmd; trace_cmd; profile_cmd;
-        baseline_cmd; trend_cmd; explain_cmd; timeline_cmd; engine_cmd; gc_cmd ]
+        baseline_cmd; trend_cmd; why_cmd; explain_cmd; timeline_cmd; engine_cmd; gc_cmd ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

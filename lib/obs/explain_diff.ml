@@ -1,0 +1,336 @@
+(* Differential alignment of two Obs.Explain decision streams.  The
+   whole pipeline is deterministic: inputs are sorted by (kernel, seq)
+   up front, the pairing walk is a single ordered pass, and every
+   derived list keeps a fixed, comparison-defined order — so two
+   invocations over the same streams render byte-identical tables no
+   matter how the files were produced. *)
+
+type key = {
+  k_kernel : string;
+  k_kind : string;
+  k_reg : string;
+  k_strand : int;
+  k_first : int;
+  k_occurrence : int;
+}
+
+type flip =
+  | Level_changed of { from_level : string; to_level : string }
+  | Verdict_changed of { level : string; was : string; now : string }
+  | Savings_changed of { level : string; was : float; now : float }
+  | Coverage_changed of {
+      covered_was : int;
+      covered_now : int;
+      dropped_was : int;
+      dropped_now : int;
+    }
+
+type pair = {
+  p_key : key;
+  p_a : Explain.decision;
+  p_b : Explain.decision;
+  p_flips : flip list;
+}
+
+type move = { m_from : string; m_to : string; m_count : int; m_savings_delta : float }
+
+type kernel_stats = {
+  ks_kernel : string;
+  ks_aligned : int;
+  ks_changed : int;
+  ks_moves : move list;
+  ks_verdict_flips : int;
+  ks_savings_delta : float;
+  ks_covered_delta : int;
+  ks_dropped_delta : int;
+  ks_only_a : int;
+  ks_only_b : int;
+}
+
+type t = {
+  d_pairs : pair list;
+  d_only_a : Explain.decision list;
+  d_only_b : Explain.decision list;
+  d_kernels : kernel_stats list;
+  d_total_a : int;
+  d_total_b : int;
+  d_aligned : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Keys and ordering.                                                  *)
+
+let sort_decisions ds =
+  List.stable_sort
+    (fun (a : Explain.decision) (b : Explain.decision) ->
+      match compare a.Explain.kernel b.Explain.kernel with
+      | 0 -> compare a.Explain.seq b.Explain.seq
+      | c -> c)
+    ds
+
+(* Occurrence indices disambiguate a register re-used with the same
+   (kind, strand, first) — rare, but alignment must never silently drop
+   a decision over it.  Assigned in sorted order, so both sides number
+   identical shapes identically. *)
+let keyed ds =
+  let seen = Hashtbl.create 64 in
+  List.map
+    (fun (d : Explain.decision) ->
+      let base = (d.Explain.kernel, d.Explain.kind, d.Explain.reg, d.Explain.strand, d.Explain.first) in
+      let occ = try Hashtbl.find seen base with Not_found -> 0 in
+      Hashtbl.replace seen base (occ + 1);
+      ( {
+          k_kernel = d.Explain.kernel;
+          k_kind = d.Explain.kind;
+          k_reg = d.Explain.reg;
+          k_strand = d.Explain.strand;
+          k_first = d.Explain.first;
+          k_occurrence = occ;
+        },
+        d ))
+    (sort_decisions ds)
+
+(* ------------------------------------------------------------------ *)
+(* Pair classification.                                                *)
+
+let verdict_tag = function
+  | Explain.Chosen -> "chosen"
+  | Explain.Ineligible _ -> "ineligible"
+  | Explain.Negative_savings -> "negative_savings"
+  | Explain.No_free_slot -> "no_free_slot"
+
+let chosen_savings (d : Explain.decision) =
+  match
+    List.find_opt (fun (c : Explain.candidate) -> c.Explain.verdict = Explain.Chosen)
+      d.Explain.candidates
+  with
+  | Some c -> c.Explain.savings
+  | None -> 0.0
+
+let rel_differs a b =
+  let scale = Float.max (Float.abs a) (Float.abs b) in
+  scale > 0.0 && Float.abs (a -. b) /. scale > 1e-9
+
+let candidate_levels (d : Explain.decision) =
+  List.map (fun (c : Explain.candidate) -> c.Explain.level) d.Explain.candidates
+
+let candidate_of level (d : Explain.decision) =
+  List.find_opt (fun (c : Explain.candidate) -> c.Explain.level = level) d.Explain.candidates
+
+let flips_of (a : Explain.decision) (b : Explain.decision) =
+  let level_flip =
+    let la = Explain.outcome_level a and lb = Explain.outcome_level b in
+    if la <> lb then [ Level_changed { from_level = la; to_level = lb } ] else []
+  in
+  let levels = List.sort_uniq compare (candidate_levels a @ candidate_levels b) in
+  let candidate_flips =
+    List.concat_map
+      (fun level ->
+        match (candidate_of level a, candidate_of level b) with
+        | Some ca, Some cb ->
+          let v =
+            if verdict_tag ca.Explain.verdict <> verdict_tag cb.Explain.verdict then
+              [
+                Verdict_changed
+                  {
+                    level;
+                    was = verdict_tag ca.Explain.verdict;
+                    now = verdict_tag cb.Explain.verdict;
+                  };
+              ]
+            else []
+          in
+          let s =
+            if rel_differs ca.Explain.savings cb.Explain.savings then
+              [ Savings_changed { level; was = ca.Explain.savings; now = cb.Explain.savings } ]
+            else []
+          in
+          v @ s
+        | Some ca, None ->
+          [ Verdict_changed { level; was = verdict_tag ca.Explain.verdict; now = "absent" } ]
+        | None, Some cb ->
+          [ Verdict_changed { level; was = "absent"; now = verdict_tag cb.Explain.verdict } ]
+        | None, None -> [])
+      levels
+  in
+  let coverage =
+    let ca = List.length a.Explain.covered and cb = List.length b.Explain.covered in
+    if ca <> cb || a.Explain.dropped_reads <> b.Explain.dropped_reads then
+      [
+        Coverage_changed
+          {
+            covered_was = ca;
+            covered_now = cb;
+            dropped_was = a.Explain.dropped_reads;
+            dropped_now = b.Explain.dropped_reads;
+          };
+      ]
+    else []
+  in
+  level_flip @ candidate_flips @ coverage
+
+(* ------------------------------------------------------------------ *)
+(* Alignment.                                                          *)
+
+let align ~a ~b =
+  let ka = keyed a and kb = keyed b in
+  let index_a = Hashtbl.create 256 in
+  List.iter (fun (k, d) -> Hashtbl.replace index_a k d) ka;
+  let pairs = ref [] and only_b = ref [] and aligned = ref 0 in
+  List.iter
+    (fun (k, db) ->
+      match Hashtbl.find_opt index_a k with
+      | Some da ->
+        Hashtbl.remove index_a k;
+        incr aligned;
+        let flips = flips_of da db in
+        if flips <> [] then pairs := { p_key = k; p_a = da; p_b = db; p_flips = flips } :: !pairs
+      | None -> only_b := db :: !only_b)
+    kb;
+  (* Leftovers of a, kept in a's deterministic (kernel, seq) order. *)
+  let only_a = List.filter_map (fun (k, d) -> if Hashtbl.mem index_a k then Some d else None) ka in
+  let pairs = List.rev !pairs and only_b = List.rev !only_b in
+  (* Per-kernel aggregation, kernels in sorted-stream order. *)
+  let kernel_order = ref [] in
+  let note k = if not (List.mem k !kernel_order) then kernel_order := k :: !kernel_order in
+  List.iter (fun (_, (d : Explain.decision)) -> note d.Explain.kernel) ka;
+  List.iter (fun (_, (d : Explain.decision)) -> note d.Explain.kernel) kb;
+  let kernels =
+    List.rev_map
+      (fun kernel ->
+        let kp = List.filter (fun p -> p.p_key.k_kernel = kernel) pairs in
+        let in_kernel (d : Explain.decision) = d.Explain.kernel = kernel in
+        let aligned_k =
+          List.length (List.filter (fun ((k : key), _) -> k.k_kernel = kernel) ka)
+          - List.length (List.filter in_kernel only_a)
+        in
+        let moves =
+          List.fold_left
+            (fun acc p ->
+              List.fold_left
+                (fun acc flip ->
+                  match flip with
+                  | Level_changed { from_level; to_level } ->
+                    let delta = chosen_savings p.p_b -. chosen_savings p.p_a in
+                    let rec bump = function
+                      | [] -> [ { m_from = from_level; m_to = to_level; m_count = 1; m_savings_delta = delta } ]
+                      | m :: tl when m.m_from = from_level && m.m_to = to_level ->
+                        { m with m_count = m.m_count + 1; m_savings_delta = m.m_savings_delta +. delta }
+                        :: tl
+                      | m :: tl -> m :: bump tl
+                    in
+                    bump acc
+                  | _ -> acc)
+                acc p.p_flips)
+            [] kp
+          |> List.sort (fun a b ->
+                 match compare a.m_from b.m_from with 0 -> compare a.m_to b.m_to | c -> c)
+        in
+        let verdict_flips =
+          List.fold_left
+            (fun acc p ->
+              acc
+              + List.length
+                  (List.filter (function Verdict_changed _ -> true | _ -> false) p.p_flips))
+            0 kp
+        in
+        let covered_delta, dropped_delta =
+          List.fold_left
+            (fun (dc, dd) p ->
+              ( dc + List.length p.p_b.Explain.covered - List.length p.p_a.Explain.covered,
+                dd + p.p_b.Explain.dropped_reads - p.p_a.Explain.dropped_reads ))
+            (0, 0) kp
+        in
+        let savings_delta =
+          List.fold_left (fun acc p -> acc +. (chosen_savings p.p_b -. chosen_savings p.p_a)) 0.0 kp
+        in
+        {
+          ks_kernel = kernel;
+          ks_aligned = aligned_k;
+          ks_changed = List.length kp;
+          ks_moves = moves;
+          ks_verdict_flips = verdict_flips;
+          ks_savings_delta = savings_delta;
+          ks_covered_delta = covered_delta;
+          ks_dropped_delta = dropped_delta;
+          ks_only_a = List.length (List.filter in_kernel only_a);
+          ks_only_b = List.length (List.filter in_kernel only_b);
+        })
+      !kernel_order
+    |> List.sort (fun a b -> compare a.ks_kernel b.ks_kernel)
+  in
+  {
+    d_pairs = pairs;
+    d_only_a = only_a;
+    d_only_b = only_b;
+    d_kernels = kernels;
+    d_total_a = List.length a;
+    d_total_b = List.length b;
+    d_aligned = !aligned;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Loading.                                                            *)
+
+let load_jsonl ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let decisions = ref [] and rejected = ref 0 in
+        (try
+           while true do
+             let line = String.trim (input_line ic) in
+             if line <> "" then
+               match Json.parse line with
+               | Error _ -> incr rejected
+               | Ok j -> (
+                 match Explain.of_json j with
+                 | Ok d -> decisions := d :: !decisions
+                 | Error _ -> incr rejected)
+           done
+         with End_of_file -> ());
+        (List.rev !decisions, !rejected))
+  with
+  | exception Sys_error msg -> Error msg
+  | result -> Ok result
+
+(* ------------------------------------------------------------------ *)
+(* Rendering helpers and the accounting self-check.                    *)
+
+let flip_name = function
+  | Level_changed { from_level; to_level } ->
+    Printf.sprintf "moved %s -> %s" from_level to_level
+  | Verdict_changed { level; was; now } ->
+    Printf.sprintf "%s verdict %s -> %s" level was now
+  | Savings_changed { level; was; now } ->
+    Printf.sprintf "%s savings %.4g -> %.4g pJ" level was now
+  | Coverage_changed { covered_was; covered_now; dropped_was; dropped_now } ->
+    Printf.sprintf "coverage %d -> %d reads (dropped %d -> %d)" covered_was covered_now
+      dropped_was dropped_now
+
+let check t =
+  let bad = ref [] in
+  let expect what ok = if not ok then bad := what :: !bad in
+  expect "aligned + only_a = total_a" (t.d_aligned + List.length t.d_only_a = t.d_total_a);
+  expect "aligned + only_b = total_b" (t.d_aligned + List.length t.d_only_b = t.d_total_b);
+  let sum f = List.fold_left (fun acc k -> acc + f k) 0 t.d_kernels in
+  expect "kernel aligned sums to total aligned" (sum (fun k -> k.ks_aligned) = t.d_aligned);
+  expect "kernel changed sums to changed pairs"
+    (sum (fun k -> k.ks_changed) = List.length t.d_pairs);
+  expect "kernel only_a sums" (sum (fun k -> k.ks_only_a) = List.length t.d_only_a);
+  expect "kernel only_b sums" (sum (fun k -> k.ks_only_b) = List.length t.d_only_b);
+  (* Every level flip lands in exactly one move bucket. *)
+  let level_flips =
+    List.fold_left
+      (fun acc p ->
+        acc + List.length (List.filter (function Level_changed _ -> true | _ -> false) p.p_flips))
+      0 t.d_pairs
+  in
+  let bucketed = sum (fun k -> List.fold_left (fun acc m -> acc + m.m_count) 0 k.ks_moves) in
+  expect "move buckets reproduce level flips" (bucketed = level_flips);
+  List.iter
+    (fun p -> expect "changed pair has at least one flip" (p.p_flips <> []))
+    t.d_pairs;
+  List.rev !bad

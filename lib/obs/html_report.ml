@@ -57,7 +57,14 @@ h3 { font-size: 1.05em; margin-top: 1.5em; } h4 { font-size: .95em; }
 .v-regressed { color: #a02020; font-weight: 600; } .v-noisy { color: #9a7020; }
 td.spark { padding: .1em .3em; } td.spark svg { display: block; }
 .gate-fail { background: #fbeeee; border: 1px solid #d4a0a0; padding: .6em .9em; }
-.gate-ok { background: #eef6ee; border: 1px solid #b8d4b8; padding: .6em .9em; }|}
+.gate-ok { background: #eef6ee; border: 1px solid #b8d4b8; padding: .6em .9em; }
+.why-bar { display: flex; align-items: center; gap: .6em; margin: .2em 0; }
+.why-bar .label { width: 17em; text-align: right; font-variant-numeric: tabular-nums; }
+.why-bar .track { flex: 1; position: relative; height: 1em; background: #f2f3f6; border: 1px solid #c8cdd6; }
+.why-bar .mid { position: absolute; left: 50%; top: 0; bottom: 0; width: 1px; background: #99a; }
+.why-bar .seg { position: absolute; top: 0; bottom: 0; }
+.why-worse { background: #ee6666; } .why-better { background: #91cc75; }
+.why-bar .pct { width: 6em; font-variant-numeric: tabular-nums; }|}
 
 let pf = Printf.bprintf
 let num = Printf.sprintf "%.4g"
@@ -696,3 +703,168 @@ let write_trend_page ~history_path ~records ~rejected ~path g =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (render_trend_page ~history_path ~records ~rejected g))
+
+(* ------------------------------------------------------------------ *)
+(* Why page: the ranked root-cause diagnosis of two runs.  Still one
+   self-contained file: inline CSS, no scripts.                        *)
+
+(* For IPC a drop is the bad direction; for everything else (energies,
+   counts) a rise is. *)
+let metric_worse metric rel = if metric = "ipc" then rel < 0.0 else rel > 0.0
+
+let why_delta_bars buf (r : Rootcause.t) =
+  pf buf "<h2>Per-benchmark metric deltas</h2>\n";
+  if r.Rootcause.r_metrics = [] then
+    pf buf "<p class=muted>no benchmarks common to both sides</p>\n"
+  else begin
+    pf buf
+      "<p class=legend><span><span class=\"swatch why-worse\"></span>worse</span><span><span class=\"swatch why-better\"></span>better</span> <span class=muted>bar length is the signed relative delta; the rule marks zero</span></p>\n";
+    let widest =
+      List.fold_left (fun acc m -> Float.max acc (Float.abs m.Rootcause.md_rel)) 0.0
+        r.Rootcause.r_metrics
+      |> Float.max 1e-9
+    in
+    List.iter
+      (fun (m : Rootcause.metric_delta) ->
+        let rel = m.Rootcause.md_rel in
+        let w = 48.0 *. Float.abs rel /. widest in
+        let cls = if metric_worse m.Rootcause.md_metric rel then "why-worse" else "why-better" in
+        pf buf "<div class=why-bar><span class=label>%s · %s</span><span class=track><span class=mid></span>"
+          (escape m.Rootcause.md_bench) (escape m.Rootcause.md_metric);
+        if Float.abs rel > 1e-12 then begin
+          if rel >= 0.0 then
+            pf buf "<span class=\"seg %s\" style=\"left:50%%;width:%.2f%%\"></span>" cls w
+          else
+            pf buf "<span class=\"seg %s\" style=\"left:%.2f%%;width:%.2f%%\"></span>" cls
+              (50.0 -. w) w
+        end;
+        pf buf "</span><span class=pct>%+.4g%%</span></div>\n" (rel *. 100.0))
+      r.Rootcause.r_metrics
+  end
+
+let why_causes_table buf (r : Rootcause.t) =
+  pf buf "<h2>Ranked causes</h2>\n";
+  if r.Rootcause.r_causes = [] then
+    pf buf "<p class=gate-ok>No causes: the two runs are equivalent under every probe.</p>\n"
+  else begin
+    pf buf
+      "<table>\n<tr><th>rank</th><th>score</th><th class=l>kind</th><th class=l>bench</th><th class=l>cause</th><th class=l>delta</th></tr>\n";
+    List.iteri
+      (fun i (c : Rootcause.cause) ->
+        pf buf
+          "<tr><td>%d</td><td>%s</td><td class=l>%s</td><td class=l>%s</td><td class=l>%s</td><td class=l>%s</td></tr>\n"
+          (i + 1) (num c.Rootcause.c_score)
+          (escape (Rootcause.kind_name c.Rootcause.c_kind))
+          (escape c.Rootcause.c_bench) (escape c.Rootcause.c_what)
+          (escape c.Rootcause.c_delta))
+      r.Rootcause.r_causes;
+    pf buf "</table>\n"
+  end
+
+let why_stall_section buf (s : Stall_diff.t) =
+  pf buf "<h2>Stall attribution deltas</h2>\n";
+  List.iter
+    (fun (b : Stall_diff.bench_diff) ->
+      pf buf "<h3>%s <span class=muted>(budget %d → %d warp-cycles)</span></h3>\n"
+        (escape b.Stall_diff.sb_bench) b.Stall_diff.sb_total_a b.Stall_diff.sb_total_b;
+      pf buf
+        "<table>\n<tr><th class=l>cause</th><th>baseline</th><th>candidate</th><th>share Δ (pp)</th></tr>\n";
+      List.iter
+        (fun (c : Stall_diff.cause_delta) ->
+          let cls =
+            if c.Stall_diff.cd_delta > 1e-12 then " class=delta-up"
+            else if c.Stall_diff.cd_delta < -1e-12 then " class=delta-down"
+            else ""
+          in
+          pf buf "<tr><td class=l>%s</td><td>%d</td><td>%d</td><td%s>%+.4g</td></tr>\n"
+            (escape c.Stall_diff.cd_cause) c.Stall_diff.cd_count_a c.Stall_diff.cd_count_b
+            cls
+            (c.Stall_diff.cd_delta *. 100.0))
+        b.Stall_diff.sb_causes;
+      pf buf "</table>\n")
+    s.Stall_diff.s_benches
+
+let why_explain_section buf (e : Explain_diff.t) =
+  pf buf "<h2>Allocation decision diff</h2>\n";
+  pf buf "<p class=muted>%d vs %d decisions, %d aligned, %d changed, %d / %d unmatched</p>\n"
+    e.Explain_diff.d_total_a e.Explain_diff.d_total_b e.Explain_diff.d_aligned
+    (List.length e.Explain_diff.d_pairs)
+    (List.length e.Explain_diff.d_only_a)
+    (List.length e.Explain_diff.d_only_b);
+  if e.Explain_diff.d_kernels <> [] then begin
+    pf buf
+      "<table>\n<tr><th class=l>kernel</th><th>aligned</th><th>changed</th><th class=l>moves</th><th>verdict flips</th><th>savings Δ (pJ)</th><th>dropped Δ</th></tr>\n";
+    List.iter
+      (fun (k : Explain_diff.kernel_stats) ->
+        let moves =
+          if k.Explain_diff.ks_moves = [] then "&mdash;"
+          else
+            String.concat ", "
+              (List.map
+                 (fun (m : Explain_diff.move) ->
+                   Printf.sprintf "%s→%s ×%d"
+                     (escape m.Explain_diff.m_from) (escape m.Explain_diff.m_to)
+                     m.Explain_diff.m_count)
+                 k.Explain_diff.ks_moves)
+        in
+        pf buf
+          "<tr><td class=l>%s</td><td>%d</td><td>%d</td><td class=l>%s</td><td>%d</td><td>%+.4g</td><td>%+d</td></tr>\n"
+          (escape k.Explain_diff.ks_kernel) k.Explain_diff.ks_aligned
+          k.Explain_diff.ks_changed moves k.Explain_diff.ks_verdict_flips
+          k.Explain_diff.ks_savings_delta k.Explain_diff.ks_dropped_delta)
+      e.Explain_diff.d_kernels;
+    pf buf "</table>\n"
+  end;
+  if e.Explain_diff.d_pairs <> [] then begin
+    pf buf "<h3>Changed live ranges</h3>\n";
+    pf buf
+      "<table>\n<tr><th class=l>kernel</th><th class=l>kind</th><th class=l>reg</th><th>strand</th><th>first</th><th class=l>flips</th></tr>\n";
+    List.iter
+      (fun (p : Explain_diff.pair) ->
+        let k = p.Explain_diff.p_key in
+        pf buf
+          "<tr><td class=l>%s</td><td class=l>%s</td><td class=l><code>%s</code></td><td>%d</td><td>%d</td><td class=l>%s</td></tr>\n"
+          (escape k.Explain_diff.k_kernel) (escape k.Explain_diff.k_kind)
+          (escape k.Explain_diff.k_reg) k.Explain_diff.k_strand k.Explain_diff.k_first
+          (escape
+             (String.concat "; "
+                (List.map Explain_diff.flip_name p.Explain_diff.p_flips))))
+      e.Explain_diff.d_pairs;
+    pf buf "</table>\n"
+  end
+
+let render_why_page ~baseline_label ~candidate_label (r : Rootcause.t) =
+  let buf = Buffer.create 16384 in
+  pf buf "<!DOCTYPE html>\n<html lang=en>\n<head>\n<meta charset=utf-8>\n";
+  pf buf "<title>rfh why report</title>\n<style>\n%s\n</style>\n</head>\n<body>\n" style;
+  pf buf "<h1>rfh why — differential root cause</h1>\n";
+  pf buf "<p class=muted>baseline: <code>%s</code> · candidate: <code>%s</code></p>\n"
+    (escape baseline_label) (escape candidate_label);
+  (match Rootcause.check r with
+  | [] ->
+    pf buf "<p class=gate-ok>Attribution self-check passed: every cause sums back to its source counters.</p>\n"
+  | issues ->
+    pf buf "<p class=gate-fail>Attribution self-check FAILED:</p>\n<ul>\n";
+    List.iter (fun i -> pf buf "<li>%s</li>\n" (escape i)) issues;
+    pf buf "</ul>\n");
+  (match Rootcause.top_cause r with
+  | Some c ->
+    pf buf "<p class=headline>top cause — %s: %s, %s</p>\n" (escape c.Rootcause.c_bench)
+      (escape c.Rootcause.c_what) (escape c.Rootcause.c_delta)
+  | None -> ());
+  (if r.Rootcause.r_only_a <> [] || r.Rootcause.r_only_b <> [] then
+     pf buf "<p class=gate-fail>benchmarks only in baseline: [%s] · only in candidate: [%s]</p>\n"
+       (escape (String.concat ", " r.Rootcause.r_only_a))
+       (escape (String.concat ", " r.Rootcause.r_only_b)));
+  why_causes_table buf r;
+  why_delta_bars buf r;
+  (match r.Rootcause.r_stalls with None -> () | Some s -> why_stall_section buf s);
+  (match r.Rootcause.r_explain with None -> () | Some e -> why_explain_section buf e);
+  pf buf "</body>\n</html>\n";
+  Buffer.contents buf
+
+let write_why_page ~baseline_label ~candidate_label ~path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render_why_page ~baseline_label ~candidate_label r))

@@ -68,3 +68,16 @@ val write_trend_page :
   Trend.gate_result ->
   unit
 (** @raise Sys_error on I/O failure. *)
+
+val render_why_page :
+  baseline_label:string -> candidate_label:string -> Rootcause.t -> string
+(** A standalone root-cause page (same styling) — what [rfh why
+    --report-out] writes.  Sections: attribution self-check banner,
+    top-cause headline, ranked cause table, per-benchmark signed
+    metric delta bars (red = bad direction: IPC down or energy up),
+    stall-share delta tables and the allocation decision diff when
+    explain streams were supplied.  The labels are the input paths. *)
+
+val write_why_page :
+  baseline_label:string -> candidate_label:string -> path:string -> Rootcause.t -> unit
+(** @raise Sys_error on I/O failure. *)

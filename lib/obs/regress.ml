@@ -140,3 +140,22 @@ let to_table r =
   List.iter (fun v -> Util.Table.add_row table [ v.path; v.kind; v.expected; v.actual ])
     r.violations;
   table
+
+let to_json r =
+  Json.Obj
+    [
+      ("ok", Json.Bool (ok r));
+      ("compared", Json.int r.compared);
+      ( "violations",
+        Json.Arr
+          (List.map
+             (fun v ->
+               Json.Obj
+                 [
+                   ("path", Json.Str v.path);
+                   ("kind", Json.Str v.kind);
+                   ("expected", Json.Str v.expected);
+                   ("actual", Json.Str v.actual);
+                 ])
+             r.violations) );
+    ]

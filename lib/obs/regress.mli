@@ -54,3 +54,8 @@ val diff_json :
 val to_table : report -> Util.Table.t
 (** Human-readable violations table; the title states OK or the
     violation count. *)
+
+val to_json : report -> Json.t
+(** Machine-readable report ([rfh baseline check --json-out]): ok
+    flag, compared count and the violation list in diff order.  Fixed
+    field order, byte-stable. *)

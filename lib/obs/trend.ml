@@ -271,6 +271,8 @@ type failure = {
   f_series : string;
   f_index : int;
   f_rev : string;
+  f_source : string;
+  f_jobs : int;
   f_before : float;
   f_after : float;
 }
@@ -300,6 +302,8 @@ let gate ?(min_records = 3) (records : History.t list) =
                   f_series = a.a_series.s_name;
                   f_index = record_idx;
                   f_rev = recs.(record_idx).History.host.Host.git_rev;
+                  f_source = recs.(record_idx).History.source;
+                  f_jobs = recs.(record_idx).History.jobs;
                   f_before = median (Array.sub values prev_start (last - prev_start));
                   f_after = median (Array.sub values last (n - last));
                 })

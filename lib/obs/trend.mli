@@ -95,6 +95,8 @@ type failure = {
   f_series : string;
   f_index : int;  (** history record index where the last segment starts *)
   f_rev : string;  (** git revision of that record *)
+  f_source : string;  (** offending record's appender (["bench"], ["rfh"] …) *)
+  f_jobs : int;  (** offending record's jobs setting *)
   f_before : float;  (** previous segment median *)
   f_after : float;  (** last segment median *)
 }

@@ -24,6 +24,7 @@ let () =
       ("obs", Test_obs.suite);
       ("history", Test_history.suite);
       ("trend", Test_trend.suite);
+      ("why", Test_why.suite);
       ("explain", Test_explain.suite);
       ("timeline", Test_timeline.suite);
       ("engine", Test_engine.suite);

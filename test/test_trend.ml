@@ -156,6 +156,8 @@ let test_gate_regression_names_series_and_rev () =
   | Some f ->
     check Alcotest.int "change point at record 8" 8 f.Obs.Trend.f_index;
     check Alcotest.string "offending record's rev" "rev008" f.Obs.Trend.f_rev;
+    check Alcotest.string "offending record's source" "perfgate" f.Obs.Trend.f_source;
+    check Alcotest.int "offending record's jobs" 1 f.Obs.Trend.f_jobs;
     check Alcotest.bool "before/after medians bracket the step" true
       (f.Obs.Trend.f_before < 110.0 && f.Obs.Trend.f_after > 190.0)
 
@@ -241,7 +243,24 @@ let test_cli_check_regression path =
   check Alcotest.bool "names the offending series" true
     (contains out "perfgate.ns_per_run");
   check Alcotest.bool "names the change-point record" true (contains out "record 8");
-  check Alcotest.bool "names the change-point rev" true (contains out "rev008")
+  check Alcotest.bool "names the change-point rev" true (contains out "rev008");
+  (* The failure line must name the run shape that produced the
+     offending record, so a diagnosis is reproducible. *)
+  check Alcotest.bool "names the record's source" true (contains out "source perfgate");
+  check Alcotest.bool "names the record's jobs" true (contains out "jobs 1")
+
+let test_cli_check_why path =
+  write_history path regressed_history;
+  let code =
+    Sys.command
+      (Printf.sprintf "%s trend --history %s --check --why > %s 2>&1"
+         (Filename.quote rfh_exe) (Filename.quote path)
+         (Filename.quote (path ^ ".out")))
+  in
+  check Alcotest.int "--why keeps exit 1" 1 code;
+  let out = output_of path in
+  check Alcotest.bool "diagnoses the offending record pair" true
+    (contains out "trend why: record 7 vs 8 (source perfgate, jobs 1)")
 
 let test_cli_check_clean path =
   write_history path clean_history;
@@ -270,6 +289,8 @@ let suite =
     Alcotest.test_case "trend dashboard standalone" `Quick test_trend_page_standalone;
     Alcotest.test_case "rfh trend --check exit 1" `Quick
       (with_temp_history test_cli_check_regression);
+    Alcotest.test_case "rfh trend --check --why diagnosis" `Quick
+      (with_temp_history test_cli_check_why);
     Alcotest.test_case "rfh trend --check exit 0" `Quick (with_temp_history test_cli_check_clean);
     Alcotest.test_case "rfh trend --check exit 2" `Quick (with_temp_history test_cli_check_short);
   ]
